@@ -1,0 +1,81 @@
+//! Criterion benches for the CHA protocol and its baselines.
+//!
+//! Timing complements the round/byte counting of the `repro` tables:
+//! `chap_instances` shows that simulated cost per instance is flat in
+//! `n` (Theorem 14), `full_history` shows the naïve baseline's
+//! super-linear total cost in execution length, and `majority` the
+//! Θ(n) window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vi_bench::harness::{run_clique, CliqueConfig};
+use vi_contention::{OracleCm, SharedCm};
+use vi_core::cha::TaggedProposer;
+use vi_baselines::{FullHistoryMessage, FullHistoryNode, MajorityConsensus, MajorityMessage};
+use vi_radio::geometry::Point;
+use vi_radio::mobility::Static;
+use vi_radio::{Engine, EngineConfig, NodeSpec, RadioConfig};
+
+fn chap_instances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chap_50_instances");
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_clique(CliqueConfig::reliable(n, 50, 9)))
+        });
+    }
+    g.finish();
+}
+
+fn full_history(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_history_instances");
+    g.sample_size(20);
+    for k in [100u64, 1_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut engine: Engine<FullHistoryMessage<u64>> = Engine::new(EngineConfig {
+                    radio: RadioConfig::reliable(10.0, 20.0),
+                    seed: 9,
+                    record_trace: false,
+                });
+                let cm = SharedCm::new(OracleCm::perfect());
+                for i in 0..3u64 {
+                    engine.add_node(NodeSpec::new(
+                        Box::new(Static::new(Point::new(i as f64 * 0.2, 0.0))),
+                        Box::new(FullHistoryNode::new(
+                            Box::new(TaggedProposer::new(i)),
+                            cm.clone(),
+                        )),
+                    ));
+                }
+                engine.run(k);
+                engine.stats().total_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+fn majority(c: &mut Criterion) {
+    let mut g = c.benchmark_group("majority_20_decisions");
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut engine: Engine<MajorityMessage<u64>> = Engine::new(EngineConfig {
+                    radio: RadioConfig::reliable(20.0, 40.0),
+                    seed: 9,
+                    record_trace: false,
+                });
+                for i in 0..n {
+                    engine.add_node(NodeSpec::new(
+                        Box::new(Static::new(Point::new(i as f64 * 0.1, 0.0))),
+                        Box::new(MajorityConsensus::<u64>::new(i, n, Box::new(|k| k))),
+                    ));
+                }
+                engine.run(20 * MajorityConsensus::<u64>::window(n));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, chap_instances, full_history, majority);
+criterion_main!(benches);

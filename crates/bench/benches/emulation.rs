@@ -1,0 +1,66 @@
+//! Criterion benches for the full virtual-infrastructure emulation.
+//!
+//! Wall-clock per simulated virtual round, swept over device count
+//! (must stay near-flat: the protocol work per round is constant, only
+//! channel resolution grows) and over deployment size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vi_core::vi::{CounterAutomaton, VnLayout, World, WorldConfig};
+use vi_radio::geometry::Point;
+use vi_radio::mobility::Static;
+use vi_radio::RadioConfig;
+
+fn world_with(devices_per_vn: usize, rows: usize, cols: usize) -> World<CounterAutomaton> {
+    let layout = VnLayout::grid(rows, cols, 60.0, Point::new(50.0, 50.0), 2.5);
+    let locations: Vec<Point> = layout.iter().map(|(_, p)| p).collect();
+    let mut world = World::new(WorldConfig {
+        radio: RadioConfig::reliable(10.0, 20.0),
+        layout,
+        automaton: CounterAutomaton,
+        seed: 3,
+        record_trace: false,
+    });
+    for loc in locations {
+        for d in 0..devices_per_vn {
+            let off = 0.3 + 0.1 * d as f64;
+            world.add_device(
+                Box::new(Static::new(Point::new(loc.x + off, loc.y))),
+                None,
+            );
+        }
+    }
+    world
+}
+
+fn virtual_rounds_vs_devices(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulation_10_vrs_by_devices");
+    for devs in [3usize, 10, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(devs), &devs, |b, &devs| {
+            b.iter(|| {
+                let mut world = world_with(devs, 1, 1);
+                world.run_virtual_rounds(10);
+                *world.stats()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn virtual_rounds_vs_vns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulation_10_vrs_by_vns");
+    g.sample_size(20);
+    for (rows, cols) in [(1usize, 1usize), (2, 2), (3, 3)] {
+        let vns = rows * cols;
+        g.bench_with_input(BenchmarkId::from_parameter(vns), &vns, |b, _| {
+            b.iter(|| {
+                let mut world = world_with(3, rows, cols);
+                world.run_virtual_rounds(10);
+                *world.stats()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, virtual_rounds_vs_devices, virtual_rounds_vs_vns);
+criterion_main!(benches);

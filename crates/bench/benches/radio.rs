@@ -1,0 +1,61 @@
+//! Criterion benches for the radio substrate: channel-resolution
+//! throughput as the node population grows (the simulator's own
+//! scalability, independent of any protocol).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::any::Any;
+use vi_radio::geometry::{Point, Rect};
+use vi_radio::mobility::Waypoint;
+use vi_radio::{Engine, EngineConfig, NodeSpec, Process, RadioConfig, RoundCtx, RoundReception};
+
+/// Broadcasts every third round, listens otherwise.
+struct Chatty {
+    phase: u64,
+}
+
+impl Process<u64> for Chatty {
+    fn transmit(&mut self, ctx: &RoundCtx) -> Option<u64> {
+        (ctx.round + self.phase).is_multiple_of(3).then_some(ctx.round)
+    }
+    fn deliver(&mut self, _ctx: &RoundCtx, _rx: RoundReception<u64>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn rounds_by_population(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radio_100_rounds");
+    g.sample_size(20);
+    for n in [10usize, 100, 300] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut engine: Engine<u64> = Engine::new(EngineConfig {
+                    radio: RadioConfig::reliable(10.0, 20.0),
+                    seed: 1,
+                    record_trace: false,
+                });
+                for i in 0..n {
+                    let x = (i % 20) as f64 * 10.0;
+                    let y = (i / 20) as f64 * 10.0;
+                    engine.add_node(NodeSpec::new(
+                        Box::new(Waypoint::new(
+                            Point::new(x, y),
+                            0.5,
+                            Rect::new(Point::ORIGIN, Point::new(200.0, 200.0)),
+                        )),
+                        Box::new(Chatty { phase: i as u64 }),
+                    ));
+                }
+                engine.run(100);
+                engine.stats().deliveries
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, rounds_by_population);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Prints the reproduction tables for the paper's figures and
+//! quantitative claims.
+//!
+//! ```sh
+//! cargo run -p vi-bench --bin repro            # everything
+//! cargo run -p vi-bench --bin repro -- fig2    # one experiment
+//! cargo run -p vi-bench --bin repro -- list    # experiment index
+//! ```
+
+use vi_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+
+    if args.first().map(String::as_str) == Some("list") {
+        println!("available experiments:");
+        for (id, desc, _) in &experiments {
+            println!("  {id:<14} {desc}");
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = if args.is_empty() {
+        experiments.iter().map(|(id, _, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for want in selected {
+        match experiments.iter().find(|(id, _, _)| *id == want) {
+            Some((id, _, run)) => {
+                eprintln!("running {id} ...");
+                println!("{}", run());
+            }
+            None => {
+                eprintln!("unknown experiment '{want}' — try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

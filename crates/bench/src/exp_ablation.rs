@@ -1,0 +1,178 @@
+//! E12 — recovery-behaviour ablation: CHAP vs classic three-phase
+//! commit under message loss and coordinator crashes.
+//!
+//! The paper (Section 1.5): CHAP "uses a novel strategy, inspired by
+//! three-phase commit, to ensure consistent outputs despite
+//! collisions, lost messages, and crash failures", while "the 3PC
+//! protocols take a somewhat different approach to recovering from
+//! network misbehavior". This experiment quantifies the difference:
+//! under partial pre-commit delivery plus a coordinator crash, slotted
+//! 3PC's termination rule produces *inconsistent* commit/abort
+//! outcomes, whereas CHAP resolves the same uncertainty to a
+//! consistent ⊥ (its agreement checker finds zero violations at any
+//! loss rate — at the price of some undecided instances).
+
+use crate::harness::{run_clique, AdversaryKind, CliqueConfig};
+use crate::table::{f2, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vi_baselines::{ThreePhaseCommit, TpcDecision, TpcMessage};
+use vi_radio::adversary::ScriptedAdversary;
+use vi_radio::geometry::Point;
+use vi_radio::mobility::Static;
+use vi_radio::{Engine, EngineConfig, NodeSpec, RadioConfig};
+
+/// Runs one slotted-3PC instance with each pre-commit delivery dropped
+/// independently with probability `drop_p`, and the coordinator
+/// crashing right after the pre-commit round. Returns the surviving
+/// participants' decisions.
+fn tpc_instance(n: usize, drop_p: f64, rng: &mut StdRng, seed: u64) -> Vec<TpcDecision> {
+    let w = ThreePhaseCommit::<u64>::window(n);
+    let m = n as u64 - 1;
+    let precommit_round = m + 1;
+    let mut engine: Engine<TpcMessage<u64>> = Engine::new(EngineConfig {
+        radio: RadioConfig::stabilizing(10.0, 20.0, u64::MAX),
+        seed,
+        record_trace: false,
+    });
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let mut spec = NodeSpec::new(
+                Box::new(Static::new(Point::new(i as f64 * 0.2, 0.0))),
+                Box::new(ThreePhaseCommit::<u64>::new(i, n, Box::new(|k| k)))
+                    as Box<dyn vi_radio::Process<TpcMessage<u64>>>,
+            );
+            if i == 0 {
+                spec = spec.crash_at(precommit_round + 1);
+            }
+            engine.add_node(spec)
+        })
+        .collect();
+    let mut adv = ScriptedAdversary::new();
+    for &id in ids.iter().skip(1) {
+        if rng.gen_bool(drop_p) {
+            adv.drop(precommit_round, ids[0], id);
+        }
+    }
+    engine.set_adversary(Box::new(adv));
+    engine.run(w);
+    ids.iter()
+        .skip(1)
+        .map(|&id| {
+            engine
+                .process::<ThreePhaseCommit<u64>>(id)
+                .expect("node")
+                .decisions()[0]
+        })
+        .collect()
+}
+
+/// E12 — the ablation table.
+pub fn ablation_3pc() -> Table {
+    let mut t = Table::new(
+        "E12 / ablation: 3PC vs CHAP under lossy pre-commit + coordinator crash",
+        &[
+            "drop rate",
+            "3PC inconsistent",
+            "CHAP agreement violations",
+            "CHAP ⊥ fraction",
+        ],
+    );
+    let n = 4;
+    let trials = 40;
+    for drop_p in [0.2, 0.5, 0.8] {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut inconsistent = 0usize;
+        for trial in 0..trials {
+            let decisions = tpc_instance(n, drop_p, &mut rng, trial as u64);
+            let all_same = decisions.windows(2).all(|w| w[0] == w[1]);
+            if !all_same {
+                inconsistent += 1;
+            }
+        }
+
+        // CHAP on an equally hostile channel: random loss at the same
+        // rate, CM misbehaving, a crash mid-run.
+        let mut cfg = CliqueConfig::reliable(n, 40, 77);
+        cfg.radio = RadioConfig::stabilizing(10.0, 20.0, u64::MAX);
+        cfg.adversary = AdversaryKind::Random(drop_p, drop_p / 2.0);
+        cfg.crashes = vec![(0, 60)];
+        let run = run_clique(cfg);
+        let checker = run.checker();
+        let violations =
+            checker.check_agreement().len() + checker.check_validity().len();
+        let bottom = 1.0 - run.decided_fraction();
+
+        t.row(&[
+            f2(drop_p),
+            format!("{inconsistent}/{trials}"),
+            violations.to_string(),
+            f2(bottom),
+        ]);
+    }
+    t.note("3PC's termination rule splits commit/abort under partition; CHAP trades undecided (⊥) instances for zero disagreement");
+    t
+}
+
+/// E13 — necessity of detector completeness: the paper's Section 1.1
+/// asserts that without collision detection, consensus is impossible
+/// (refs [7, 8]); Property 1 (no false negatives) is what CHAP's veto
+/// phases lean on. Breaking completeness with probability `miss_p`
+/// makes agreement violations appear — empirical evidence that the
+/// guarantee is load-bearing, not decorative.
+pub fn detector_necessity() -> Table {
+    let mut t = Table::new(
+        "E13 / necessity: breaking detector completeness breaks agreement",
+        &["detector miss rate", "runs", "runs with safety violations"],
+    );
+    for miss_p in [0.0, 0.3, 0.7, 1.0] {
+        let runs = 20;
+        let mut bad_runs = 0usize;
+        for seed in 0..runs {
+            let mut cfg = CliqueConfig::reliable(4, 40, 1000 + seed);
+            cfg.radio = RadioConfig::stabilizing(10.0, 20.0, u64::MAX);
+            cfg.cm_stabilize = u64::MAX;
+            cfg.cm_pre = vi_contention::PreStability::Random(0.5);
+            cfg.adversary = AdversaryKind::BrokenDetector {
+                drop_p: 0.35,
+                miss_p,
+            };
+            let run = run_clique(cfg);
+            let checker = run.checker();
+            let violations = checker.check_agreement().len()
+                + checker.check_validity().len()
+                + checker.check_color_spread().len();
+            if violations > 0 {
+                bad_runs += 1;
+            }
+        }
+        t.row(&[f2(miss_p), runs.to_string(), bad_runs.to_string()]);
+    }
+    t.note("miss rate 0 (the paper's model) must show zero violations; any incompleteness admits disagreement");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_completeness_is_load_bearing() {
+        let t = detector_necessity();
+        assert_eq!(t.cell(0, 2), "0", "intact model: no violations");
+        let broken: usize = t.cell(t.len() - 1, 2).parse().unwrap();
+        assert!(broken > 0, "fully blind detector must break safety");
+    }
+
+    #[test]
+    fn tpc_splits_and_chap_never_disagrees() {
+        let t = ablation_3pc();
+        // At 50% pre-commit loss, inconsistency must actually occur.
+        let mid: &str = t.cell(1, 1);
+        let inconsistent: usize = mid.split('/').next().unwrap().parse().unwrap();
+        assert!(inconsistent > 0, "3PC should split under partition: {mid}");
+        for row in 0..t.len() {
+            assert_eq!(t.cell(row, 2), "0", "CHAP never violates agreement");
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Experiments on convergent history agreement (E1–E6, E10).
+
+use crate::harness::{run_clique, AdversaryKind, CliqueConfig};
+use crate::table::{f2, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vi_contention::{OracleCm, PreStability, SharedCm};
+use vi_core::cha::{Ballot, ChaProtocol, CheckpointCha, Color, TaggedProposer};
+use vi_baselines::{FullHistoryMessage, FullHistoryNode, MajorityConsensus, MajorityMessage};
+use vi_radio::geometry::Point;
+use vi_radio::mobility::Static;
+use vi_radio::{Engine, EngineConfig, NodeSpec, RadioConfig};
+
+/// E1 — reproduces **Figure 2**: how a replica's color and output
+/// depend on which phases it survives. A ✓ means the node received
+/// the phase's message cleanly; an ✗ means it did not (collision
+/// detected).
+pub fn fig2() -> Table {
+    let mut t = Table::new(
+        "E1 / Figure 2: collision pattern → replica color → output",
+        &["ballot", "veto-1", "veto-2", "color", "output"],
+    );
+    let patterns = [
+        (true, true, true),
+        (true, true, false),
+        (true, false, false),
+        (false, false, false),
+    ];
+    for (b_ok, v1_ok, v2_ok) in patterns {
+        let mut node = ChaProtocol::<u64>::new();
+        let ballot = node.begin_instance(7);
+        if b_ok {
+            node.on_ballot_phase(&[ballot], false);
+        } else {
+            node.on_ballot_phase(&[], true);
+        }
+        // The node hears its own veto (it knows what it broadcast);
+        // an ✗ additionally raises the collision indication.
+        let own_veto1 = node.veto1_broadcast();
+        node.on_veto1_phase(own_veto1, !v1_ok);
+        let own_veto2 = node.veto2_broadcast();
+        let out = node.on_veto2_phase(own_veto2, !v2_ok);
+        let mark = |ok: bool| if ok { "✓" } else { "✗" }.to_string();
+        t.row(&[
+            mark(b_ok),
+            mark(v1_ok),
+            mark(v2_ok),
+            out.color.to_string(),
+            if out.decided() { "history" } else { "⊥" }.to_string(),
+        ]);
+    }
+    t.note("paper's Figure 2: ✓✓✓→green/history, ✓✓✗→yellow/⊥, ✓✗✗→orange/⊥, ✗✗✗→red/⊥");
+    t
+}
+
+/// E2 — **Theorem 14 (message size)**: CHAP's largest message stays
+/// constant as the execution grows, while the naïve full-history RSM
+/// grows linearly.
+pub fn msgsize() -> Table {
+    let mut t = Table::new(
+        "E2 / Theorem 14: max message size (bytes) vs execution length",
+        &["instances k", "CHAP", "full-history RSM", "ratio"],
+    );
+    for k in [10u64, 100, 500, 1_000, 5_000] {
+        let chap = run_clique(CliqueConfig::reliable(3, k, 7))
+            .stats
+            .max_message_bytes;
+
+        // Full-history baseline on the same channel.
+        let mut engine: Engine<FullHistoryMessage<u64>> = Engine::new(EngineConfig {
+            radio: RadioConfig::reliable(10.0, 20.0),
+            seed: 7,
+            record_trace: false,
+        });
+        let cm = SharedCm::new(OracleCm::perfect());
+        for i in 0..3 {
+            engine.add_node(NodeSpec::new(
+                Box::new(Static::new(Point::new(i as f64 * 0.3, 0.0))),
+                Box::new(FullHistoryNode::new(
+                    Box::new(TaggedProposer::new(i)),
+                    cm.clone(),
+                )),
+            ));
+        }
+        engine.run(k);
+        let naive = engine.stats().max_message_bytes;
+
+        t.row(&[
+            k.to_string(),
+            chap.to_string(),
+            naive.to_string(),
+            f2(naive as f64 / chap as f64),
+        ]);
+    }
+    t.note("CHAP column must be flat (constant-size ballots); baseline grows ~9 bytes/instance");
+    t
+}
+
+/// E3 — **Theorem 14 (rounds)**: rounds per decided instance vs the
+/// number of nodes — CHAP is a constant 3, majority-ack consensus is
+/// Θ(n).
+pub fn rounds() -> Table {
+    let mut t = Table::new(
+        "E3 / Theorem 14: rounds per decided instance vs n",
+        &["n", "CHAP", "majority consensus"],
+    );
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let instances = 20u64;
+        let run = run_clique(CliqueConfig::reliable(n, instances, 5));
+        let decided = run.outputs[0].iter().filter(|o| o.decided()).count() as f64;
+        let chap = (instances * 3) as f64 / decided;
+
+        let window = MajorityConsensus::<u64>::window(n);
+        let mut engine: Engine<MajorityMessage<u64>> = Engine::new(EngineConfig {
+            radio: RadioConfig::reliable(20.0, 40.0),
+            seed: 5,
+            record_trace: false,
+        });
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                engine.add_node(NodeSpec::new(
+                    Box::new(Static::new(Point::new(i as f64 * 0.1, 0.0))),
+                    Box::new(MajorityConsensus::new(i, n, Box::new(|k| k))),
+                ))
+            })
+            .collect();
+        engine.run(10 * window);
+        let node: &MajorityConsensus<u64> = engine.process(ids[0]).expect("node");
+        let decided = node.decisions().iter().filter(|d| d.is_some()).count() as f64;
+        let majority = (10 * window) as f64 / decided.max(1.0);
+
+        t.row(&[n.to_string(), f2(chap), f2(majority)]);
+    }
+    t.note("CHAP column flat at ~3 (plus the one bootstrap instance); majority grows ~n/2");
+    t
+}
+
+/// E4 — **Property 4 / Lemma 5**: the per-instance color spread across
+/// nodes never exceeds one shade, at any loss rate.
+pub fn spread() -> Table {
+    let mut t = Table::new(
+        "E4 / Property 4: color mix and max shade spread vs loss rate",
+        &["loss", "%green", "%yellow", "%orange", "%red", "max spread", "violations"],
+    );
+    for loss in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9] {
+        let mut cfg = CliqueConfig::reliable(5, 300, 11);
+        // Never stabilizes: the adversary is live for the whole run.
+        cfg.radio = RadioConfig::stabilizing(10.0, 20.0, u64::MAX);
+        cfg.adversary = AdversaryKind::Random(loss, loss / 2.0);
+        let run = run_clique(cfg);
+
+        let mut counts = [0usize; 4];
+        let mut max_spread = 0u8;
+        let instances = run.outputs[0].len();
+        for k in 0..instances {
+            let colors: Vec<Color> = run.outputs.iter().map(|o| o[k].color).collect();
+            for c in &colors {
+                counts[c.shade() as usize] += 1;
+            }
+            let hi = colors.iter().map(|c| c.shade()).max().unwrap();
+            let lo = colors.iter().map(|c| c.shade()).min().unwrap();
+            max_spread = max_spread.max(hi - lo);
+        }
+        let total: usize = counts.iter().sum();
+        let pct = |c: usize| f2(100.0 * c as f64 / total as f64);
+        let violations = run.checker().check_color_spread().len();
+        t.row(&[
+            f2(loss),
+            pct(counts[3]),
+            pct(counts[2]),
+            pct(counts[1]),
+            pct(counts[0]),
+            max_spread.to_string(),
+            violations.to_string(),
+        ]);
+    }
+    t.note("max spread must be ≤ 1 and violations 0 at every loss rate (Lemma 5)");
+    t
+}
+
+/// E5 — **Theorem 12 (liveness)**: after the network and contention
+/// manager stabilize, every instance decides within a constant number
+/// of further instances, regardless of how long the disruption lasted.
+pub fn convergence() -> Table {
+    let mut t = Table::new(
+        "E5 / Theorem 12: convergence lag after stabilization",
+        &["disruption rounds", "first stable instance", "all-green from", "lag (instances)"],
+    );
+    for d in [0u64, 12, 48, 96, 192] {
+        let mut cfg = CliqueConfig::reliable(5, d / 3 + 30, 13);
+        cfg.radio = RadioConfig::stabilizing(10.0, 20.0, d);
+        cfg.cm_stabilize = d;
+        cfg.cm_pre = PreStability::AllActive;
+        cfg.adversary = AdversaryKind::Random(0.5, 0.3);
+        let run = run_clique(cfg);
+        let first_stable = d / 3 + 1;
+        let from = run.all_green_from().expect("must converge");
+        let lag = from.saturating_sub(first_stable);
+        t.row(&[
+            d.to_string(),
+            first_stable.to_string(),
+            from.to_string(),
+            lag.to_string(),
+        ]);
+    }
+    t.note("lag must stay O(1) — independent of disruption length (instances decide 3 rounds after stability)");
+    t
+}
+
+/// E6 — **Theorems 10 & 13 (safety)**: a seed sweep with loss,
+/// spurious collisions, and crash injection; the specification checker
+/// must find zero violations.
+pub fn safety() -> Table {
+    let mut t = Table::new(
+        "E6 / Theorems 10+13: safety sweep (violations must be 0)",
+        &["config", "runs", "outputs checked", "violations"],
+    );
+    let groups: Vec<(&str, f64, f64, bool)> = vec![
+        ("clean", 0.0, 0.0, false),
+        ("loss 0.3", 0.3, 0.1, false),
+        ("loss 0.5 + crashes", 0.5, 0.2, true),
+        ("loss 0.7 + crashes", 0.7, 0.3, true),
+    ];
+    for (name, loss, spur, crashes) in groups {
+        let mut outputs = 0usize;
+        let mut violations = 0usize;
+        let runs = 10;
+        for seed in 0..runs {
+            let mut cfg = CliqueConfig::reliable(6, 60, seed);
+            cfg.radio = RadioConfig::stabilizing(10.0, 20.0, 120);
+            cfg.cm_stabilize = 120;
+            cfg.cm_pre = PreStability::Random(0.3);
+            cfg.adversary = AdversaryKind::Random(loss, spur);
+            if crashes {
+                cfg.crashes = vec![(4, 40 + seed), (5, 90 + seed)];
+            }
+            let run = run_clique(cfg);
+            let checker = run.checker();
+            outputs += checker.output_count();
+            violations += checker.check_all(true).len();
+        }
+        t.row(&[
+            name.to_string(),
+            runs.to_string(),
+            outputs.to_string(),
+            violations.to_string(),
+        ]);
+    }
+    t.note("Agreement, Validity, Property 4 and Liveness checked on every run");
+    t
+}
+
+/// E10 — **Section 3.5 (garbage collection)**: resident per-instance
+/// state of plain CHAP vs checkpoint-CHA, as a function of execution
+/// length and the fraction of non-green instances.
+pub fn gc() -> Table {
+    let mut t = Table::new(
+        "E10 / Section 3.5: resident state entries after k instances",
+        &["yellow rate", "k", "plain CHAP", "checkpoint-CHA"],
+    );
+    for yellow_rate in [0.0, 0.2, 0.5] {
+        let mut plain = ChaProtocol::<u64>::new();
+        let mut gc: CheckpointCha<u64, u64> =
+            CheckpointCha::new(0, Box::new(|acc, _, v| *acc += v.copied().unwrap_or(0)));
+        let mut rng = StdRng::seed_from_u64(17);
+        for k in 1..=1000u64 {
+            let yellow = rng.gen_bool(yellow_rate);
+            // Leader pattern: ballot received cleanly, veto-2 collision
+            // iff this instance is "yellow".
+            let b1 = plain.begin_instance(k);
+            plain.on_ballot_phase(&[b1], false);
+            plain.on_veto1_phase(false, false);
+            plain.on_veto2_phase(false, yellow);
+            let b2: Ballot<u64> = gc.begin_instance(k);
+            gc.on_ballot_phase(&[b2], false);
+            gc.on_veto1_phase(false, false);
+            gc.on_veto2_phase(false, yellow);
+            if k == 100 || k == 500 || k == 1000 {
+                t.row(&[
+                    f2(yellow_rate),
+                    k.to_string(),
+                    plain.resident_entries().to_string(),
+                    gc.resident_entries().to_string(),
+                ]);
+            }
+        }
+    }
+    t.note("plain grows ~2 entries/instance; checkpoint-CHA stays bounded by the current yellow streak");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_matches_paper() {
+        let t = fig2();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.cell(0, 3), "green");
+        assert_eq!(t.cell(0, 4), "history");
+        assert_eq!(t.cell(1, 3), "yellow");
+        assert_eq!(t.cell(2, 3), "orange");
+        assert_eq!(t.cell(3, 3), "red");
+        for row in 1..4 {
+            assert_eq!(t.cell(row, 4), "⊥");
+        }
+    }
+
+    #[test]
+    fn msgsize_chap_is_constant_baseline_grows() {
+        let t = msgsize();
+        let chap_first: usize = t.cell(0, 1).parse().unwrap();
+        let chap_last: usize = t.cell(t.len() - 1, 1).parse().unwrap();
+        assert_eq!(chap_first, chap_last, "CHAP message size constant");
+        let naive_first: usize = t.cell(0, 2).parse().unwrap();
+        let naive_last: usize = t.cell(t.len() - 1, 2).parse().unwrap();
+        assert!(naive_last > naive_first * 100, "baseline grows linearly");
+    }
+
+    #[test]
+    fn rounds_chap_constant_majority_linear() {
+        let t = rounds();
+        let chap_small: f64 = t.cell(0, 1).parse().unwrap();
+        let chap_large: f64 = t.cell(t.len() - 1, 1).parse().unwrap();
+        assert!((chap_small - chap_large).abs() < 0.5, "CHAP flat");
+        let maj_small: f64 = t.cell(0, 2).parse().unwrap();
+        let maj_large: f64 = t.cell(t.len() - 1, 2).parse().unwrap();
+        assert!(maj_large > maj_small * 8.0, "majority grows with n");
+    }
+
+    #[test]
+    fn spread_never_violates_property4() {
+        let t = spread();
+        for row in 0..t.len() {
+            let spread: u8 = t.cell(row, 5).parse().unwrap();
+            assert!(spread <= 1, "row {row}");
+            assert_eq!(t.cell(row, 6), "0");
+        }
+    }
+
+    #[test]
+    fn convergence_lag_is_constant() {
+        let t = convergence();
+        for row in 0..t.len() {
+            let lag: u64 = t.cell(row, 3).parse().unwrap();
+            assert!(lag <= 3, "lag {lag} too large in row {row}");
+        }
+    }
+
+    #[test]
+    fn gc_bounds_resident_state() {
+        let t = gc();
+        // Clean channel: checkpoint-CHA keeps nothing, plain keeps 2k.
+        assert_eq!(t.cell(2, 2), "2000");
+        assert_eq!(t.cell(2, 3), "0");
+    }
+}

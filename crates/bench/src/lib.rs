@@ -1,0 +1,38 @@
+//! # vi-bench
+//!
+//! Experiment harness reproducing every figure and quantitative claim
+//! of the paper. Each experiment in the DESIGN.md index (E1–E12) is a
+//! function returning a [`Table`], callable from the `repro` binary
+//! (which prints paper-shaped tables) and exercised by unit tests that
+//! assert the claimed *shape* (who wins, what stays constant, what
+//! grows).
+
+pub mod exp_ablation;
+pub mod exp_cha;
+pub mod exp_emulation;
+pub mod harness;
+pub mod table;
+
+pub use table::Table;
+
+/// An experiment entry: `(id, description, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> Table);
+
+/// All experiments in index order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("fig2", "Figure 2: collision pattern → color", exp_cha::fig2),
+        ("msgsize", "Theorem 14: message size vs k", exp_cha::msgsize),
+        ("rounds", "Theorem 14: rounds vs n", exp_cha::rounds),
+        ("spread", "Property 4: color spread", exp_cha::spread),
+        ("convergence", "Theorem 12: liveness lag", exp_cha::convergence),
+        ("safety", "Theorems 10+13: safety sweep", exp_cha::safety),
+        ("overhead", "Section 4.3: emulation overhead", exp_emulation::overhead),
+        ("availability", "Section 4.2: progress under churn", exp_emulation::availability),
+        ("join", "Section 4.3: join latency", exp_emulation::join_latency),
+        ("gc", "Section 3.5: garbage collection", exp_cha::gc),
+        ("schedule", "Section 4.1: schedule quality", exp_emulation::schedule_quality),
+        ("ablation3pc", "Ablation: CHAP vs 3PC", exp_ablation::ablation_3pc),
+        ("necessity", "Ablation: detector completeness is necessary", exp_ablation::detector_necessity),
+    ]
+}

@@ -1,0 +1,263 @@
+//! Checkpoint-CHA: the garbage-collected variant of Section 3.5.
+//!
+//! "each node outputs a checkpoint, along with the suffix of the
+//! history including every instance after the checkpoint ... a node
+//! can garbage-collect whenever a round is designated as green,
+//! keeping only (1) a pointer to the most recent green round, (2) the
+//! checkpoint up to and including that round, and (3) ballot/status
+//! entries that have occurred since that green round."
+//!
+//! The checkpoint is an application-defined fold over the decided
+//! prefix (for a virtual node: the automaton state). On every green
+//! instance the suffix since the previous checkpoint is folded in and
+//! the per-instance entries are pruned; on yellow/orange/red instances
+//! no collection is possible ("there are multiple possible
+//! executions") and state accumulates — exactly the memory behaviour
+//! experiment E10 measures.
+
+use crate::cha::history::Ballot;
+use crate::cha::protocol::{ChaOutput, ChaProtocol};
+use std::fmt;
+
+/// Folds one decided instance into the checkpoint state: `apply(state,
+/// instance, value_or_bottom)`.
+pub type ApplyFn<V, S> = Box<dyn FnMut(&mut S, u64, Option<&V>)>;
+
+/// The per-instance outcome of checkpoint-CHA: the usual CHA output
+/// (whose history now covers only the suffix above the checkpoint)
+/// plus the current checkpoint position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointOutput<V> {
+    /// The underlying CHA output; on green instances its history is
+    /// the suffix `(checkpoint_before, instance]`.
+    pub output: ChaOutput<V>,
+    /// The checkpoint after processing this instance (advances exactly
+    /// on green instances).
+    pub checkpoint: u64,
+}
+
+/// A CHAP participant with Section 3.5 garbage collection.
+///
+/// `S` is the checkpoint state; the fold function is applied once per
+/// instance, in order, with `Some(value)` for included instances and
+/// `None` for ⊥ instances (the virtual node's "detected collision").
+pub struct CheckpointCha<V, S> {
+    protocol: ChaProtocol<V>,
+    state: S,
+    apply: ApplyFn<V, S>,
+}
+
+impl<V: Clone + Ord, S> CheckpointCha<V, S> {
+    /// Creates a checkpoint-CHA participant with the given initial
+    /// state and fold function.
+    pub fn new(initial: S, apply: ApplyFn<V, S>) -> Self {
+        CheckpointCha {
+            protocol: ChaProtocol::new(),
+            state: initial,
+            apply,
+        }
+    }
+
+    /// Restores a participant from a transferred checkpoint (the join
+    /// protocol's state transfer): `state` summarizes instances
+    /// `1..=checkpoint`; the next instance to run is `next_instance +
+    /// 1`.
+    pub fn from_checkpoint(state: S, checkpoint: u64, next_instance: u64, apply: ApplyFn<V, S>) -> Self {
+        CheckpointCha {
+            protocol: ChaProtocol::from_checkpoint(checkpoint, next_instance),
+            state,
+            apply,
+        }
+    }
+
+    /// The checkpoint state (the fold of the decided prefix).
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// The instance up to (and including) which state is summarized.
+    pub fn checkpoint(&self) -> u64 {
+        self.protocol.floor()
+    }
+
+    /// Resident per-instance entries (the quantity garbage collection
+    /// bounds; compare with a plain [`ChaProtocol`]'s linear growth).
+    pub fn resident_entries(&self) -> usize {
+        self.protocol.resident_entries()
+    }
+
+    /// Read access to the wrapped protocol.
+    pub fn protocol(&self) -> &ChaProtocol<V> {
+        &self.protocol
+    }
+
+    /// Ballot phase, send side (delegates to
+    /// [`ChaProtocol::begin_instance`]).
+    pub fn begin_instance(&mut self, proposal: V) -> Ballot<V> {
+        self.protocol.begin_instance(proposal)
+    }
+
+    /// Ballot phase, receive side.
+    pub fn on_ballot_phase(&mut self, received: &[Ballot<V>], collision: bool) {
+        self.protocol.on_ballot_phase(received, collision)
+    }
+
+    /// Veto-1 send side.
+    pub fn veto1_broadcast(&self) -> bool {
+        self.protocol.veto1_broadcast()
+    }
+
+    /// Veto-1 receive side.
+    pub fn on_veto1_phase(&mut self, veto_heard: bool, collision: bool) {
+        self.protocol.on_veto1_phase(veto_heard, collision)
+    }
+
+    /// Veto-2 send side.
+    pub fn veto2_broadcast(&self) -> bool {
+        self.protocol.veto2_broadcast()
+    }
+
+    /// Veto-2 receive side + finalization: on a green instance, folds
+    /// the decided suffix into the checkpoint state and garbage-
+    /// collects it.
+    pub fn on_veto2_phase(&mut self, veto_heard: bool, collision: bool) -> CheckpointOutput<V> {
+        let out = self.protocol.on_veto2_phase(veto_heard, collision);
+        if let Some(history) = &out.history {
+            let from = self.protocol.floor() + 1;
+            for k in from..=out.instance {
+                (self.apply)(&mut self.state, k, history.get(k));
+            }
+            self.protocol.garbage_collect(out.instance);
+        }
+        CheckpointOutput {
+            output: out,
+            checkpoint: self.protocol.floor(),
+        }
+    }
+}
+
+impl<V: fmt::Debug, S: fmt::Debug> fmt::Debug for CheckpointCha<V, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointCha")
+            .field("checkpoint", &self.protocol.floor())
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checkpoint state: concatenation of decided values (⊥ recorded
+    /// as `None`), so tests can see exactly what was folded.
+    fn log_cha() -> CheckpointCha<u32, Vec<(u64, Option<u32>)>> {
+        CheckpointCha::new(
+            Vec::new(),
+            Box::new(|s, k, v| s.push((k, v.copied()))),
+        )
+    }
+
+    /// Runs one clean (all-green) instance where this node is leader.
+    fn clean_instance(node: &mut CheckpointCha<u32, Vec<(u64, Option<u32>)>>, proposal: u32) {
+        let b = node.begin_instance(proposal);
+        node.on_ballot_phase(&[b], false);
+        node.on_veto1_phase(false, false);
+        let out = node.on_veto2_phase(false, false);
+        assert!(out.output.decided());
+    }
+
+    /// Runs one instance that ends yellow (collision in veto-2).
+    fn yellow_instance(node: &mut CheckpointCha<u32, Vec<(u64, Option<u32>)>>, proposal: u32) {
+        let b = node.begin_instance(proposal);
+        node.on_ballot_phase(&[b], false);
+        node.on_veto1_phase(false, false);
+        let out = node.on_veto2_phase(false, true);
+        assert!(!out.output.decided());
+    }
+
+    #[test]
+    fn green_instances_advance_checkpoint_and_prune() {
+        let mut node = log_cha();
+        for p in [10, 20, 30] {
+            clean_instance(&mut node, p);
+        }
+        assert_eq!(node.checkpoint(), 3);
+        assert_eq!(node.resident_entries(), 0, "everything folded away");
+        assert_eq!(
+            node.state(),
+            &vec![(1, Some(10)), (2, Some(20)), (3, Some(30))]
+        );
+    }
+
+    #[test]
+    fn yellow_instances_accumulate_until_next_green() {
+        let mut node = log_cha();
+        clean_instance(&mut node, 1);
+        yellow_instance(&mut node, 2);
+        yellow_instance(&mut node, 3);
+        assert_eq!(node.checkpoint(), 1);
+        assert!(node.resident_entries() > 0, "cannot collect on yellow");
+        // The next green folds the whole suffix — including the
+        // yellow-but-good instances, which are on the pointer chain.
+        clean_instance(&mut node, 4);
+        assert_eq!(node.checkpoint(), 4);
+        assert_eq!(node.resident_entries(), 0);
+        assert_eq!(
+            node.state(),
+            &vec![
+                (1, Some(1)),
+                (2, Some(2)),
+                (3, Some(3)),
+                (4, Some(4))
+            ]
+        );
+    }
+
+    #[test]
+    fn undecided_instances_fold_as_bottom() {
+        let mut node = log_cha();
+        clean_instance(&mut node, 1);
+        // Instance 2: silent ballot phase → red → ⊥, not on the chain.
+        node.begin_instance(2);
+        node.on_ballot_phase(&[], false);
+        node.on_veto1_phase(true, false);
+        let out = node.on_veto2_phase(true, false);
+        assert!(!out.output.decided());
+        clean_instance(&mut node, 3);
+        assert_eq!(
+            node.state(),
+            &vec![(1, Some(1)), (2, None), (3, Some(3))],
+            "red instance folded as ⊥ (virtual node detects a collision)"
+        );
+    }
+
+    #[test]
+    fn from_checkpoint_resumes_with_transferred_state() {
+        let mut node: CheckpointCha<u32, Vec<(u64, Option<u32>)>> = CheckpointCha::from_checkpoint(
+            vec![(1, Some(7))],
+            1,
+            1,
+            Box::new(|s, k, v| s.push((k, v.copied()))),
+        );
+        assert_eq!(node.checkpoint(), 1);
+        clean_instance(&mut node, 22);
+        assert_eq!(node.state(), &vec![(1, Some(7)), (2, Some(22))]);
+    }
+
+    #[test]
+    fn suffix_history_len_matches_instance() {
+        let mut node = log_cha();
+        clean_instance(&mut node, 5);
+        yellow_instance(&mut node, 6);
+        let b = node.begin_instance(7);
+        node.on_ballot_phase(&[b], false);
+        node.on_veto1_phase(false, false);
+        let out = node.on_veto2_phase(false, false);
+        let h = out.output.history.unwrap();
+        assert_eq!(h.len(), 3);
+        assert!(!h.includes(1), "pre-checkpoint instances summarized");
+        assert!(h.includes(2) && h.includes(3));
+        assert_eq!(out.checkpoint, 3);
+    }
+}

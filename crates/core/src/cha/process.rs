@@ -1,0 +1,343 @@
+//! Radio adapter: runs [`ChaProtocol`] over the simulated channel.
+//!
+//! One CHAP instance occupies three consecutive rounds (ballot,
+//! veto-1, veto-2 — `round % 3` selects the phase), matching the
+//! Section 3 setting: a single region in which all `n` nodes stay
+//! within `R1/2` of a fixed location and share one leader-election
+//! contention manager.
+
+use crate::cha::history::Ballot;
+use crate::cha::protocol::{ChaMessage, ChaOutput, ChaProtocol, Phase};
+use std::any::Any;
+use vi_contention::{ChannelFeedback, CmSlot, SharedCm};
+use vi_radio::{Process, RoundCtx, RoundReception};
+
+/// Supplies the proposal for each instance (Figure 1's `propose(k)`
+/// input). In the virtual-infrastructure emulation the proposal is the
+/// set of messages a replica believes the virtual node received; in
+/// the Section 3 experiments it is a test value.
+pub trait Proposer<V>: 'static {
+    /// The value this node proposes for `instance`.
+    fn propose(&mut self, instance: u64) -> V;
+}
+
+impl<V, F: FnMut(u64) -> V + 'static> Proposer<V> for F {
+    fn propose(&mut self, instance: u64) -> V {
+        self(instance)
+    }
+}
+
+/// A proposer producing `instance * 1_000_000 + tag`: values are
+/// per-node distinguishable and totally ordered, so checkers can
+/// verify Validity (every decided value traces back to some node's
+/// proposal).
+#[derive(Clone, Copy, Debug)]
+pub struct TaggedProposer {
+    tag: u64,
+}
+
+impl TaggedProposer {
+    /// Creates a proposer with the given node tag (`tag <
+    /// 1_000_000`).
+    pub fn new(tag: u64) -> Self {
+        assert!(tag < 1_000_000, "tag must fit below the instance stride");
+        TaggedProposer { tag }
+    }
+
+    /// Decodes a proposed value back into `(instance, tag)`.
+    pub fn decode(value: u64) -> (u64, u64) {
+        (value / 1_000_000, value % 1_000_000)
+    }
+}
+
+impl Proposer<u64> for TaggedProposer {
+    fn propose(&mut self, instance: u64) -> u64 {
+        instance * 1_000_000 + self.tag
+    }
+}
+
+/// One CHAP participant wired to the radio engine and a shared
+/// contention manager.
+pub struct ChaNode<V> {
+    protocol: ChaProtocol<V>,
+    proposer: Box<dyn Proposer<V>>,
+    cm: SharedCm,
+    slot: CmSlot,
+    /// Whether this node has reached its first ballot phase (nodes
+    /// spawning mid-instance wait for the next instance boundary).
+    synced: bool,
+    /// Whether the node broadcast in the current ballot phase (for
+    /// contention-manager feedback).
+    was_active: bool,
+    outputs: Vec<ChaOutput<V>>,
+    proposals: Vec<(u64, V)>,
+}
+
+impl<V: Clone + Ord + 'static> ChaNode<V> {
+    /// Creates a participant that runs from instance 1. `cm` must be
+    /// the manager shared by all nodes of this region; the node
+    /// registers itself.
+    ///
+    /// Nodes spawning mid-execution **must not** use this constructor:
+    /// without the early ballots they cannot reconstruct histories
+    /// (the Section 3 model fixes the participant set up front; late
+    /// arrival requires the Section 4 join protocol's state transfer —
+    /// use [`ChaNode::from_checkpoint`]).
+    pub fn new(proposer: Box<dyn Proposer<V>>, cm: SharedCm) -> Self {
+        Self::with_protocol(ChaProtocol::new(), proposer, cm)
+    }
+
+    /// Creates a participant resuming from transferred state: the
+    /// decided prefix up to `checkpoint` is summarized externally and
+    /// the cluster is about to start `next_instance + 1` (see
+    /// [`ChaProtocol::from_checkpoint`]).
+    pub fn from_checkpoint(
+        checkpoint: u64,
+        next_instance: u64,
+        proposer: Box<dyn Proposer<V>>,
+        cm: SharedCm,
+    ) -> Self {
+        Self::with_protocol(
+            ChaProtocol::from_checkpoint(checkpoint, next_instance),
+            proposer,
+            cm,
+        )
+    }
+
+    fn with_protocol(
+        protocol: ChaProtocol<V>,
+        proposer: Box<dyn Proposer<V>>,
+        cm: SharedCm,
+    ) -> Self {
+        let slot = cm.register();
+        ChaNode {
+            protocol,
+            proposer,
+            cm,
+            slot,
+            synced: false,
+            was_active: false,
+            outputs: Vec::new(),
+            proposals: Vec::new(),
+        }
+    }
+
+    /// The per-instance outputs produced so far, in instance order.
+    pub fn outputs(&self) -> &[ChaOutput<V>] {
+        &self.outputs
+    }
+
+    /// The proposals this node made, as `(instance, value)`.
+    pub fn proposals(&self) -> &[(u64, V)] {
+        &self.proposals
+    }
+
+    /// The underlying protocol state (for inspection).
+    pub fn protocol(&self) -> &ChaProtocol<V> {
+        &self.protocol
+    }
+
+    /// Mutable protocol access (used by garbage-collection drivers).
+    pub fn protocol_mut(&mut self) -> &mut ChaProtocol<V> {
+        &mut self.protocol
+    }
+}
+
+impl<V: Clone + Ord + vi_radio::WireSized + 'static> Process<ChaMessage<V>> for ChaNode<V> {
+    fn transmit(&mut self, ctx: &RoundCtx) -> Option<ChaMessage<V>> {
+        match Phase::of_round(ctx.round) {
+            Phase::Ballot => {
+                self.synced = true;
+                let instance = self.protocol.instance() + 1;
+                let proposal = self.proposer.propose(instance);
+                self.proposals.push((instance, proposal.clone()));
+                let ballot = self.protocol.begin_instance(proposal);
+                let advice = self.cm.contend(self.slot, ctx.round, ctx.pos);
+                self.was_active = advice.is_active();
+                self.was_active.then_some(ChaMessage::Ballot(ballot))
+            }
+            Phase::Veto1 if self.synced => self
+                .protocol
+                .veto1_broadcast()
+                .then_some(ChaMessage::Veto),
+            Phase::Veto2 if self.synced => self
+                .protocol
+                .veto2_broadcast()
+                .then_some(ChaMessage::Veto),
+            _ => None,
+        }
+    }
+
+    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<ChaMessage<V>>) {
+        if !self.synced {
+            return;
+        }
+        let veto_heard = rx
+            .messages
+            .iter()
+            .any(|m| matches!(m, ChaMessage::Veto));
+        match Phase::of_round(ctx.round) {
+            Phase::Ballot => {
+                let ballots: Vec<Ballot<V>> = rx
+                    .messages
+                    .iter()
+                    .filter_map(|m| match m {
+                        ChaMessage::Ballot(b) => Some(b.clone()),
+                        ChaMessage::Veto => None,
+                    })
+                    .collect();
+                let feedback = if self.was_active {
+                    if rx.collision {
+                        ChannelFeedback::TxCollided
+                    } else {
+                        ChannelFeedback::TxSucceeded
+                    }
+                } else if rx.collision {
+                    ChannelFeedback::HeardCollision
+                } else if !ballots.is_empty() {
+                    ChannelFeedback::HeardOther
+                } else {
+                    ChannelFeedback::Quiet
+                };
+                self.cm.observe(self.slot, ctx.round, feedback);
+                self.protocol.on_ballot_phase(&ballots, rx.collision);
+            }
+            Phase::Veto1 => self.protocol.on_veto1_phase(veto_heard, rx.collision),
+            Phase::Veto2 => {
+                let out = self.protocol.on_veto2_phase(veto_heard, rx.collision);
+                self.outputs.push(out);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cha::history::Color;
+    use vi_contention::OracleCm;
+    use vi_radio::geometry::Point;
+    use vi_radio::mobility::Static;
+    use vi_radio::{Engine, EngineConfig, NodeSpec, RadioConfig};
+
+    fn clique(n: usize) -> (Engine<ChaMessage<u64>>, Vec<vi_radio::NodeId>, SharedCm) {
+        let mut engine = Engine::new(EngineConfig {
+            radio: RadioConfig::reliable(10.0, 20.0),
+            seed: 1,
+            record_trace: false,
+        });
+        let cm = SharedCm::new(OracleCm::perfect());
+        let ids = (0..n)
+            .map(|i| {
+                engine.add_node(NodeSpec::new(
+                    Box::new(Static::new(Point::new(i as f64 * 0.5, 0.0))),
+                    Box::new(ChaNode::new(
+                        Box::new(TaggedProposer::new(i as u64)),
+                        cm.clone(),
+                    )),
+                ))
+            })
+            .collect();
+        (engine, ids, cm)
+    }
+
+    #[test]
+    fn reliable_clique_decides_every_instance() {
+        let (mut engine, ids, _cm) = clique(4);
+        engine.run(30); // 10 instances
+        for &id in &ids {
+            let node: &ChaNode<u64> = engine.process(id).unwrap();
+            assert_eq!(node.outputs().len(), 10);
+            // After the oracle's one-round bootstrap, every instance
+            // is green (instance 1 may bootstrap the leader).
+            for out in &node.outputs()[1..] {
+                assert_eq!(out.color, Color::Green, "instance {}", out.instance);
+                assert!(out.decided());
+            }
+        }
+    }
+
+    #[test]
+    fn decided_values_come_from_the_leader() {
+        let (mut engine, ids, _cm) = clique(3);
+        engine.run(30);
+        let node: &ChaNode<u64> = engine.process(ids[1]).unwrap();
+        let last = node.outputs().last().unwrap();
+        let h = last.history.as_ref().unwrap();
+        for (instance, v) in h.iter() {
+            let (inst, tag) = TaggedProposer::decode(*v);
+            assert_eq!(inst, instance, "value proposed for its own instance");
+            assert_eq!(tag, 0, "oracle leader is the lowest slot");
+        }
+    }
+
+    #[test]
+    fn all_nodes_decide_identical_histories() {
+        let (mut engine, ids, _cm) = clique(5);
+        engine.run(60);
+        let histories: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let node: &ChaNode<u64> = engine.process(id).unwrap();
+                node.outputs().last().unwrap().history.clone().unwrap()
+            })
+            .collect();
+        for h in &histories[1..] {
+            assert_eq!(h, &histories[0]);
+        }
+    }
+
+    #[test]
+    fn late_spawner_with_state_transfer_syncs_to_instance_boundary() {
+        let (mut engine, ids, cm) = clique(2);
+        // Spawns mid-instance (round 4 is a veto-1 phase) with a
+        // checkpoint transferred as of instance 2 (what the Section 4
+        // join protocol would hand over): it waits for the round-6
+        // ballot phase and participates from instance 3.
+        let late = engine.add_node(
+            NodeSpec::new(
+                Box::new(Static::new(Point::new(2.0, 0.0))),
+                Box::new(ChaNode::from_checkpoint(
+                    2,
+                    2,
+                    Box::new(TaggedProposer::new(99)),
+                    cm,
+                )),
+            )
+            .spawn_at(4),
+        );
+        engine.run(12);
+        let node: &ChaNode<u64> = engine.process(late).unwrap();
+        // Instances 3 and 4 completed by round 12, decided green, and
+        // its suffix histories agree with the veterans'.
+        assert_eq!(node.outputs().len(), 2);
+        assert!(node.outputs().iter().all(|o| o.decided()));
+        let veteran: &ChaNode<u64> = engine.process(ids[0]).unwrap();
+        let vh = veteran.outputs().last().unwrap().history.as_ref().unwrap();
+        let jh = node.outputs().last().unwrap().history.as_ref().unwrap();
+        for k in 3..=4 {
+            assert_eq!(vh.get(k), jh.get(k), "suffix agreement at {k}");
+        }
+    }
+
+    #[test]
+    fn tagged_proposer_roundtrip() {
+        let mut p = TaggedProposer::new(42);
+        let v = p.propose(17);
+        assert_eq!(TaggedProposer::decode(v), (17, 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "tag must fit")]
+    fn tagged_proposer_rejects_huge_tag() {
+        let _ = TaggedProposer::new(1_000_000);
+    }
+}

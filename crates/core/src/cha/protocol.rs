@@ -1,0 +1,572 @@
+//! The CHAP state machine (Figure 1 of the paper), as a pure protocol
+//! core decoupled from the radio.
+//!
+//! Each agreement instance runs in three single-round phases:
+//!
+//! 1. **ballot** — the contention-manager-elected leader broadcasts a
+//!    ballot `(proposal, prev-instance)`; everyone adopts the minimum
+//!    received ballot, or goes *red* on silence/collision;
+//! 2. **veto-1** — red nodes broadcast a veto; hearing a veto or a
+//!    collision downgrades to *orange*;
+//! 3. **veto-2** — red/orange nodes broadcast a veto; hearing a veto
+//!    or a collision downgrades to *yellow*.
+//!
+//! A node that finishes green outputs a history (computed by
+//! `calculate-history`); any other color outputs ⊥. Good instances
+//! (yellow/green) advance the node's `prev-instance` pointer.
+//!
+//! Driving the state machine is the caller's job (see
+//! [`ChaNode`](crate::cha::ChaNode) for the radio adapter and the
+//! virtual-infrastructure emulator in [`crate::vi`] for the
+//! multiplexed variant); this separation lets the protocol be unit-
+//! and property-tested without a simulated channel, and reused by the
+//! emulation with its stretched ballot phase.
+
+use crate::cha::history::{calculate_history, Ballot, Color, History};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use vi_radio::WireSized;
+
+/// The three communication phases of one CHAP instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Leader broadcasts `(proposal, prev)`.
+    Ballot,
+    /// Red nodes veto.
+    Veto1,
+    /// Red and orange nodes veto.
+    Veto2,
+}
+
+impl Phase {
+    /// Phase for a global round counter, assuming instances occupy
+    /// three consecutive rounds.
+    pub fn of_round(round: u64) -> Phase {
+        match round % 3 {
+            0 => Phase::Ballot,
+            1 => Phase::Veto1,
+            _ => Phase::Veto2,
+        }
+    }
+}
+
+/// A CHAP wire message.
+///
+/// Theorem 14: both variants are constant-sized — a ballot carries one
+/// proposal value and one instance index; a veto carries nothing.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChaMessage<V> {
+    /// A ballot for the current instance.
+    Ballot(Ballot<V>),
+    /// A veto in one of the veto phases.
+    Veto,
+}
+
+impl<V: WireSized> WireSized for ChaMessage<V> {
+    fn wire_size(&self) -> usize {
+        match self {
+            // tag + value + prev-instance index (8 bytes, constant per
+            // the paper's convention).
+            ChaMessage::Ballot(b) => 1 + b.value.wire_size() + 8,
+            ChaMessage::Veto => 1,
+        }
+    }
+}
+
+/// The per-instance outcome at one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaOutput<V> {
+    /// The instance this output concludes.
+    pub instance: u64,
+    /// `Some(history)` iff the instance finished green; `None` is ⊥.
+    pub history: Option<History<V>>,
+    /// The final color (recorded for Property 4 experiments).
+    pub color: Color,
+}
+
+impl<V> ChaOutput<V> {
+    /// `true` if this output decided (non-⊥).
+    pub fn decided(&self) -> bool {
+        self.history.is_some()
+    }
+}
+
+/// The CHAP per-node state machine.
+///
+/// `V` is the proposal domain — any totally ordered, cloneable value
+/// (total order is what makes deterministic `min(M)` ballot adoption
+/// possible).
+///
+/// The state serializes (given `V: Serialize`) so that the Section 4.3
+/// join protocol can transfer "the entire current state" to a joiner.
+///
+/// # Example
+///
+/// One clean instance at a node that is also the elected leader:
+///
+/// ```
+/// use vi_core::cha::{ChaProtocol, Color};
+///
+/// let mut node = ChaProtocol::<u32>::new();
+/// let ballot = node.begin_instance(7);          // ballot phase, send
+/// node.on_ballot_phase(&[ballot], false);       // hears its own ballot
+/// assert!(!node.veto1_broadcast());             // not red: no veto
+/// node.on_veto1_phase(false, false);
+/// assert!(!node.veto2_broadcast());
+/// let out = node.on_veto2_phase(false, false);  // finalize
+/// assert_eq!(out.color, Color::Green);
+/// assert_eq!(out.history.unwrap().get(1), Some(&7));
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct ChaProtocol<V> {
+    instance: u64,
+    prev_instance: u64,
+    floor: u64,
+    status: BTreeMap<u64, Color>,
+    ballots: BTreeMap<u64, Ballot<V>>,
+}
+
+impl<V: Clone + Ord> Default for ChaProtocol<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ChaProtocol<V> {
+    /// A fresh protocol state: no instances run, `prev-instance = 0`.
+    pub fn new() -> Self {
+        ChaProtocol {
+            instance: 0,
+            prev_instance: 0,
+            floor: 0,
+            status: BTreeMap::new(),
+            ballots: BTreeMap::new(),
+        }
+    }
+
+    /// Reconstructs protocol state from a transferred checkpoint (used
+    /// by the join protocol, Section 4.3): the joiner starts as if
+    /// instance `checkpoint` had just finished green, with everything
+    /// at or below it summarized externally.
+    pub fn from_checkpoint(checkpoint: u64, next_instance: u64) -> Self {
+        assert!(
+            next_instance >= checkpoint,
+            "next instance {next_instance} precedes checkpoint {checkpoint}"
+        );
+        ChaProtocol {
+            instance: next_instance,
+            prev_instance: checkpoint,
+            floor: checkpoint,
+            status: BTreeMap::new(),
+            ballots: BTreeMap::new(),
+        }
+    }
+
+    /// The most recently started instance (0 if none).
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// The node's most recent *good* instance (0 if none).
+    pub fn prev_instance(&self) -> u64 {
+        self.prev_instance
+    }
+
+    /// The checkpoint floor (0 for the plain protocol).
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Final color of `k`, if that instance ran here.
+    pub fn color_of(&self, k: u64) -> Option<Color> {
+        self.status.get(&k).copied()
+    }
+
+    /// The ballot stored for `k`, if any.
+    pub fn ballot_of(&self, k: u64) -> Option<&Ballot<V>> {
+        self.ballots.get(&k)
+    }
+
+    /// Number of resident (non-garbage-collected) per-instance
+    /// entries, for the Section 3.5 memory experiments.
+    pub fn resident_entries(&self) -> usize {
+        self.status.len() + self.ballots.len()
+    }
+
+    fn current(&self) -> u64 {
+        assert!(self.instance > 0, "no instance started");
+        self.instance
+    }
+
+    fn color(&self) -> Color {
+        *self
+            .status
+            .get(&self.current())
+            .expect("instance status initialized by begin_instance")
+    }
+}
+
+impl<V: Clone + Ord> ChaProtocol<V> {
+    /// **Ballot phase, send side** (Figure 1 lines 13–19): starts
+    /// instance `k = instance + 1` with `proposal` and returns the
+    /// ballot this node *would* broadcast; whether it actually does is
+    /// the contention manager's call.
+    pub fn begin_instance(&mut self, proposal: V) -> Ballot<V> {
+        self.instance += 1;
+        self.status.insert(self.instance, Color::Green);
+        Ballot::new(proposal, self.prev_instance)
+    }
+
+    /// **Ballot phase, receive side** (lines 29–32): `received` holds
+    /// the ballots heard this round (including the node's own, if it
+    /// broadcast — the sender knows what it sent), `collision` is the
+    /// detector's output. Silence or a collision turns the instance
+    /// red; otherwise the minimum ballot is adopted.
+    pub fn on_ballot_phase(&mut self, received: &[Ballot<V>], collision: bool) {
+        let k = self.current();
+        if received.is_empty() || collision {
+            self.status.insert(k, Color::Red);
+        } else {
+            let adopted = received.iter().min().expect("nonempty").clone();
+            self.ballots.insert(k, adopted);
+        }
+    }
+
+    /// **Veto-1 phase, send side** (lines 20–23): red nodes veto.
+    pub fn veto1_broadcast(&self) -> bool {
+        self.color() == Color::Red
+    }
+
+    /// **Veto-1 phase, receive side** (lines 33–35): a veto or a
+    /// collision downgrades to (at most) orange.
+    pub fn on_veto1_phase(&mut self, veto_heard: bool, collision: bool) {
+        if veto_heard || collision {
+            let k = self.current();
+            let cur = self.color();
+            self.status.insert(k, cur.min(Color::Orange));
+        }
+    }
+
+    /// **Veto-2 phase, send side** (lines 24–27): red and orange nodes
+    /// veto.
+    pub fn veto2_broadcast(&self) -> bool {
+        matches!(self.color(), Color::Red | Color::Orange)
+    }
+
+    /// **Veto-2 phase, receive side and instance finalization** (lines
+    /// 36–45): a veto or collision downgrades to (at most) yellow;
+    /// good instances advance `prev-instance`; the history is computed
+    /// and the output produced (a history iff green, else ⊥).
+    pub fn on_veto2_phase(&mut self, veto_heard: bool, collision: bool) -> ChaOutput<V> {
+        let k = self.current();
+        if veto_heard || collision {
+            let cur = self.color();
+            self.status.insert(k, cur.min(Color::Yellow));
+        }
+        let color = self.color();
+        if color.is_good() {
+            self.prev_instance = k;
+        }
+        let history = (color == Color::Green).then(|| self.current_history());
+        ChaOutput {
+            instance: k,
+            history,
+            color,
+        }
+    }
+
+    /// Computes the history this node would output right now,
+    /// regardless of the current instance's color (what a replica uses
+    /// to compute the virtual node's state from its latest *decided*
+    /// knowledge — see Section 4.3's message sub-protocol).
+    pub fn current_history(&self) -> History<V> {
+        calculate_history(self.instance, self.prev_instance, &self.ballots, self.floor)
+    }
+
+    /// Garbage-collects all per-instance state at or below
+    /// `checkpoint` and raises the floor (Section 3.5). The caller
+    /// must have summarized instances `<= checkpoint` externally and
+    /// may only do this for *green* instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint` is below the current floor.
+    pub fn garbage_collect(&mut self, checkpoint: u64) {
+        assert!(
+            checkpoint >= self.floor,
+            "checkpoint {checkpoint} below current floor {}",
+            self.floor
+        );
+        self.floor = checkpoint;
+        self.status = self.status.split_off(&(checkpoint + 1));
+        self.ballots = self.ballots.split_off(&(checkpoint + 1));
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for ChaProtocol<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaProtocol")
+            .field("instance", &self.instance)
+            .field("prev_instance", &self.prev_instance)
+            .field("floor", &self.floor)
+            .field("resident", &(self.status.len() + self.ballots.len()))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives `n` lockstep protocol copies through one instance with a
+    /// scripted outcome per phase per node, modelling a clique channel.
+    ///
+    /// `leader` broadcasts its ballot; `ballot_loss[i]` makes node `i`
+    /// miss it (and, by completeness, detect a collision);
+    /// `veto1_loss[i]` / `veto2_loss[i]` make node `i` miss the veto
+    /// *broadcast* of that phase while still detecting the collision
+    /// (a veto heard and a collision have the same effect, so "loss"
+    /// here means the detector fires without a clean message).
+    fn run_instance(
+        nodes: &mut [ChaProtocol<u32>],
+        leader: usize,
+        proposal_base: u32,
+        ballot_loss: &[bool],
+        veto1_collision: &[bool],
+        veto2_collision: &[bool],
+    ) -> Vec<ChaOutput<u32>> {
+        let n = nodes.len();
+        // Ballot phase.
+        let mut ballots: Vec<Ballot<u32>> = Vec::new();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let b = node.begin_instance(proposal_base + i as u32);
+            if i == leader {
+                ballots.push(b);
+            }
+        }
+        for (i, node) in nodes.iter_mut().enumerate() {
+            if ballot_loss[i] && i != leader {
+                node.on_ballot_phase(&[], true);
+            } else {
+                node.on_ballot_phase(&ballots, false);
+            }
+        }
+        // Veto-1 phase.
+        let any_veto1 = (0..n).any(|i| nodes[i].veto1_broadcast());
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.on_veto1_phase(any_veto1 && !veto1_collision[i], veto1_collision[i]);
+        }
+        // Veto-2 phase.
+        let any_veto2 = (0..n).any(|i| nodes[i].veto2_broadcast());
+        nodes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, node)| {
+                node.on_veto2_phase(any_veto2 && !veto2_collision[i], veto2_collision[i])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_instance_goes_green_everywhere() {
+        let mut nodes = vec![ChaProtocol::<u32>::new(); 3];
+        let outs = run_instance(
+            &mut nodes,
+            0,
+            100,
+            &[false; 3],
+            &[false; 3],
+            &[false; 3],
+        );
+        for out in &outs {
+            assert_eq!(out.color, Color::Green);
+            let h = out.history.as_ref().unwrap();
+            assert_eq!(h.get(1), Some(&100), "leader's proposal decided");
+        }
+    }
+
+    #[test]
+    fn silent_ballot_phase_goes_red() {
+        let mut node = ChaProtocol::<u32>::new();
+        node.begin_instance(5);
+        node.on_ballot_phase(&[], false);
+        assert_eq!(node.color_of(1), Some(Color::Red));
+        assert!(node.veto1_broadcast());
+    }
+
+    #[test]
+    fn collision_in_ballot_phase_goes_red_despite_messages() {
+        // Figure 1 line 30: (± ∈ M) ⇒ red even if some ballot arrived.
+        let mut node = ChaProtocol::<u32>::new();
+        node.begin_instance(5);
+        node.on_ballot_phase(&[Ballot::new(5, 0)], true);
+        assert_eq!(node.color_of(1), Some(Color::Red));
+    }
+
+    #[test]
+    fn min_ballot_is_adopted() {
+        let mut node = ChaProtocol::<u32>::new();
+        node.begin_instance(9);
+        node.on_ballot_phase(&[Ballot::new(9, 0), Ballot::new(3, 0), Ballot::new(7, 0)], false);
+        assert_eq!(node.ballot_of(1), Some(&Ballot::new(3, 0)));
+    }
+
+    #[test]
+    fn figure2_row_yellow() {
+        // ✓ ✓ ✗ → yellow, output ⊥.
+        let mut node = ChaProtocol::<u32>::new();
+        node.begin_instance(1);
+        node.on_ballot_phase(&[Ballot::new(1, 0)], false);
+        node.on_veto1_phase(false, false);
+        assert!(!node.veto2_broadcast());
+        let out = node.on_veto2_phase(false, true);
+        assert_eq!(out.color, Color::Yellow);
+        assert!(out.history.is_none());
+        // Yellow is good: prev-instance advanced.
+        assert_eq!(node.prev_instance(), 1);
+    }
+
+    #[test]
+    fn figure2_row_orange() {
+        // ✓ ✗ ✗ → orange, output ⊥, prev-instance NOT advanced.
+        let mut node = ChaProtocol::<u32>::new();
+        node.begin_instance(1);
+        node.on_ballot_phase(&[Ballot::new(1, 0)], false);
+        node.on_veto1_phase(false, true);
+        assert!(node.veto2_broadcast(), "orange nodes veto in veto-2");
+        let out = node.on_veto2_phase(true, false);
+        assert_eq!(out.color, Color::Orange);
+        assert!(out.history.is_none());
+        assert_eq!(node.prev_instance(), 0);
+    }
+
+    #[test]
+    fn figure2_row_red() {
+        // ✗ ✗ ✗ → red, output ⊥.
+        let mut node = ChaProtocol::<u32>::new();
+        node.begin_instance(1);
+        node.on_ballot_phase(&[], true);
+        assert!(node.veto1_broadcast());
+        node.on_veto1_phase(true, false);
+        let out = node.on_veto2_phase(true, false);
+        assert_eq!(out.color, Color::Red);
+        assert_eq!(node.prev_instance(), 0);
+    }
+
+    #[test]
+    fn red_node_vetoes_drag_everyone_to_orange() {
+        // Node 1 misses the ballot; its veto-1 veto must prevent
+        // anyone from finishing green (Lemma 5 / Lemma 6 mechanism).
+        let mut nodes = vec![ChaProtocol::<u32>::new(); 3];
+        let outs = run_instance(
+            &mut nodes,
+            0,
+            10,
+            &[false, true, false],
+            &[false; 3],
+            &[false; 3],
+        );
+        assert_eq!(outs[1].color, Color::Red);
+        for i in [0, 2] {
+            assert_eq!(outs[i].color, Color::Orange, "node {i}");
+            assert!(outs[i].history.is_none());
+        }
+    }
+
+    #[test]
+    fn color_spread_never_exceeds_one_shade() {
+        // Property 4 over all scripted single-fault patterns.
+        for fault_node in 0..3usize {
+            for phase in 0..3usize {
+                let mut nodes = vec![ChaProtocol::<u32>::new(); 3];
+                let mut ballot_loss = [false; 3];
+                let mut v1 = [false; 3];
+                let mut v2 = [false; 3];
+                match phase {
+                    0 => ballot_loss[fault_node] = true,
+                    1 => v1[fault_node] = true,
+                    _ => v2[fault_node] = true,
+                }
+                let outs = run_instance(&mut nodes, 0, 1, &ballot_loss, &v1, &v2);
+                let max = outs.iter().map(|o| o.color.shade()).max().unwrap();
+                let min = outs.iter().map(|o| o.color.shade()).min().unwrap();
+                assert!(
+                    max - min <= 1,
+                    "spread {max}-{min} with fault at node {fault_node} phase {phase}: {:?}",
+                    outs.iter().map(|o| o.color).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histories_chain_across_instances() {
+        let mut nodes = vec![ChaProtocol::<u32>::new(); 2];
+        let all_ok = [false; 2];
+        // Three clean instances; leader proposals 100, 200, 300.
+        for base in [100, 200, 300] {
+            let outs = run_instance(&mut nodes, 0, base, &all_ok, &all_ok, &all_ok);
+            assert!(outs.iter().all(|o| o.decided()));
+        }
+        let h = nodes[0].current_history();
+        assert_eq!(h.get(1), Some(&100));
+        assert_eq!(h.get(2), Some(&200));
+        assert_eq!(h.get(3), Some(&300));
+    }
+
+    #[test]
+    fn failed_instance_leaves_hole_in_history() {
+        let mut nodes = vec![ChaProtocol::<u32>::new(); 2];
+        let ok = [false; 2];
+        run_instance(&mut nodes, 0, 100, &ok, &ok, &ok);
+        // Instance 2: total silence (no leader) — red everywhere.
+        run_instance(&mut nodes, 0, 200, &[true, true], &ok, &ok);
+        let outs = run_instance(&mut nodes, 0, 300, &ok, &ok, &ok);
+        let h = outs[0].history.as_ref().unwrap();
+        assert!(h.includes(1));
+        assert!(!h.includes(2), "undecided instance resolved to ⊥");
+        assert!(h.includes(3));
+    }
+
+    #[test]
+    fn garbage_collect_prunes_and_preserves_suffix() {
+        let mut nodes = vec![ChaProtocol::<u32>::new(); 1];
+        let ok = [false; 1];
+        for base in [1, 2, 3, 4] {
+            run_instance(&mut nodes, 0, base, &ok, &ok, &ok);
+        }
+        let node = &mut nodes[0];
+        assert_eq!(node.resident_entries(), 8);
+        node.garbage_collect(3);
+        assert_eq!(node.floor(), 3);
+        assert_eq!(node.resident_entries(), 2, "only instance 4 retained");
+        let h = node.current_history();
+        assert!(h.includes(4));
+        assert!(!h.includes(3), "summarized by the checkpoint");
+    }
+
+    #[test]
+    fn from_checkpoint_restores_join_state() {
+        let p = ChaProtocol::<u32>::from_checkpoint(7, 9);
+        assert_eq!(p.prev_instance(), 7);
+        assert_eq!(p.floor(), 7);
+        assert_eq!(p.instance(), 9);
+        assert_eq!(p.resident_entries(), 0);
+    }
+
+    #[test]
+    fn message_sizes_are_constant(){
+        let b: ChaMessage<u64> = ChaMessage::Ballot(Ballot::new(12345, 999_999));
+        let v: ChaMessage<u64> = ChaMessage::Veto;
+        assert_eq!(b.wire_size(), 17);
+        assert_eq!(v.wire_size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no instance started")]
+    fn ballot_reception_requires_started_instance() {
+        let mut p = ChaProtocol::<u32>::new();
+        p.on_ballot_phase(&[], false);
+    }
+}

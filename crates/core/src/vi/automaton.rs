@@ -1,0 +1,291 @@
+//! Virtual-node programs: deterministic automata.
+//!
+//! "A virtual infrastructure consists of a set of *deterministic*
+//! virtual nodes distributed throughout the network, each of which
+//! resides at a fixed location" (Section 1.2). Determinism is what
+//! makes replication work: every replica that knows the decided
+//! history computes the identical virtual-node state by replaying the
+//! automaton over it.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vi_radio::WireSized;
+
+/// Identifier of a virtual node.
+///
+/// Unlike mobile devices (which the model leaves anonymous), virtual
+/// nodes are named infrastructure with known, fixed locations — like
+/// the base stations they emulate.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VnId(pub usize);
+
+impl VnId {
+    /// The underlying index into the layout.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vn{}", self.0)
+    }
+}
+
+/// Everything a message type must support to flow through the virtual
+/// broadcast service: deterministic ordering (for `min(M)` ballot
+/// adoption and canonical proposal sorting), serialization (for join
+/// state transfer), and size accounting. Blanket-implemented.
+pub trait VnMessage:
+    Clone + Ord + fmt::Debug + Serialize + DeserializeOwned + WireSized + 'static
+{
+}
+
+impl<T> VnMessage for T where
+    T: Clone + Ord + fmt::Debug + Serialize + DeserializeOwned + WireSized + 'static
+{
+}
+
+/// Everything a virtual-node state must support: equality (replica
+/// consistency checks) and serialization (join state transfer).
+/// Blanket-implemented.
+pub trait VnState: Clone + Eq + fmt::Debug + Serialize + DeserializeOwned + 'static {}
+
+impl<T> VnState for T where T: Clone + Eq + fmt::Debug + Serialize + DeserializeOwned + 'static {}
+
+/// What a virtual node receives in one virtual round: the delivered
+/// messages plus its (complete, eventually accurate) virtual collision
+/// detector's output. An *undecided* agreement instance surfaces as
+/// `messages: [], collision: true` — the virtual node simulates
+/// detecting a collision, exactly as Section 3.3 prescribes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualInput<A> {
+    /// Messages the virtual node receives this virtual round, in
+    /// canonical (sorted) order. Senders are anonymous, as on the real
+    /// channel.
+    pub messages: Vec<A>,
+    /// The virtual collision detector's output.
+    pub collision: bool,
+}
+
+impl<A> VirtualInput<A> {
+    /// The input representing an undecided instance: the virtual node
+    /// simulates detecting a collision.
+    pub fn bottom() -> Self {
+        VirtualInput {
+            messages: Vec::new(),
+            collision: true,
+        }
+    }
+
+    /// A quiet virtual round: nothing received, no collision.
+    pub fn silent() -> Self {
+        VirtualInput {
+            messages: Vec::new(),
+            collision: false,
+        }
+    }
+}
+
+/// Per-virtual-round context handed to the automaton.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VnCtx {
+    /// Which virtual node this is (virtual nodes, unlike mobile
+    /// devices, are named infrastructure).
+    pub vn: VnId,
+    /// The virtual node's fixed location.
+    pub loc: vi_radio::geometry::Point,
+    /// The virtual round being executed (1-based).
+    pub vr: u64,
+    /// Whether this virtual node is scheduled to broadcast in this
+    /// virtual round (Section 4.1).
+    pub scheduled: bool,
+    /// Whether it is scheduled in the *next* virtual round — the round
+    /// in which the message returned by this `step` would actually be
+    /// broadcast. Schedule-aware automata emit only when this is true;
+    /// emitting otherwise is allowed (the emulation then ignores the
+    /// schedule too, per Section 4.3) but risks collisions with
+    /// neighbours.
+    pub next_scheduled: bool,
+}
+
+/// A deterministic virtual-node program.
+///
+/// The automaton is pure state-transition logic: `step` consumes the
+/// round's input and returns the message the virtual node will
+/// broadcast in the *next* virtual round's vn phase (if any). All
+/// replicas hold the same `VirtualAutomaton` value and replay it over
+/// the agreed history, so `step` must be deterministic — no clocks, no
+/// randomness, no I/O.
+pub trait VirtualAutomaton: 'static {
+    /// Messages exchanged between this virtual node, its clients, and
+    /// neighbouring virtual nodes.
+    type Msg: VnMessage;
+    /// The virtual node's replicated state.
+    type State: VnState;
+
+    /// The state a (re-)initialized virtual node starts in.
+    fn init(&self) -> Self::State;
+
+    /// Executes one virtual round, returning the message to broadcast
+    /// in the next round's vn phase.
+    fn step(
+        &self,
+        state: &mut Self::State,
+        ctx: VnCtx,
+        input: &VirtualInput<Self::Msg>,
+    ) -> Option<Self::Msg>;
+}
+
+/// A trivial automaton for tests and the quickstart example: counts
+/// received messages and collisions, and broadcasts the running total
+/// into its scheduled rounds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CounterAutomaton;
+
+/// State of [`CounterAutomaton`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterState {
+    /// Messages received so far.
+    pub received: u64,
+    /// Collisions detected so far.
+    pub collisions: u64,
+}
+
+impl VirtualAutomaton for CounterAutomaton {
+    type Msg = u64;
+    type State = CounterState;
+
+    fn init(&self) -> CounterState {
+        CounterState::default()
+    }
+
+    fn step(
+        &self,
+        state: &mut CounterState,
+        ctx: VnCtx,
+        input: &VirtualInput<u64>,
+    ) -> Option<u64> {
+        state.received += input.messages.len() as u64;
+        if input.collision {
+            state.collisions += 1;
+        }
+        // Emit into scheduled rounds only (the returned message is
+        // broadcast in the *next* round's vn phase).
+        ctx.next_scheduled.then_some(state.received)
+    }
+}
+
+/// Replays an automaton over a sequence of `(vr, scheduled, input)`
+/// virtual rounds: the core of replica consistency. Returns the
+/// pending outbound message (the one the virtual node broadcasts in
+/// the round after the last replayed one).
+pub fn replay<VA: VirtualAutomaton>(
+    automaton: &VA,
+    vn: VnId,
+    loc: vi_radio::geometry::Point,
+    state: &mut VA::State,
+    inputs: impl IntoIterator<Item = (u64, bool, VirtualInput<VA::Msg>)>,
+) -> Option<VA::Msg> {
+    let mut out = None;
+    let mut prev: Option<(u64, bool, VirtualInput<VA::Msg>)> = None;
+    let step = |vr: u64, scheduled: bool, next_scheduled: bool, input: &VirtualInput<VA::Msg>, state: &mut VA::State| {
+        automaton.step(
+            state,
+            VnCtx {
+                vn,
+                loc,
+                vr,
+                scheduled,
+                next_scheduled,
+            },
+            input,
+        )
+    };
+    for item in inputs {
+        if let Some((vr, sched, input)) = prev.take() {
+            out = step(vr, sched, item.1 && item.0 == vr + 1, &input, state);
+        }
+        prev = Some(item);
+    }
+    if let Some((vr, sched, input)) = prev.take() {
+        // The last round's successor schedule is unknown to the caller;
+        // assume unscheduled (conservative).
+        out = step(vr, sched, false, &input, state);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_automaton_is_deterministic() {
+        let a = CounterAutomaton;
+        let run = || {
+            let mut st = a.init();
+            let out = replay(
+                &a,
+                VnId(0),
+                vi_radio::geometry::Point::ORIGIN,
+                &mut st,
+                vec![
+                    (
+                        1,
+                        false,
+                        VirtualInput {
+                            messages: vec![5, 6],
+                            collision: false,
+                        },
+                    ),
+                    (2, false, VirtualInput::bottom()),
+                    (
+                        3,
+                        true,
+                        VirtualInput {
+                            messages: vec![7],
+                            collision: false,
+                        },
+                    ),
+                ],
+            );
+            (st, out)
+        };
+        let (s1, o1) = run();
+        let (s2, o2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(o1, o2);
+        assert_eq!(s1.received, 3);
+        assert_eq!(s1.collisions, 1);
+        assert_eq!(o1, None, "replay assumes the successor round is unscheduled");
+    }
+
+    #[test]
+    fn bottom_input_is_collision_without_messages() {
+        let b = VirtualInput::<u64>::bottom();
+        assert!(b.collision);
+        assert!(b.messages.is_empty());
+        assert!(!VirtualInput::<u64>::silent().collision);
+    }
+
+    #[test]
+    fn vnid_display() {
+        assert_eq!(VnId(4).to_string(), "vn4");
+        assert_eq!(VnId(4).index(), 4);
+    }
+
+    #[test]
+    fn counter_state_serializes() {
+        let st = CounterState {
+            received: 3,
+            collisions: 1,
+        };
+        let json = serde_json::to_string(&st).unwrap();
+        let back: CounterState = serde_json::from_str(&json).unwrap();
+        assert_eq!(st, back);
+    }
+}

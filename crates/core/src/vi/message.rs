@@ -1,0 +1,233 @@
+//! The emulation's wire format.
+//!
+//! All traffic — client messages, virtual-node messages, both
+//! agreement instances, and the join/reset sub-protocol — shares the
+//! one physical channel; the current [`VirtualPhase`](crate::vi::round::VirtualPhase)
+//! determines which variants are live. Messages carry the [`VnId`]
+//! they concern so that co-located emulations ignore each other's
+//! protocol traffic (their *collisions* still interfere, which is
+//! exactly the physical reality the schedule manages).
+
+use crate::cha::history::Ballot;
+use crate::vi::automaton::VnId;
+use serde::{Deserialize, Serialize};
+use vi_radio::WireSized;
+
+/// A replica's proposal for one virtual round: what it believes the
+/// virtual node received (the client-phase and vn-phase messages it
+/// heard, in canonical order) together with the physical
+/// collision-detector evidence it observed — which becomes the virtual
+/// node's own collision indication if this proposal is decided.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VrProposal<A> {
+    /// Whether the proposing replica's detector fired during the
+    /// message sub-protocol.
+    pub collision: bool,
+    /// The messages heard, sorted (canonical form so that equal
+    /// receptions propose equal values).
+    pub messages: Vec<A>,
+}
+
+impl<A: Ord> VrProposal<A> {
+    /// An empty, collision-free proposal.
+    pub fn empty() -> Self {
+        VrProposal {
+            collision: false,
+            messages: Vec::new(),
+        }
+    }
+
+    /// Canonicalizes: sorts the message list.
+    pub fn canonicalize(&mut self) {
+        self.messages.sort();
+    }
+}
+
+impl<A: WireSized> WireSized for VrProposal<A> {
+    fn wire_size(&self) -> usize {
+        1 + self.messages.wire_size()
+    }
+}
+
+/// Serialized replica state handed to joiners (Section 4.3: "a join
+/// response including the entire current state (or some digest
+/// thereof)").
+///
+/// The blob is the serde-encoded [`TransferState`](crate::vi::emulator::TransferState);
+/// it is opaque at the wire layer so the message type does not depend
+/// on the automaton's state type.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// The encoded replica state.
+    pub blob: Vec<u8>,
+}
+
+impl WireSized for Transfer {
+    fn wire_size(&self) -> usize {
+        8 + self.blob.len()
+    }
+}
+
+/// Everything that can appear on the physical channel during an
+/// emulation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Wire<A> {
+    /// A client's message for the current virtual round (client
+    /// phase). Clients are anonymous; the message is addressed to
+    /// whoever hears it, like any wireless broadcast.
+    Client(A),
+    /// A replica broadcasting on behalf of virtual node `vn` (vn
+    /// phase).
+    VnMsg {
+        /// The virtual node speaking.
+        vn: VnId,
+        /// Its message for this virtual round.
+        payload: A,
+    },
+    /// A CHAP ballot for `vn`'s current agreement instance (scheduled
+    /// or unscheduled ballot phase).
+    Ballot {
+        /// The virtual node whose instance this is.
+        vn: VnId,
+        /// The ballot: proposal + prev-instance pointer.
+        ballot: Ballot<VrProposal<A>>,
+    },
+    /// A CHAP veto for `vn`'s current instance (any veto phase).
+    Veto {
+        /// The virtual node whose instance this vetoes.
+        vn: VnId,
+    },
+    /// A new emulator asks to join `vn` (join phase).
+    JoinReq {
+        /// The virtual node being joined.
+        vn: VnId,
+    },
+    /// An existing replica transfers state to joiners (join-ack
+    /// phase).
+    JoinAck {
+        /// The virtual node being joined.
+        vn: VnId,
+        /// The state transfer.
+        transfer: Transfer,
+    },
+    /// A replica asserts the virtual node is alive (reset phase);
+    /// silence in this phase authorizes a joiner to reset.
+    Alive {
+        /// The virtual node in question.
+        vn: VnId,
+    },
+}
+
+impl<A> Wire<A> {
+    /// The virtual node this message concerns, if any (client messages
+    /// are unaddressed).
+    pub fn vn(&self) -> Option<VnId> {
+        match self {
+            Wire::Client(_) => None,
+            Wire::VnMsg { vn, .. }
+            | Wire::Ballot { vn, .. }
+            | Wire::Veto { vn }
+            | Wire::JoinReq { vn }
+            | Wire::JoinAck { vn, .. }
+            | Wire::Alive { vn } => Some(*vn),
+        }
+    }
+}
+
+impl<A: WireSized> WireSized for Wire<A> {
+    fn wire_size(&self) -> usize {
+        // 1 byte tag + 4 bytes VnId where present + payload.
+        match self {
+            Wire::Client(a) => 1 + a.wire_size(),
+            Wire::VnMsg { payload, .. } => 5 + payload.wire_size(),
+            // Ballot = proposal + 8-byte prev-instance index.
+            Wire::Ballot { ballot, .. } => 5 + ballot.value.wire_size() + 8,
+            Wire::Veto { .. } => 5,
+            Wire::JoinReq { .. } => 5,
+            Wire::JoinAck { transfer, .. } => 5 + transfer.wire_size(),
+            Wire::Alive { .. } => 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposal_canonicalization_sorts() {
+        let mut p = VrProposal {
+            collision: false,
+            messages: vec![3u64, 1, 2],
+        };
+        p.canonicalize();
+        assert_eq!(p.messages, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_receptions_equal_proposals() {
+        let mut a = VrProposal {
+            collision: true,
+            messages: vec![9u64, 4],
+        };
+        let mut b = VrProposal {
+            collision: true,
+            messages: vec![4u64, 9],
+        };
+        a.canonicalize();
+        b.canonicalize();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wire_vn_attribution() {
+        assert_eq!(Wire::Client(7u64).vn(), None);
+        assert_eq!(Wire::<u64>::Veto { vn: VnId(3) }.vn(), Some(VnId(3)));
+        assert_eq!(
+            Wire::VnMsg {
+                vn: VnId(1),
+                payload: 0u64
+            }
+            .vn(),
+            Some(VnId(1))
+        );
+    }
+
+    #[test]
+    fn control_messages_are_constant_size() {
+        // Veto / join-req / alive never grow with execution length or
+        // node count.
+        assert_eq!(Wire::<u64>::Veto { vn: VnId(0) }.wire_size(), 5);
+        assert_eq!(Wire::<u64>::JoinReq { vn: VnId(9) }.wire_size(), 5);
+        assert_eq!(Wire::<u64>::Alive { vn: VnId(9) }.wire_size(), 5);
+    }
+
+    #[test]
+    fn ballot_size_tracks_proposal_only() {
+        let small = Wire::Ballot {
+            vn: VnId(0),
+            ballot: Ballot::new(
+                VrProposal {
+                    collision: false,
+                    messages: vec![1u64],
+                },
+                7,
+            ),
+        };
+        let large_prev = Wire::Ballot {
+            vn: VnId(0),
+            ballot: Ballot::new(
+                VrProposal {
+                    collision: false,
+                    messages: vec![1u64],
+                },
+                7_000_000,
+            ),
+        };
+        assert_eq!(
+            small.wire_size(),
+            large_prev.wire_size(),
+            "prev pointer is a constant-size index"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Adversarial network misbehaviour.
+//!
+//! The paper's channel misbehaves before stabilization: "Communication
+//! is prone to collisions, which can occur for arbitrary and
+//! unpredictable reasons. As a result ... each node can fail to
+//! receive an arbitrary subset of messages ... collisions may affect
+//! nodes in a non-uniform way." Likewise collision detectors may emit
+//! false positives before the accuracy round `racc`.
+//!
+//! An [`Adversary`] decides, per round, which otherwise-deliverable
+//! messages to destroy (consulted only for rounds before
+//! [`RadioConfig::rcf`](crate::RadioConfig)) and which nodes receive
+//! spurious collision indications (consulted only before
+//! [`RadioConfig::racc`](crate::RadioConfig)). The channel enforces
+//! these scoping rules itself, so no adversary implementation can
+//! violate the model's eventual guarantees; completeness (Property 1)
+//! is likewise enforced structurally and is out of the adversary's
+//! reach.
+
+use crate::engine::NodeId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// Decides pre-stabilization message drops and spurious collision
+/// indications.
+pub trait Adversary {
+    /// Returns `true` to destroy the delivery of the message broadcast
+    /// by `src` to receiver `dst` in `round`. Only consulted for
+    /// `round < rcf`.
+    fn drop_message(&mut self, round: u64, src: NodeId, dst: NodeId, rng: &mut StdRng) -> bool;
+
+    /// Returns `true` to make `node`'s collision detector report a
+    /// (possibly false) collision in `round`. Only consulted for
+    /// `round < racc`.
+    fn spurious_collision(&mut self, round: u64, node: NodeId, rng: &mut StdRng) -> bool;
+
+    /// **Model-violation hook** for the detector-necessity ablation
+    /// (experiment E13): returns `true` to *suppress* a collision
+    /// report that Property 1 would otherwise force at `node`. The
+    /// paper's model guarantees completeness unconditionally — and
+    /// consensus is impossible without it (Section 1.1, refs [7, 8]) —
+    /// so every normal adversary keeps the default `false`; only
+    /// [`FaultyDetector`] overrides it, to demonstrate empirically why
+    /// the guarantee is load-bearing.
+    fn suppress_detection(&mut self, _round: u64, _node: NodeId, _rng: &mut StdRng) -> bool {
+        false
+    }
+}
+
+/// Wraps an adversary and additionally breaks collision-detector
+/// completeness with probability `miss_p` per (node, round) — **a
+/// deliberate violation of the paper's model** used only by the
+/// necessity ablation (E13).
+#[derive(Debug)]
+pub struct FaultyDetector<A> {
+    inner: A,
+    miss_p: f64,
+}
+
+impl<A: Adversary> FaultyDetector<A> {
+    /// Wraps `inner`, suppressing forced detections with probability
+    /// `miss_p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_p` is outside `[0, 1]`.
+    pub fn new(inner: A, miss_p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&miss_p), "miss_p must lie in [0, 1]");
+        FaultyDetector { inner, miss_p }
+    }
+}
+
+impl<A: Adversary> Adversary for FaultyDetector<A> {
+    fn drop_message(&mut self, round: u64, src: NodeId, dst: NodeId, rng: &mut StdRng) -> bool {
+        self.inner.drop_message(round, src, dst, rng)
+    }
+
+    fn spurious_collision(&mut self, round: u64, node: NodeId, rng: &mut StdRng) -> bool {
+        self.inner.spurious_collision(round, node, rng)
+    }
+
+    fn suppress_detection(&mut self, _round: u64, _node: NodeId, rng: &mut StdRng) -> bool {
+        rng.gen_bool(self.miss_p)
+    }
+}
+
+/// The benign adversary: never drops, never lies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoAdversary;
+
+impl Adversary for NoAdversary {
+    fn drop_message(&mut self, _round: u64, _src: NodeId, _dst: NodeId, _rng: &mut StdRng) -> bool {
+        false
+    }
+
+    fn spurious_collision(&mut self, _round: u64, _node: NodeId, _rng: &mut StdRng) -> bool {
+        false
+    }
+}
+
+/// Drops each (sender, receiver) delivery independently with
+/// probability `drop_p`, and injects spurious collision indications
+/// with probability `spurious_p` per node per round.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomLoss {
+    /// Per-delivery drop probability in `[0, 1]`.
+    pub drop_p: f64,
+    /// Per-node-per-round spurious collision probability in `[0, 1]`.
+    pub spurious_p: f64,
+}
+
+impl RandomLoss {
+    /// Creates a random-loss adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(drop_p: f64, spurious_p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_p) && (0.0..=1.0).contains(&spurious_p),
+            "probabilities must lie in [0, 1]"
+        );
+        RandomLoss { drop_p, spurious_p }
+    }
+}
+
+impl Adversary for RandomLoss {
+    fn drop_message(&mut self, _round: u64, _src: NodeId, _dst: NodeId, rng: &mut StdRng) -> bool {
+        rng.gen_bool(self.drop_p)
+    }
+
+    fn spurious_collision(&mut self, _round: u64, _node: NodeId, rng: &mut StdRng) -> bool {
+        rng.gen_bool(self.spurious_p)
+    }
+}
+
+/// Destroys *all* deliveries during the given round ranges and injects
+/// collision indications at every node during those rounds.
+///
+/// Models the paper's "alternating periods of stability and
+/// instability".
+#[derive(Clone, Debug)]
+pub struct BurstLoss {
+    bursts: Vec<Range<u64>>,
+}
+
+impl BurstLoss {
+    /// Creates a burst adversary active during each range in `bursts`.
+    pub fn new(bursts: Vec<Range<u64>>) -> Self {
+        BurstLoss { bursts }
+    }
+
+    /// Returns `true` if `round` falls inside a burst.
+    pub fn active(&self, round: u64) -> bool {
+        self.bursts.iter().any(|b| b.contains(&round))
+    }
+}
+
+impl Adversary for BurstLoss {
+    fn drop_message(&mut self, round: u64, _src: NodeId, _dst: NodeId, _rng: &mut StdRng) -> bool {
+        self.active(round)
+    }
+
+    fn spurious_collision(&mut self, round: u64, _node: NodeId, _rng: &mut StdRng) -> bool {
+        self.active(round)
+    }
+}
+
+/// A fully scripted adversary: exact (round, src, dst) drops and
+/// (round, node) spurious indications.
+///
+/// Used to force the precise per-phase loss patterns of the paper's
+/// Figure 2 in experiment E1, and the footnote-2 partition scenario in
+/// the integration tests.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptedAdversary {
+    drops: HashSet<(u64, NodeId, NodeId)>,
+    drops_to: HashSet<(u64, NodeId)>,
+    spurious: HashSet<(u64, NodeId)>,
+}
+
+impl ScriptedAdversary {
+    /// Creates an empty script (equivalent to [`NoAdversary`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules the drop of the message from `src` to `dst` in
+    /// `round`.
+    pub fn drop(&mut self, round: u64, src: NodeId, dst: NodeId) -> &mut Self {
+        self.drops.insert((round, src, dst));
+        self
+    }
+
+    /// Schedules the drop of *every* message addressed to `dst` in
+    /// `round` (regardless of sender).
+    pub fn drop_all_to(&mut self, round: u64, dst: NodeId) -> &mut Self {
+        self.drops_to.insert((round, dst));
+        self
+    }
+
+    /// Schedules a spurious collision indication at `node` in `round`.
+    pub fn inject_collision(&mut self, round: u64, node: NodeId) -> &mut Self {
+        self.spurious.insert((round, node));
+        self
+    }
+}
+
+impl Adversary for ScriptedAdversary {
+    fn drop_message(&mut self, round: u64, src: NodeId, dst: NodeId, _rng: &mut StdRng) -> bool {
+        self.drops.contains(&(round, src, dst)) || self.drops_to.contains(&(round, dst))
+    }
+
+    fn spurious_collision(&mut self, round: u64, node: NodeId, _rng: &mut StdRng) -> bool {
+        self.spurious.contains(&(round, node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn no_adversary_is_benign() {
+        let mut a = NoAdversary;
+        let mut rng = rng();
+        assert!(!a.drop_message(0, NodeId::from(0), NodeId::from(1), &mut rng));
+        assert!(!a.spurious_collision(0, NodeId::from(0), &mut rng));
+    }
+
+    #[test]
+    fn random_loss_extremes() {
+        let mut always = RandomLoss::new(1.0, 1.0);
+        let mut never = RandomLoss::new(0.0, 0.0);
+        let mut rng = rng();
+        for _ in 0..32 {
+            assert!(always.drop_message(0, NodeId::from(0), NodeId::from(1), &mut rng));
+            assert!(always.spurious_collision(0, NodeId::from(0), &mut rng));
+            assert!(!never.drop_message(0, NodeId::from(0), NodeId::from(1), &mut rng));
+            assert!(!never.spurious_collision(0, NodeId::from(0), &mut rng));
+        }
+    }
+
+    #[test]
+    fn random_loss_rate_is_approximate() {
+        let mut a = RandomLoss::new(0.3, 0.0);
+        let mut rng = rng();
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|_| a.drop_message(0, NodeId::from(0), NodeId::from(1), &mut rng))
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate} far from 0.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must lie in [0, 1]")]
+    fn random_loss_rejects_bad_probability() {
+        let _ = RandomLoss::new(1.5, 0.0);
+    }
+
+    #[test]
+    fn burst_is_active_only_in_ranges() {
+        let mut a = BurstLoss::new(vec![5..10, 20..21]);
+        let mut rng = rng();
+        let src = NodeId::from(0);
+        let dst = NodeId::from(1);
+        assert!(!a.drop_message(4, src, dst, &mut rng));
+        assert!(a.drop_message(5, src, dst, &mut rng));
+        assert!(a.drop_message(9, src, dst, &mut rng));
+        assert!(!a.drop_message(10, src, dst, &mut rng));
+        assert!(a.spurious_collision(20, src, &mut rng));
+        assert!(!a.spurious_collision(21, src, &mut rng));
+    }
+
+    #[test]
+    fn scripted_targets_exact_tuples() {
+        let mut a = ScriptedAdversary::new();
+        a.drop(3, NodeId::from(0), NodeId::from(1))
+            .drop_all_to(4, NodeId::from(2))
+            .inject_collision(5, NodeId::from(1));
+        let mut rng = rng();
+        assert!(a.drop_message(3, NodeId::from(0), NodeId::from(1), &mut rng));
+        assert!(!a.drop_message(3, NodeId::from(0), NodeId::from(2), &mut rng));
+        assert!(!a.drop_message(2, NodeId::from(0), NodeId::from(1), &mut rng));
+        assert!(a.drop_message(4, NodeId::from(9), NodeId::from(2), &mut rng));
+        assert!(a.spurious_collision(5, NodeId::from(1), &mut rng));
+        assert!(!a.spurious_collision(5, NodeId::from(0), &mut rng));
+    }
+}

@@ -1,0 +1,344 @@
+//! Per-round resolution of the collision-prone broadcast channel.
+//!
+//! Implements the delivery rule of Section 2 of the paper:
+//!
+//! > there exists a round `rcf` such that in every round `r >= rcf`:
+//! > if some source `pi` broadcasts a message `m` in round `r`, and
+//! > (i) some non-failed receiver `pj` is within distance `R1` of
+//! > `pi`, and (ii) no \[other\] node within distance `R2` of `pj`
+//! > broadcasts in round `r`, then `pj` receives the message `m`.
+//!
+//! together with the collision-detector Properties 1 (completeness —
+//! enforced structurally, in every round) and 2 (eventual accuracy —
+//! enforced from round `racc` onwards).
+//!
+//! Nodes are half-duplex: a broadcaster does not receive other nodes'
+//! messages in the same round (it does observe its own, which models
+//! the sender knowing what it sent). Consequently two broadcasters
+//! within `R1` of each other each *lose* the other's message, and
+//! completeness forces both their detectors to report a collision —
+//! exactly the behaviour contention management must eventually
+//! eliminate.
+
+use crate::adversary::Adversary;
+use crate::config::RadioConfig;
+use crate::engine::NodeId;
+use crate::geometry::Point;
+use rand::rngs::StdRng;
+
+/// A node's transmission decision for one round.
+#[derive(Clone, Debug)]
+pub struct TxIntent<M> {
+    /// The node making the decision.
+    pub node: NodeId,
+    /// Where the node currently is.
+    pub pos: Point,
+    /// `Some(payload)` to broadcast, `None` to listen.
+    pub payload: Option<M>,
+}
+
+/// What one node observes at the end of a round: the received messages
+/// plus the collision-detector output.
+#[derive(Clone, Debug, Default)]
+pub struct RoundReception<M> {
+    /// Messages received this round, in deterministic (sender) order.
+    /// Senders are anonymous: the model gives nodes no unique
+    /// identifiers, so payloads arrive unattributed.
+    pub messages: Vec<M>,
+    /// Collision-detector output: `true` means the detector delivered
+    /// the `±` indication to this node.
+    pub collision: bool,
+}
+
+impl<M> RoundReception<M> {
+    /// `true` if nothing was received and no collision was indicated
+    /// (the paper's "silent round" from this node's perspective).
+    pub fn is_silent(&self) -> bool {
+        self.messages.is_empty() && !self.collision
+    }
+}
+
+/// Per-node reception with sender attribution, for traces and
+/// debugging only (protocols receive the anonymous
+/// [`RoundReception`]).
+#[derive(Clone, Debug)]
+pub struct AttributedReception<M> {
+    /// The receiving node.
+    pub node: NodeId,
+    /// `(sender, payload)` pairs in sender order.
+    pub messages: Vec<(NodeId, M)>,
+    /// Collision-detector output.
+    pub collision: bool,
+}
+
+impl<M> AttributedReception<M> {
+    /// `true` if nothing was received and no collision was indicated.
+    pub fn is_silent(&self) -> bool {
+        self.messages.is_empty() && !self.collision
+    }
+
+    /// Strips sender attribution, producing what the protocol sees.
+    pub fn into_anonymous(self) -> RoundReception<M> {
+        RoundReception {
+            messages: self.messages.into_iter().map(|(_, m)| m).collect(),
+            collision: self.collision,
+        }
+    }
+}
+
+/// Resolves one slotted round of the channel.
+///
+/// `intents` carries every *alive, participating* node exactly once.
+/// Returns one [`AttributedReception`] per intent, in the same order.
+///
+/// The adversary is consulted only within its mandate: message drops
+/// only for rounds before `cfg.rcf`, spurious collision indications
+/// only before `cfg.racc`. Completeness (Property 1) cannot be
+/// suppressed by any adversary.
+pub fn resolve_round<M: Clone>(
+    round: u64,
+    cfg: &RadioConfig,
+    intents: &[TxIntent<M>],
+    adversary: &mut dyn Adversary,
+    rng: &mut StdRng,
+) -> Vec<AttributedReception<M>> {
+    let broadcasters: Vec<usize> = (0..intents.len())
+        .filter(|&i| intents[i].payload.is_some())
+        .collect();
+
+    let mut out = Vec::with_capacity(intents.len());
+    for (j, rx_intent) in intents.iter().enumerate() {
+        let j_broadcasting = rx_intent.payload.is_some();
+        let mut messages: Vec<(NodeId, M)> = Vec::new();
+        let mut lost_within_r1 = false;
+        let mut lost_within_r2 = false;
+
+        // The sender observes its own payload (it knows what it sent).
+        if let Some(own) = &rx_intent.payload {
+            messages.push((rx_intent.node, own.clone()));
+        }
+
+        for &i in &broadcasters {
+            if i == j {
+                continue;
+            }
+            let tx = &intents[i];
+            let d2 = tx.pos.distance_sq(rx_intent.pos);
+            let in_r1 = d2 <= cfg.r1 * cfg.r1;
+            let in_r2 = d2 <= cfg.r2 * cfg.r2;
+            if !in_r2 {
+                continue; // out of both radii: physically irrelevant to j
+            }
+
+            // Physical deliverability: listener, in broadcast range, and
+            // no *other* broadcaster interferes within R2 of j.
+            let interfered = broadcasters.iter().any(|&k| {
+                k != i && k != j && intents[k].pos.distance_sq(rx_intent.pos) <= cfg.r2 * cfg.r2
+            });
+            let physically_ok = !j_broadcasting && in_r1 && !interfered;
+
+            let delivered = physically_ok
+                && !(round < cfg.rcf
+                    && adversary.drop_message(round, tx.node, rx_intent.node, rng));
+
+            if delivered {
+                messages.push((tx.node, tx.payload.as_ref().expect("broadcaster").clone()));
+            } else {
+                if in_r1 {
+                    lost_within_r1 = true;
+                }
+                lost_within_r2 = true;
+            }
+        }
+
+        // Collision detector output.
+        // Property 1 (completeness): any loss within R1 forces a report.
+        // Property 2 (eventual accuracy): from racc onwards, reports only
+        // when something within R2 was lost. Before racc the adversary may
+        // inject false positives.
+        let accurate_report = if cfg.ring_reports {
+            lost_within_r2
+        } else {
+            lost_within_r1
+        };
+        let mut collision = lost_within_r1
+            || accurate_report
+            || (round < cfg.racc && adversary.spurious_collision(round, rx_intent.node, rng));
+        // Model-violation hook: the E13 necessity ablation may break
+        // completeness here. Normal adversaries never do.
+        if collision && adversary.suppress_detection(round, rx_intent.node, rng) {
+            collision = false;
+        }
+
+        out.push(AttributedReception {
+            node: rx_intent.node,
+            messages,
+            collision,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{NoAdversary, ScriptedAdversary};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    fn cfg() -> RadioConfig {
+        RadioConfig::reliable(10.0, 20.0)
+    }
+
+    fn intent<M>(id: usize, x: f64, payload: Option<M>) -> TxIntent<M> {
+        TxIntent {
+            node: NodeId::from(id),
+            pos: Point::new(x, 0.0),
+            payload,
+        }
+    }
+
+    /// One broadcaster, one in-range listener: delivered, no collision.
+    #[test]
+    fn basic_delivery() {
+        let intents = vec![intent(0, 0.0, Some(7u64)), intent(1, 5.0, None)];
+        let out = resolve_round(0, &cfg(), &intents, &mut NoAdversary, &mut rng());
+        assert_eq!(out[1].messages, vec![(NodeId::from(0), 7)]);
+        assert!(!out[1].collision);
+        // Sender observes its own message and no collision.
+        assert_eq!(out[0].messages, vec![(NodeId::from(0), 7)]);
+        assert!(!out[0].collision);
+    }
+
+    /// Outside R1 (but inside R2): not delivered; with ring reports the
+    /// listener's detector fires (accurate: a message within R2 was lost).
+    #[test]
+    fn gray_ring_loss_reports() {
+        let intents = vec![intent(0, 0.0, Some(1u64)), intent(1, 15.0, None)];
+        let out = resolve_round(0, &cfg(), &intents, &mut NoAdversary, &mut rng());
+        assert!(out[1].messages.is_empty());
+        assert!(out[1].collision, "ring loss should be reported by default");
+
+        let quiet = cfg().without_ring_reports();
+        let out = resolve_round(0, &quiet, &intents, &mut NoAdversary, &mut rng());
+        assert!(!out[1].collision, "ring reports disabled");
+    }
+
+    /// Outside R2 entirely: silent round.
+    #[test]
+    fn out_of_range_is_silent() {
+        let intents = vec![intent(0, 0.0, Some(1u64)), intent(1, 25.0, None)];
+        let out = resolve_round(0, &cfg(), &intents, &mut NoAdversary, &mut rng());
+        assert!(out[1].is_silent());
+    }
+
+    /// Two broadcasters within R2 of a listener: both messages destroyed,
+    /// collision reported (completeness).
+    #[test]
+    fn interference_destroys_both() {
+        let intents = vec![
+            intent(0, 0.0, Some(1u64)),
+            intent(1, 8.0, Some(2u64)),
+            intent(2, 4.0, None),
+        ];
+        let out = resolve_round(0, &cfg(), &intents, &mut NoAdversary, &mut rng());
+        assert!(out[2].messages.is_empty());
+        assert!(out[2].collision);
+    }
+
+    /// Interferer outside R1 but inside R2 of the listener still
+    /// destroys reception (quasi-unit-disk).
+    #[test]
+    fn far_interferer_still_interferes() {
+        let intents = vec![
+            intent(0, 0.0, Some(1u64)),
+            intent(2, 5.0, None),
+            intent(1, 22.0, Some(2u64)), // 17m from listener: in (R1, R2]
+        ];
+        let out = resolve_round(0, &cfg(), &intents, &mut NoAdversary, &mut rng());
+        assert!(out[1].messages.is_empty());
+        assert!(out[1].collision);
+    }
+
+    /// Half-duplex: concurrent broadcasters within R1 miss each other
+    /// and completeness forces both detectors to fire.
+    #[test]
+    fn concurrent_broadcasters_detect_collision() {
+        let intents = vec![intent(0, 0.0, Some(1u64)), intent(1, 5.0, Some(2u64))];
+        let out = resolve_round(0, &cfg(), &intents, &mut NoAdversary, &mut rng());
+        for rx in &out {
+            assert_eq!(rx.messages.len(), 1, "only own message observed");
+            assert!(rx.collision, "missed the other broadcaster");
+        }
+    }
+
+    /// A lone broadcaster hears nothing but its own message and no
+    /// collision.
+    #[test]
+    fn lone_broadcaster_clean() {
+        let intents = vec![intent(0, 0.0, Some(1u64))];
+        let out = resolve_round(0, &cfg(), &intents, &mut NoAdversary, &mut rng());
+        assert_eq!(out[0].messages.len(), 1);
+        assert!(!out[0].collision);
+    }
+
+    /// Before rcf the adversary may drop a deliverable message; the
+    /// listener's detector must then fire (completeness holds even
+    /// pre-stabilization).
+    #[test]
+    fn adversarial_drop_forces_detection() {
+        let mut adv = ScriptedAdversary::new();
+        adv.drop(3, NodeId::from(0), NodeId::from(1));
+        let cfg = RadioConfig::stabilizing(10.0, 20.0, 100);
+        let intents = vec![intent(0, 0.0, Some(1u64)), intent(1, 5.0, None)];
+        let out = resolve_round(3, &cfg, &intents, &mut adv, &mut rng());
+        assert!(out[1].messages.is_empty());
+        assert!(out[1].collision, "completeness: lost R1 message detected");
+    }
+
+    /// After rcf the same script is impotent: the channel no longer
+    /// consults the adversary for drops.
+    #[test]
+    fn post_rcf_drops_are_ignored() {
+        let mut adv = ScriptedAdversary::new();
+        adv.drop(100, NodeId::from(0), NodeId::from(1));
+        let cfg = RadioConfig::stabilizing(10.0, 20.0, 100);
+        let intents = vec![intent(0, 0.0, Some(1u64)), intent(1, 5.0, None)];
+        let out = resolve_round(100, &cfg, &intents, &mut adv, &mut rng());
+        assert_eq!(out[1].messages.len(), 1);
+        assert!(!out[1].collision);
+    }
+
+    /// Spurious indications are honoured before racc and suppressed
+    /// after.
+    #[test]
+    fn spurious_collisions_respect_racc() {
+        let mut adv = ScriptedAdversary::new();
+        adv.inject_collision(3, NodeId::from(0));
+        adv.inject_collision(100, NodeId::from(0));
+        let cfg = RadioConfig::stabilizing(10.0, 20.0, 100);
+        let intents = vec![intent::<u64>(0, 0.0, None)];
+        let out = resolve_round(3, &cfg, &intents, &mut adv, &mut rng());
+        assert!(out[0].collision, "false positive allowed before racc");
+        let out = resolve_round(100, &cfg, &intents, &mut adv, &mut rng());
+        assert!(!out[0].collision, "accuracy: no false positives from racc");
+    }
+
+    /// Deliveries are reported in sender order, deterministically.
+    #[test]
+    fn deterministic_sender_order() {
+        let intents = vec![
+            intent(2, 1.0, Some(30u64)),
+            intent(0, 2.0, Some(10u64)),
+            intent(1, 50.0, None), // isolated listener, hears nothing
+            intent(3, 3.0, None),
+        ];
+        // Node 3 is within R2 of both broadcasters: interference.
+        let out = resolve_round(0, &cfg(), &intents, &mut NoAdversary, &mut rng());
+        assert!(out[3].messages.is_empty() && out[3].collision);
+        assert!(out[2].is_silent());
+    }
+}

@@ -1,0 +1,558 @@
+//! The lockstep round executor.
+//!
+//! The engine owns a set of nodes, each bundling a mobility model and
+//! a protocol [`Process`]. Every round it (1) advances mobility, (2)
+//! collects transmission decisions, (3) resolves the channel with
+//! [`crate::channel::resolve_round`], and (4) delivers
+//! receptions. Executions are deterministic given the seed.
+//!
+//! Crash failures and dynamic arrivals follow the paper's model: a
+//! node may crash at any point (including mid-protocol-phase), and new
+//! nodes may arrive at any round. Crashed nodes never participate
+//! again; not-yet-spawned nodes are invisible to the channel.
+
+use crate::adversary::{Adversary, NoAdversary};
+use crate::channel::{resolve_round, RoundReception, TxIntent};
+use crate::config::RadioConfig;
+use crate::geometry::Point;
+use crate::mobility::MobilityModel;
+use crate::trace::{ChannelStats, RoundRecord, Trace};
+use crate::WireSized;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::fmt;
+
+/// Simulator handle for a node.
+///
+/// Note: this is a *simulator* handle for bookkeeping, traces, and
+/// adversary scripts. The paper's model gives nodes no unique
+/// identifiers, and no protocol in this workspace ever receives or
+/// branches on a `NodeId`; messages are delivered anonymously.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The underlying index (nodes are numbered in insertion order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Per-round context handed to a [`Process`]: the round number and the
+/// node's own position (the paper's GPS / location-service update).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundCtx {
+    /// Current round.
+    pub round: u64,
+    /// The node's position this round.
+    pub pos: Point,
+}
+
+/// A protocol endpoint driven by the engine.
+///
+/// Each round the engine calls [`Process::transmit`] (broadcast or
+/// listen?) and then [`Process::deliver`] with the reception outcome.
+/// The `as_any` methods enable typed extraction of results after a
+/// run via [`Engine::process`].
+pub trait Process<M>: 'static {
+    /// Decides this round's transmission: `Some(payload)` to
+    /// broadcast, `None` to listen.
+    fn transmit(&mut self, ctx: &RoundCtx) -> Option<M>;
+
+    /// Receives the end-of-round outcome: messages plus the collision
+    /// detector's output.
+    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<M>);
+
+    /// Upcast for typed extraction; implement as `self`.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for typed extraction; implement as `self`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Specification of one node: mobility + protocol + lifecycle.
+pub struct NodeSpec<M> {
+    mobility: Box<dyn MobilityModel>,
+    process: Box<dyn Process<M>>,
+    spawn_at: u64,
+    crash_at: Option<u64>,
+}
+
+impl<M> NodeSpec<M> {
+    /// Creates a node that participates from round 0 and never
+    /// crashes.
+    pub fn new(mobility: Box<dyn MobilityModel>, process: Box<dyn Process<M>>) -> Self {
+        NodeSpec {
+            mobility,
+            process,
+            spawn_at: 0,
+            crash_at: None,
+        }
+    }
+
+    /// Delays the node's arrival until `round` (ad hoc deployment).
+    pub fn spawn_at(mut self, round: u64) -> Self {
+        self.spawn_at = round;
+        self
+    }
+
+    /// Crashes the node at the start of `round` (it last participates
+    /// in `round - 1`).
+    pub fn crash_at(mut self, round: u64) -> Self {
+        self.crash_at = Some(round);
+        self
+    }
+}
+
+impl<M> fmt::Debug for NodeSpec<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeSpec")
+            .field("spawn_at", &self.spawn_at)
+            .field("crash_at", &self.crash_at)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Radio model parameters.
+    pub radio: RadioConfig,
+    /// Seed for all simulator randomness (mobility, adversary,
+    /// backoff); identical seeds give identical executions.
+    pub seed: u64,
+    /// Whether to record a full [`Trace`] (memory-proportional to the
+    /// execution; disable for long benches).
+    pub record_trace: bool,
+}
+
+struct NodeEntry<M> {
+    id: NodeId,
+    mobility: Box<dyn MobilityModel>,
+    process: Box<dyn Process<M>>,
+    spawn_at: u64,
+    crash_at: Option<u64>,
+    pos: Point,
+    placed: bool,
+}
+
+impl<M> NodeEntry<M> {
+    fn participates(&self, round: u64) -> bool {
+        round >= self.spawn_at && self.crash_at.is_none_or(|c| round < c)
+    }
+}
+
+/// The deterministic lockstep simulator.
+///
+/// See the [crate-level documentation](crate) for an end-to-end
+/// example.
+pub struct Engine<M> {
+    config: EngineConfig,
+    nodes: Vec<NodeEntry<M>>,
+    adversary: Box<dyn Adversary>,
+    rng: StdRng,
+    round: u64,
+    trace: Trace,
+    stats: ChannelStats,
+}
+
+impl<M: Clone + WireSized + 'static> Engine<M> {
+    /// Creates an engine with the benign [`NoAdversary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radio configuration is invalid.
+    pub fn new(config: EngineConfig) -> Self {
+        config.radio.validate().expect("invalid radio config");
+        let rng = StdRng::seed_from_u64(config.seed);
+        Engine {
+            config,
+            nodes: Vec::new(),
+            adversary: Box::new(NoAdversary),
+            rng,
+            round: 0,
+            trace: Trace::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Installs an adversary (replacing the current one).
+    pub fn set_adversary(&mut self, adversary: Box<dyn Adversary>) {
+        self.adversary = adversary;
+    }
+
+    /// Adds a node and returns its simulator handle. May be called
+    /// mid-execution to model ad hoc arrivals (combine with
+    /// [`NodeSpec::spawn_at`] for scripted arrivals).
+    pub fn add_node(&mut self, spec: NodeSpec<M>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeEntry {
+            id,
+            mobility: spec.mobility,
+            process: spec.process,
+            spawn_at: spec.spawn_at,
+            crash_at: spec.crash_at,
+            pos: Point::ORIGIN,
+            placed: false,
+        });
+        id
+    }
+
+    /// Crashes `node` at the start of the *next* round (it no longer
+    /// participates). Idempotent; earlier scheduled crashes win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unknown.
+    pub fn crash(&mut self, node: NodeId) {
+        let entry = &mut self.nodes[node.index()];
+        let at = self.round;
+        entry.crash_at = Some(entry.crash_at.map_or(at, |c| c.min(at)));
+    }
+
+    /// The next round to be executed.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Current position of `node`, if it has been placed (i.e. has
+    /// participated in at least one round).
+    pub fn position(&self, node: NodeId) -> Option<Point> {
+        let e = self.nodes.get(node.index())?;
+        e.placed.then_some(e.pos)
+    }
+
+    /// Whether `node` participates in the upcoming round.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes
+            .get(node.index())
+            .is_some_and(|e| e.participates(self.round))
+    }
+
+    /// Typed view of a node's process (for extracting results).
+    pub fn process<P: 'static>(&self, node: NodeId) -> Option<&P> {
+        self.nodes
+            .get(node.index())?
+            .process
+            .as_any()
+            .downcast_ref::<P>()
+    }
+
+    /// Typed mutable view of a node's process.
+    pub fn process_mut<P: 'static>(&mut self, node: NodeId) -> Option<&mut P> {
+        self.nodes
+            .get_mut(node.index())?
+            .process
+            .as_any_mut()
+            .downcast_mut::<P>()
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// The recorded trace (empty unless `record_trace` was set).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of nodes ever added.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Executes one slotted round.
+    pub fn step(&mut self) {
+        let round = self.round;
+        let mut intents: Vec<TxIntent<M>> = Vec::new();
+        let mut live: Vec<usize> = Vec::new();
+
+        for idx in 0..self.nodes.len() {
+            if !self.nodes[idx].participates(round) {
+                continue;
+            }
+            let pos = self.nodes[idx].mobility.advance(round, &mut self.rng);
+            if self.nodes[idx].placed {
+                let moved = self.nodes[idx].pos.distance(pos);
+                let vmax = self.nodes[idx].mobility.vmax();
+                debug_assert!(
+                    moved <= vmax + 1e-9,
+                    "node {} moved {moved} > vmax {vmax} in round {round}",
+                    self.nodes[idx].id
+                );
+            }
+            self.nodes[idx].pos = pos;
+            self.nodes[idx].placed = true;
+            let ctx = RoundCtx { round, pos };
+            let payload = self.nodes[idx].process.transmit(&ctx);
+            intents.push(TxIntent {
+                node: self.nodes[idx].id,
+                pos,
+                payload,
+            });
+            live.push(idx);
+        }
+
+        let receptions = resolve_round(
+            round,
+            &self.config.radio,
+            &intents,
+            self.adversary.as_mut(),
+            &mut self.rng,
+        );
+
+        // Statistics and trace.
+        self.stats.rounds += 1;
+        let mut record = self.config.record_trace.then(|| RoundRecord {
+            round,
+            positions: intents.iter().map(|i| (i.node, i.pos)).collect(),
+            broadcasts: Vec::new(),
+            deliveries: Vec::new(),
+            collisions: Vec::new(),
+        });
+        for intent in &intents {
+            if let Some(payload) = &intent.payload {
+                let size = payload.wire_size();
+                self.stats.broadcasts += 1;
+                self.stats.total_bytes += size as u64;
+                self.stats.max_message_bytes = self.stats.max_message_bytes.max(size);
+                if let Some(rec) = record.as_mut() {
+                    rec.broadcasts.push((intent.node, size));
+                }
+            }
+        }
+        for rx in &receptions {
+            for &(src, _) in rx.messages.iter().filter(|(src, _)| *src != rx.node) {
+                self.stats.deliveries += 1;
+                if let Some(rec) = record.as_mut() {
+                    rec.deliveries.push((src, rx.node));
+                }
+            }
+            if rx.collision {
+                self.stats.collision_reports += 1;
+                if let Some(rec) = record.as_mut() {
+                    rec.collisions.push(rx.node);
+                }
+            }
+        }
+        if let Some(rec) = record {
+            self.trace.rounds.push(rec);
+        }
+
+        // Deliver outcomes.
+        for (k, rx) in receptions.into_iter().enumerate() {
+            let idx = live[k];
+            let ctx = RoundCtx {
+                round,
+                pos: self.nodes[idx].pos,
+            };
+            self.nodes[idx].process.deliver(&ctx, rx.into_anonymous());
+        }
+
+        self.round += 1;
+    }
+
+    /// Executes `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+}
+
+impl<M> fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("round", &self.round)
+            .field("nodes", &self.nodes.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::Static;
+
+    /// Counts receptions and collisions; broadcasts `value` every
+    /// round while `chatty`.
+    struct Chatter {
+        chatty: bool,
+        value: u64,
+        heard: Vec<u64>,
+        collisions: u64,
+        rounds_seen: u64,
+    }
+
+    impl Chatter {
+        fn new(chatty: bool, value: u64) -> Self {
+            Chatter {
+                chatty,
+                value,
+                heard: Vec::new(),
+                collisions: 0,
+                rounds_seen: 0,
+            }
+        }
+    }
+
+    impl Process<u64> for Chatter {
+        fn transmit(&mut self, _ctx: &RoundCtx) -> Option<u64> {
+            self.chatty.then_some(self.value)
+        }
+        fn deliver(&mut self, _ctx: &RoundCtx, rx: RoundReception<u64>) {
+            self.rounds_seen += 1;
+            self.heard.extend(rx.messages);
+            if rx.collision {
+                self.collisions += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn engine() -> Engine<u64> {
+        Engine::new(EngineConfig {
+            radio: RadioConfig::reliable(10.0, 20.0),
+            seed: 5,
+            record_trace: true,
+        })
+    }
+
+    fn static_node(engine: &mut Engine<u64>, x: f64, p: Chatter) -> NodeId {
+        engine.add_node(NodeSpec::new(
+            Box::new(Static::new(Point::new(x, 0.0))),
+            Box::new(p),
+        ))
+    }
+
+    #[test]
+    fn single_broadcaster_reaches_listeners() {
+        let mut e = engine();
+        let tx = static_node(&mut e, 0.0, Chatter::new(true, 42));
+        let rx1 = static_node(&mut e, 5.0, Chatter::new(false, 0));
+        let rx2 = static_node(&mut e, 9.0, Chatter::new(false, 0));
+        e.run(4);
+        for id in [rx1, rx2] {
+            let p: &Chatter = e.process(id).unwrap();
+            assert_eq!(p.heard, vec![42, 42, 42, 42]);
+            assert_eq!(p.collisions, 0);
+        }
+        let t: &Chatter = e.process(tx).unwrap();
+        // Sender observes its own message each round.
+        assert_eq!(t.heard.len(), 4);
+        assert_eq!(e.stats().broadcasts, 4);
+        assert_eq!(e.stats().deliveries, 8);
+        assert_eq!(e.stats().max_message_bytes, 8);
+    }
+
+    #[test]
+    fn crash_at_stops_participation() {
+        let mut e = engine();
+        let _tx = e.add_node(
+            NodeSpec::new(
+                Box::new(Static::new(Point::ORIGIN)),
+                Box::new(Chatter::new(true, 1)),
+            )
+            .crash_at(2),
+        );
+        let rx = static_node(&mut e, 5.0, Chatter::new(false, 0));
+        e.run(5);
+        let p: &Chatter = e.process(rx).unwrap();
+        assert_eq!(p.heard, vec![1, 1], "two rounds before the crash");
+        assert_eq!(p.rounds_seen, 5, "listener still runs after the crash");
+    }
+
+    #[test]
+    fn spawn_at_delays_participation() {
+        let mut e = engine();
+        let late = e.add_node(
+            NodeSpec::new(
+                Box::new(Static::new(Point::ORIGIN)),
+                Box::new(Chatter::new(true, 9)),
+            )
+            .spawn_at(3),
+        );
+        let rx = static_node(&mut e, 5.0, Chatter::new(false, 0));
+        e.run(5);
+        assert!(e.is_alive(late));
+        let p: &Chatter = e.process(rx).unwrap();
+        assert_eq!(p.heard, vec![9, 9], "rounds 3 and 4 only");
+    }
+
+    #[test]
+    fn dynamic_crash_takes_effect_next_round() {
+        let mut e = engine();
+        let tx = static_node(&mut e, 0.0, Chatter::new(true, 3));
+        let rx = static_node(&mut e, 5.0, Chatter::new(false, 0));
+        e.step();
+        e.crash(tx);
+        assert!(!e.is_alive(tx));
+        e.run(3);
+        let p: &Chatter = e.process(rx).unwrap();
+        assert_eq!(p.heard, vec![3]);
+    }
+
+    #[test]
+    fn identical_seeds_identical_executions() {
+        let run = |seed: u64| {
+            let mut e = Engine::<u64>::new(EngineConfig {
+                radio: RadioConfig::stabilizing(10.0, 20.0, 50),
+                seed,
+                record_trace: false,
+            });
+            e.set_adversary(Box::new(crate::adversary::RandomLoss::new(0.4, 0.1)));
+            let _ = static_node(&mut e, 0.0, Chatter::new(true, 1));
+            let rx = static_node(&mut e, 5.0, Chatter::new(false, 0));
+            e.run(40);
+            let p: &Chatter = e.process(rx).unwrap();
+            (p.heard.clone(), p.collisions, *e.stats())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).0.len(), 40, "some loss expected pre-stabilization");
+    }
+
+    #[test]
+    fn trace_records_broadcasts_and_deliveries() {
+        let mut e = engine();
+        let tx = static_node(&mut e, 0.0, Chatter::new(true, 1));
+        let rx = static_node(&mut e, 5.0, Chatter::new(false, 0));
+        e.run(2);
+        let trace = e.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.rounds[0].broadcasts, vec![(tx, 8)]);
+        assert_eq!(trace.rounds[0].deliveries, vec![(tx, rx)]);
+        assert!(trace.rounds[0].collisions.is_empty());
+    }
+
+    #[test]
+    fn position_reports_location_service() {
+        let mut e = engine();
+        let id = static_node(&mut e, 7.0, Chatter::new(false, 0));
+        assert_eq!(e.position(id), None, "not placed before first round");
+        e.step();
+        assert_eq!(e.position(id), Some(Point::new(7.0, 0.0)));
+    }
+}

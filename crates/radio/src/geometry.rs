@@ -1,0 +1,229 @@
+//! Planar geometry primitives used by the simulator.
+//!
+//! The paper's model places every node at a location in the plane; the
+//! quasi-unit-disk channel and the virtual-node regions are all defined
+//! in terms of Euclidean distance.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A location in the plane, in meters.
+///
+/// ```
+/// use vi_radio::geometry::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (cheaper than
+    /// [`Point::distance`]; use for comparisons).
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Returns `true` if `other` lies within `radius` of `self`
+    /// (inclusive).
+    pub fn within(self, other: Point, radius: f64) -> bool {
+        self.distance_sq(other) <= radius * radius
+    }
+
+    /// Linear interpolation from `self` towards `target` by `t ∈ [0,1]`.
+    pub fn lerp(self, target: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (target.x - self.x) * t,
+            self.y + (target.y - self.y) * t,
+        )
+    }
+
+    /// Moves from `self` towards `target` by at most `max_step`,
+    /// stopping exactly at `target` if it is closer than `max_step`.
+    ///
+    /// This is the primitive by which mobility models enforce the
+    /// paper's bounded velocity `vmax` (one round = one time slot, so a
+    /// per-round step bound is a velocity bound).
+    pub fn step_towards(self, target: Point, max_step: f64) -> Point {
+        let d = self.distance(target);
+        if d <= max_step || d == 0.0 {
+            target
+        } else {
+            self.lerp(target, max_step / d)
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// An axis-aligned rectangle, used to bound mobility models.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum corner (inclusive).
+    pub min: Point,
+    /// Maximum corner (inclusive).
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corner points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is not component-wise `<= max`.
+    pub fn new(min: Point, max: Point) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "Rect min must be <= max (got min={min}, max={max})"
+        );
+        Rect { min, max }
+    }
+
+    /// A square of side `side` anchored at the origin.
+    pub fn square(side: f64) -> Self {
+        Rect::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Returns `true` if `p` lies inside the rectangle (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` into the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Center of the rectangle.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 7.5);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn distance_triangle_inequality() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(5.0, 1.0);
+        let c = Point::new(2.0, 9.0);
+        assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!(a.within(b, 5.0));
+        assert!(!a.within(b, 4.999));
+    }
+
+    #[test]
+    fn step_towards_respects_bound() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let stepped = a.step_towards(b, 3.0);
+        assert!((a.distance(stepped) - 3.0).abs() < 1e-12);
+        // Stops at the target when close enough.
+        let close = Point::new(1.0, 0.0);
+        assert_eq!(close.step_towards(b, 100.0), b);
+    }
+
+    #[test]
+    fn step_towards_zero_distance() {
+        let a = Point::new(2.0, 2.0);
+        assert_eq!(a.step_towards(a, 1.0), a);
+    }
+
+    #[test]
+    fn rect_contains_and_clamp() {
+        let r = Rect::square(10.0);
+        assert!(r.contains(Point::new(5.0, 5.0)));
+        assert!(r.contains(Point::new(0.0, 10.0)));
+        assert!(!r.contains(Point::new(-0.1, 5.0)));
+        assert_eq!(r.clamp(Point::new(-3.0, 12.0)), Point::new(0.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "Rect min must be <= max")]
+    fn rect_rejects_inverted_corners() {
+        let _ = Rect::new(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn rect_center() {
+        let r = Rect::new(Point::new(2.0, 2.0), Point::new(6.0, 10.0));
+        assert_eq!(r.center(), Point::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 8.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(2.0, 4.0));
+    }
+}

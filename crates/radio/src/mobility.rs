@@ -1,0 +1,392 @@
+//! Mobility models with bounded velocity.
+//!
+//! The paper's model: "At any given time, a node resides at a location
+//! in the plane, and its velocity is bounded by `vmax`." One simulator
+//! round is one time slot, so the velocity bound becomes a bound on
+//! per-round displacement.
+//!
+//! Every model implements [`MobilityModel`]; the engine calls
+//! [`MobilityModel::advance`] once per round *before* collecting
+//! transmissions, and delivers the resulting position to the process
+//! through [`RoundCtx`](crate::RoundCtx) — this plays the role of the
+//! paper's GPS / location service.
+
+use crate::geometry::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A trajectory generator with bounded per-round displacement.
+pub trait MobilityModel {
+    /// Returns the node's position for round `round`.
+    ///
+    /// Implementations must move at most [`MobilityModel::vmax`] per
+    /// round; the engine debug-asserts this invariant.
+    fn advance(&mut self, round: u64, rng: &mut StdRng) -> Point;
+
+    /// Maximum displacement per round, in meters.
+    fn vmax(&self) -> f64;
+}
+
+/// A node that never moves (`vmax = 0`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Static {
+    pos: Point,
+}
+
+impl Static {
+    /// Creates a static node at `pos`.
+    pub fn new(pos: Point) -> Self {
+        Static { pos }
+    }
+}
+
+impl MobilityModel for Static {
+    fn advance(&mut self, _round: u64, _rng: &mut StdRng) -> Point {
+        self.pos
+    }
+
+    fn vmax(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Random-waypoint mobility: pick a uniform target in `bounds`, walk
+/// towards it at `speed` per round, pick a new target on arrival.
+///
+/// This is the standard ad-hoc-network mobility model and the default
+/// for the churn experiments (E8).
+#[derive(Clone, Debug)]
+pub struct Waypoint {
+    pos: Point,
+    target: Point,
+    speed: f64,
+    bounds: Rect,
+}
+
+impl Waypoint {
+    /// Creates a waypoint walker starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is negative or not finite, or if `start` lies
+    /// outside `bounds`.
+    pub fn new(start: Point, speed: f64, bounds: Rect) -> Self {
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "waypoint speed must be finite and non-negative"
+        );
+        assert!(
+            bounds.contains(start),
+            "waypoint start {start} outside bounds {bounds}"
+        );
+        Waypoint {
+            pos: start,
+            target: start,
+            speed,
+            bounds,
+        }
+    }
+}
+
+impl MobilityModel for Waypoint {
+    fn advance(&mut self, _round: u64, rng: &mut StdRng) -> Point {
+        if self.pos == self.target {
+            self.target = Point::new(
+                rng.gen_range(self.bounds.min.x..=self.bounds.max.x),
+                rng.gen_range(self.bounds.min.y..=self.bounds.max.y),
+            );
+        }
+        self.pos = self.pos.step_towards(self.target, self.speed);
+        self.pos
+    }
+
+    fn vmax(&self) -> f64 {
+        self.speed
+    }
+}
+
+/// Billiard mobility: constant velocity, reflecting off the bounds.
+///
+/// Useful for worst-case region-departure experiments: a billiard node
+/// leaves a virtual-node region as fast as the velocity bound allows,
+/// exercising the temporary-leader lease analysis of Section 4.2.
+#[derive(Clone, Debug)]
+pub struct Billiard {
+    pos: Point,
+    vel: (f64, f64),
+    bounds: Rect,
+}
+
+impl Billiard {
+    /// Creates a billiard walker at `start` with velocity `vel`
+    /// (meters per round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` lies outside `bounds` or `vel` is not finite.
+    pub fn new(start: Point, vel: (f64, f64), bounds: Rect) -> Self {
+        assert!(
+            vel.0.is_finite() && vel.1.is_finite(),
+            "billiard velocity must be finite"
+        );
+        assert!(
+            bounds.contains(start),
+            "billiard start {start} outside bounds {bounds}"
+        );
+        Billiard {
+            pos: start,
+            vel,
+            bounds,
+        }
+    }
+}
+
+impl MobilityModel for Billiard {
+    fn advance(&mut self, _round: u64, _rng: &mut StdRng) -> Point {
+        let mut x = self.pos.x + self.vel.0;
+        let mut y = self.pos.y + self.vel.1;
+        if x < self.bounds.min.x || x > self.bounds.max.x {
+            self.vel.0 = -self.vel.0;
+            x = x.clamp(self.bounds.min.x, self.bounds.max.x);
+        }
+        if y < self.bounds.min.y || y > self.bounds.max.y {
+            self.vel.1 = -self.vel.1;
+            y = y.clamp(self.bounds.min.y, self.bounds.max.y);
+        }
+        self.pos = Point::new(x, y);
+        self.pos
+    }
+
+    fn vmax(&self) -> f64 {
+        (self.vel.0 * self.vel.0 + self.vel.1 * self.vel.1).sqrt()
+    }
+}
+
+/// Follows an explicit list of waypoints in a loop at bounded speed.
+///
+/// Used by the robot-coordination example, where client robots patrol
+/// fixed circuits through virtual-node regions.
+#[derive(Clone, Debug)]
+pub struct PatrolRoute {
+    pos: Point,
+    route: Vec<Point>,
+    next: usize,
+    speed: f64,
+}
+
+impl PatrolRoute {
+    /// Creates a patroller that starts at the first waypoint and
+    /// visits `route` cyclically at `speed` per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is empty or `speed` is negative/not finite.
+    pub fn new(route: Vec<Point>, speed: f64) -> Self {
+        assert!(!route.is_empty(), "patrol route must not be empty");
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "patrol speed must be finite and non-negative"
+        );
+        PatrolRoute {
+            pos: route[0],
+            next: 1 % route.len(),
+            route,
+            speed,
+        }
+    }
+}
+
+impl MobilityModel for PatrolRoute {
+    fn advance(&mut self, _round: u64, _rng: &mut StdRng) -> Point {
+        let target = self.route[self.next];
+        self.pos = self.pos.step_towards(target, self.speed);
+        if self.pos == target {
+            self.next = (self.next + 1) % self.route.len();
+        }
+        self.pos
+    }
+
+    fn vmax(&self) -> f64 {
+        self.speed
+    }
+}
+
+/// Departs a region at a given round: stays at `home` until
+/// `depart_at`, then walks away in a straight line at `speed`.
+///
+/// Used by churn experiments to script replicas leaving a virtual
+/// node's region.
+#[derive(Clone, Debug)]
+pub struct DepartAt {
+    pos: Point,
+    direction: (f64, f64),
+    speed: f64,
+    depart_at: u64,
+}
+
+impl DepartAt {
+    /// Creates a node at `home` that departs at round `depart_at`
+    /// along `direction` (normalized internally) at `speed` per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `direction` is the zero vector or `speed` is
+    /// negative/not finite.
+    pub fn new(home: Point, direction: (f64, f64), speed: f64, depart_at: u64) -> Self {
+        let norm = (direction.0 * direction.0 + direction.1 * direction.1).sqrt();
+        assert!(norm > 0.0, "departure direction must be non-zero");
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "departure speed must be finite and non-negative"
+        );
+        DepartAt {
+            pos: home,
+            direction: (direction.0 / norm, direction.1 / norm),
+            speed,
+            depart_at,
+        }
+    }
+}
+
+impl MobilityModel for DepartAt {
+    fn advance(&mut self, round: u64, _rng: &mut StdRng) -> Point {
+        if round >= self.depart_at {
+            self.pos = Point::new(
+                self.pos.x + self.direction.0 * self.speed,
+                self.pos.y + self.direction.1 * self.speed,
+            );
+        }
+        self.pos
+    }
+
+    fn vmax(&self) -> f64 {
+        self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    /// Runs a model for `rounds` rounds and asserts the per-round
+    /// displacement bound.
+    fn assert_vmax_respected<M: MobilityModel>(mut m: M, rounds: u64) {
+        let mut rng = rng();
+        let mut prev = m.advance(0, &mut rng);
+        for r in 1..rounds {
+            let next = m.advance(r, &mut rng);
+            let moved = prev.distance(next);
+            assert!(
+                moved <= m.vmax() + 1e-9,
+                "moved {moved} > vmax {} at round {r}",
+                m.vmax()
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn static_never_moves() {
+        let p = Point::new(3.0, 4.0);
+        let mut m = Static::new(p);
+        let mut rng = rng();
+        for r in 0..10 {
+            assert_eq!(m.advance(r, &mut rng), p);
+        }
+    }
+
+    #[test]
+    fn waypoint_respects_vmax() {
+        let m = Waypoint::new(Point::new(5.0, 5.0), 1.5, Rect::square(100.0));
+        assert_vmax_respected(m, 500);
+    }
+
+    #[test]
+    fn waypoint_stays_in_bounds() {
+        let bounds = Rect::square(50.0);
+        let mut m = Waypoint::new(Point::new(5.0, 5.0), 3.0, bounds);
+        let mut rng = rng();
+        for r in 0..1000 {
+            let p = m.advance(r, &mut rng);
+            assert!(bounds.contains(p), "escaped bounds at round {r}: {p}");
+        }
+    }
+
+    #[test]
+    fn billiard_respects_vmax_and_bounds() {
+        let bounds = Rect::square(20.0);
+        let m = Billiard::new(Point::new(1.0, 1.0), (0.7, 1.1), bounds);
+        let vmax = m.vmax();
+        assert!((vmax - (0.49f64 + 1.21).sqrt()).abs() < 1e-12);
+        let mut m2 = m.clone();
+        let mut rng = rng();
+        for r in 0..1000 {
+            let p = m2.advance(r, &mut rng);
+            assert!(bounds.contains(p));
+        }
+        assert_vmax_respected(m, 1000);
+    }
+
+    #[test]
+    fn billiard_bounces() {
+        let bounds = Rect::square(5.0);
+        let mut m = Billiard::new(Point::new(4.5, 2.0), (1.0, 0.0), bounds);
+        let mut rng = rng();
+        let p1 = m.advance(0, &mut rng);
+        assert_eq!(p1, Point::new(5.0, 2.0));
+        let p2 = m.advance(1, &mut rng);
+        assert!(p2.x < 5.0, "should have reversed direction");
+    }
+
+    #[test]
+    fn patrol_visits_waypoints_in_order() {
+        let route = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+        ];
+        let mut m = PatrolRoute::new(route.clone(), 2.0);
+        let mut rng = rng();
+        let mut visited = vec![route[0]];
+        for r in 0..20 {
+            let p = m.advance(r, &mut rng);
+            if route.contains(&p) && *visited.last().unwrap() != p {
+                visited.push(p);
+            }
+        }
+        assert!(visited.len() >= 3, "should reach several waypoints");
+        assert_eq!(visited[1], route[1]);
+        assert_eq!(visited[2], route[2]);
+    }
+
+    #[test]
+    fn depart_at_waits_then_leaves() {
+        let home = Point::new(10.0, 10.0);
+        let mut m = DepartAt::new(home, (1.0, 0.0), 2.0, 5);
+        let mut rng = rng();
+        for r in 0..5 {
+            assert_eq!(m.advance(r, &mut rng), home);
+        }
+        let p = m.advance(5, &mut rng);
+        assert_eq!(p, Point::new(12.0, 10.0));
+        let p = m.advance(6, &mut rng);
+        assert_eq!(p, Point::new(14.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "patrol route must not be empty")]
+    fn patrol_rejects_empty_route() {
+        let _ = PatrolRoute::new(vec![], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bounds")]
+    fn waypoint_rejects_start_outside_bounds() {
+        let _ = Waypoint::new(Point::new(-1.0, 0.0), 1.0, Rect::square(10.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Convergent history agreement, standalone (Section 3 of the paper).
+//!
+//! ```sh
+//! cargo run --example cha_single_node
+//! ```
+//!
+//! Runs the CHAP protocol among five nodes in a single region through
+//! an unstable prefix (random message loss and spurious collision
+//! indications until round 30), then a stable suffix. Prints each
+//! node's per-instance colors and shows the paper's guarantees in
+//! action: limited disagreement while the channel misbehaves, and
+//! convergence to all-green afterwards.
+
+use virtual_infra::contention::{OracleCm, PreStability, SharedCm};
+use virtual_infra::core::cha::{ChaNode, Color, TaggedProposer};
+use virtual_infra::radio::adversary::RandomLoss;
+use virtual_infra::radio::geometry::Point;
+use virtual_infra::radio::mobility::Static;
+use virtual_infra::radio::{Engine, EngineConfig, NodeSpec, RadioConfig};
+
+fn main() {
+    const N: usize = 5;
+    const STABLE_AT: u64 = 30;
+    const ROUNDS: u64 = 60; // 20 instances of 3 rounds each
+
+    let mut engine = Engine::new(EngineConfig {
+        radio: RadioConfig::stabilizing(10.0, 20.0, STABLE_AT),
+        seed: 2024,
+        record_trace: false,
+    });
+    engine.set_adversary(Box::new(RandomLoss::new(0.25, 0.08)));
+
+    let cm = SharedCm::new(OracleCm::new(STABLE_AT, PreStability::Random(0.25), 7));
+    let ids: Vec<_> = (0..N)
+        .map(|i| {
+            engine.add_node(NodeSpec::new(
+                Box::new(Static::new(Point::new(i as f64, 0.0))),
+                Box::new(ChaNode::<u64>::new(
+                    Box::new(TaggedProposer::new(i as u64)),
+                    cm.clone(),
+                )),
+            ))
+        })
+        .collect();
+
+    engine.run(ROUNDS);
+
+    println!("per-instance colors (instability ends at round {STABLE_AT} = instance 10):\n");
+    print!("instance: ");
+    for k in 1..=ROUNDS / 3 {
+        print!("{k:>3}");
+    }
+    println!();
+    for (i, &id) in ids.iter().enumerate() {
+        let node: &ChaNode<u64> = engine.process(id).expect("node");
+        print!("node {i}:   ");
+        for out in node.outputs() {
+            let c = match out.color {
+                Color::Red => "  R",
+                Color::Orange => "  O",
+                Color::Yellow => "  Y",
+                Color::Green => "  G",
+            };
+            print!("{c}");
+        }
+        println!();
+    }
+
+    // The final histories of all nodes agree (Theorem 10).
+    let finals: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            engine
+                .process::<ChaNode<u64>>(id)
+                .unwrap()
+                .outputs()
+                .iter()
+                .rev()
+                .find_map(|o| o.history.clone())
+                .expect("at least one decided instance")
+        })
+        .collect();
+    let agree = finals.windows(2).all(|w| {
+        let upto = w[0].len().min(w[1].len());
+        w[0].agrees_with(&w[1], upto)
+    });
+    println!("\nall decided histories agree on common prefixes: {agree}");
+    println!(
+        "max message size over the whole run: {} bytes (constant, Theorem 14)",
+        engine.stats().max_message_bytes
+    );
+}

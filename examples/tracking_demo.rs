@@ -1,0 +1,72 @@
+//! Tracking a mobile object across a grid of virtual nodes.
+//!
+//! ```sh
+//! cargo run --example tracking_demo
+//! ```
+//!
+//! A reporter device wanders the field (random waypoint) broadcasting
+//! its position; the virtual node covering each area records it; a
+//! stationary query client asks its local virtual node where the
+//! object is. This is the paper's location-service motivation: the
+//! service address (the virtual node) never moves even though every
+//! implementing device does.
+
+use virtual_infra::apps::tracking::{cell_of, QueryClient, ReporterClient, TrackingVn};
+use virtual_infra::core::vi::{VnId, VnLayout, World, WorldConfig};
+use virtual_infra::radio::geometry::{Point, Rect};
+use virtual_infra::radio::mobility::{Static, Waypoint};
+use virtual_infra::radio::RadioConfig;
+
+fn main() {
+    const CELL: f64 = 10.0;
+    // One tracking virtual node at the center of a 100 m field.
+    let vn_loc = Point::new(50.0, 50.0);
+    let layout = VnLayout::new(vec![vn_loc], 2.5);
+    let mut world = World::new(WorldConfig {
+        radio: RadioConfig::reliable(60.0, 90.0), // long range: covers the field
+        layout,
+        automaton: TrackingVn,
+        seed: 99,
+        record_trace: false,
+    });
+
+    // Two static devices near the virtual node keep it alive.
+    world.add_device(Box::new(Static::new(Point::new(50.5, 50.0))), None);
+    world.add_device(Box::new(Static::new(Point::new(49.5, 50.2))), None);
+
+    // The tracked object: reports every 2 virtual rounds while roaming.
+    let reporter = world.add_device(
+        Box::new(Waypoint::new(Point::new(20.0, 20.0), 0.05, Rect::square(100.0))),
+        Some(Box::new(ReporterClient::new(7, 2, CELL))),
+    );
+
+    // A stationary query client.
+    let querier = world.add_device(
+        Box::new(Static::new(Point::new(40.0, 50.0))),
+        Some(Box::new(QueryClient::new(7, 3))),
+    );
+
+    for _ in 0..6 {
+        world.run_virtual_rounds(5);
+        let vr = world.virtual_rounds_done();
+        let true_pos = world.engine().position(reporter).expect("placed");
+        let true_cell = cell_of(true_pos, CELL);
+        let q: &QueryClient = world.device(querier).client::<QueryClient>().unwrap();
+        let tracked = q.answers.last().and_then(|(_, c)| *c);
+        println!(
+            "vr {vr:>2}: object at {true_pos} = cell {true_cell:?}; service's last answer: {tracked:?}"
+        );
+    }
+
+    let q: &QueryClient = world.device(querier).client::<QueryClient>().unwrap();
+    println!(
+        "\nquery client received {} answers over the run",
+        q.answers.len()
+    );
+    let (state, folded) = world.vn_state(VnId(0)).expect("vn alive");
+    println!(
+        "virtual node (folded to vr {folded}) knows {} object(s): {:?}",
+        state.objects.len(),
+        state.objects
+    );
+}

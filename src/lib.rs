@@ -1,0 +1,18 @@
+//! # virtual-infra
+//!
+//! Umbrella crate for the reproduction of *Chockler, Gilbert, Lynch:
+//! "Virtual Infrastructure for Collision-Prone Wireless Networks"*
+//! (PODC 2008). Re-exports the workspace crates under one roof and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! * [`radio`] — collision-prone slotted wireless simulator.
+//! * [`contention`] — contention managers (Property 3).
+//! * [`core`] — convergent history agreement + virtual infrastructure.
+//! * [`baselines`] — comparison protocols.
+//! * [`apps`] — applications on virtual infrastructure.
+
+pub use vi_apps as apps;
+pub use vi_baselines as baselines;
+pub use vi_contention as contention;
+pub use vi_core as core;
+pub use vi_radio as radio;

@@ -1,0 +1,190 @@
+//! Property-based tests of the CHA protocol (Section 3 guarantees).
+//!
+//! Strategy: generate random adversarial environments — loss rates,
+//! spurious collision indications, contention-manager misbehaviour,
+//! crash schedules, seeds — run CHAP in a single region, and check the
+//! Section 3.2 specification plus Property 4 on the resulting trace.
+//! Safety must hold in *every* environment; liveness is checked only
+//! when the environment stabilizes.
+
+use proptest::prelude::*;
+use vi_bench::harness::{run_clique, AdversaryKind, CliqueConfig};
+use virtual_infra::contention::PreStability;
+use virtual_infra::core::cha::{calculate_history, Ballot, ChaSpecChecker};
+use virtual_infra::radio::RadioConfig;
+use std::collections::BTreeMap;
+
+/// A randomly hostile environment that never stabilizes.
+fn hostile_config() -> impl Strategy<Value = CliqueConfig> {
+    (
+        2usize..7,
+        10u64..30,
+        0.0f64..0.9,
+        0.0f64..0.5,
+        any::<u64>(),
+        0.0f64..1.0,
+        proptest::collection::vec((0usize..7, 5u64..80), 0..3),
+    )
+        .prop_map(|(n, instances, loss, spurious, seed, cm_p, crashes)| {
+            let mut cfg = CliqueConfig::reliable(n, instances, seed);
+            cfg.radio = RadioConfig::stabilizing(10.0, 20.0, u64::MAX);
+            cfg.cm_stabilize = u64::MAX;
+            cfg.cm_pre = PreStability::Random(cm_p);
+            cfg.adversary = AdversaryKind::Random(loss, spurious);
+            cfg.crashes = crashes
+                .into_iter()
+                .filter(|&(node, _)| node < n)
+                .collect();
+            cfg
+        })
+}
+
+/// An environment that stabilizes midway.
+fn stabilizing_config() -> impl Strategy<Value = CliqueConfig> {
+    (2usize..6, 0u64..60, 0.0f64..0.8, any::<u64>()).prop_map(
+        |(n, disrupt, loss, seed)| {
+            let mut cfg = CliqueConfig::reliable(n, disrupt / 3 + 15, seed);
+            cfg.radio = RadioConfig::stabilizing(10.0, 20.0, disrupt);
+            cfg.cm_stabilize = disrupt;
+            cfg.cm_pre = PreStability::AllActive;
+            cfg.adversary = AdversaryKind::Random(loss, loss / 2.0);
+            cfg
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorems 10 & 13 + Property 4: safety holds under arbitrary,
+    /// never-ending misbehaviour.
+    #[test]
+    fn safety_under_arbitrary_misbehaviour(cfg in hostile_config()) {
+        let run = run_clique(cfg);
+        let checker = run.checker();
+        let mut violations = checker.check_validity();
+        violations.extend(checker.check_agreement());
+        violations.extend(checker.check_color_spread());
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    /// Theorem 12: once the channel and contention manager stabilize,
+    /// liveness holds (a stabilization instance exists) and safety
+    /// continues to hold.
+    #[test]
+    fn liveness_after_stabilization(cfg in stabilizing_config()) {
+        let run = run_clique(cfg);
+        let checker = run.checker();
+        let violations = checker.check_all(true);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    /// The efficient (sorted-adjacent) agreement checker agrees with
+    /// the exhaustive pairwise one.
+    #[test]
+    fn agreement_checkers_agree(cfg in hostile_config()) {
+        let run = run_clique(cfg);
+        let checker = run.checker();
+        let fast_clean = checker.check_agreement().is_empty();
+        let slow_clean = checker.check_agreement_exhaustive().is_empty();
+        prop_assert_eq!(fast_clean, slow_clean);
+    }
+
+    /// Message size never depends on the execution length or node
+    /// count (Theorem 14) — measured across random environments.
+    #[test]
+    fn message_size_is_constant(cfg in hostile_config()) {
+        let run = run_clique(cfg);
+        // Ballot = 17 bytes (tag + u64 value + prev index); veto = 1.
+        prop_assert!(run.stats.max_message_bytes <= 17,
+            "message grew to {}", run.stats.max_message_bytes);
+    }
+}
+
+/// Strategy producing a protocol-shaped ballot chain: for each
+/// instance `k`, a ballot whose `prev` pointer refers to some earlier
+/// instance (or 0), mimicking what adopted leader ballots look like.
+fn chain_ballots() -> impl Strategy<Value = BTreeMap<u64, Ballot<u32>>> {
+    proptest::collection::vec(any::<u32>(), 1..40).prop_perturb(|values, mut rng| {
+        let mut map = BTreeMap::new();
+        let mut goods: Vec<u64> = vec![0];
+        for (i, v) in values.into_iter().enumerate() {
+            let k = i as u64 + 1;
+            let prev = goods[rng.random_range(0..goods.len())];
+            map.insert(k, Ballot::new(v, prev));
+            // This instance may or may not become good later.
+            if rng.random_bool(0.7) {
+                goods.push(k);
+            }
+        }
+        map
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 8 analog: histories computed from the same ballot array
+    /// starting at chain-connected instances agree on their common
+    /// prefix (values and ⊥ placement both).
+    #[test]
+    fn calculate_history_prefix_agreement(ballots in chain_ballots()) {
+        let last = *ballots.keys().last().unwrap();
+        let h_full = calculate_history(last, last, &ballots, 0);
+        // Walk the chain: every suffix start on the chain yields an
+        // agreeing history.
+        let mut cursor = last;
+        while cursor > 0 {
+            let h = calculate_history(last, cursor, &ballots, 0);
+            prop_assert!(h.agrees_with(&h_full, cursor));
+            // The prefix up to `cursor` is identical; beyond it the
+            // shorter start excludes instances the full one includes.
+            cursor = ballots[&cursor].prev;
+        }
+    }
+
+    /// `calculate_history` includes exactly the chain instances.
+    #[test]
+    fn calculate_history_includes_only_chain(ballots in chain_ballots()) {
+        let last = *ballots.keys().last().unwrap();
+        let h = calculate_history(last, last, &ballots, 0);
+        // Chain membership from following pointers.
+        let mut chain = std::collections::BTreeSet::new();
+        let mut cursor = last;
+        while cursor > 0 {
+            chain.insert(cursor);
+            cursor = ballots[&cursor].prev;
+        }
+        for k in 1..=last {
+            prop_assert_eq!(h.includes(k), chain.contains(&k), "instance {}", k);
+        }
+    }
+
+    /// Spec-checker sanity: a fabricated violation is always caught.
+    #[test]
+    fn checker_catches_planted_disagreement(ballots in chain_ballots(), wrong in any::<u32>()) {
+        let last = *ballots.keys().last().unwrap();
+        let h = calculate_history(last, last, &ballots, 0);
+        prop_assume!(h.includes(last));
+        prop_assume!(Some(&wrong) != h.get(last));
+        let mut checker = ChaSpecChecker::new();
+        for (k, b) in &ballots {
+            checker.record_proposal(*k, b.value);
+        }
+        checker.record_proposal(last, wrong);
+        checker.record_output(0, &virtual_infra::core::cha::ChaOutput {
+            instance: last,
+            history: Some(h),
+            color: virtual_infra::core::cha::Color::Green,
+        });
+        // A second node decided a different value for `last`.
+        let mut bad = virtual_infra::core::cha::History::new(last);
+        bad.insert(last, wrong);
+        checker.record_output(1, &virtual_infra::core::cha::ChaOutput {
+            instance: last,
+            history: Some(bad),
+            color: virtual_infra::core::cha::Color::Green,
+        });
+        prop_assert!(!checker.check_agreement().is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of the substrates: the radio channel model
+//! (Properties 1–2) and the contention managers (Property 3).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use virtual_infra::contention::{
+    Advice, BackoffCm, ChannelFeedback, ContentionManager, OracleCm, RegionalCm, RegionalConfig,
+};
+use virtual_infra::radio::adversary::{NoAdversary, RandomLoss};
+use virtual_infra::radio::channel::{resolve_round, TxIntent};
+use virtual_infra::radio::geometry::{Point, Rect};
+use virtual_infra::radio::mobility::{Billiard, MobilityModel, Waypoint};
+use virtual_infra::radio::{NodeId, RadioConfig};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Random placements + broadcast patterns for channel-law checks.
+fn arb_round() -> impl Strategy<Value = (Vec<(Point, bool)>, u64, f64, f64)> {
+    (
+        proptest::collection::vec((arb_point(), any::<bool>()), 1..12),
+        any::<u64>(),
+        1.0f64..30.0,
+        0.0f64..30.0,
+    )
+        .prop_map(|(nodes, seed, r1, extra)| (nodes, seed, r1, r1 + extra))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Property 1 (completeness) holds structurally: whenever a
+    /// message broadcast within R1 of a node is not delivered to it,
+    /// that node's detector reports a collision — even under an
+    /// adversary.
+    #[test]
+    fn channel_completeness((nodes, seed, r1, r2) in arb_round(), drop_p in 0.0f64..1.0) {
+        let cfg = RadioConfig { r1, r2, rcf: u64::MAX, racc: u64::MAX, ring_reports: true };
+        let intents: Vec<TxIntent<u64>> = nodes.iter().enumerate().map(|(i, &(pos, tx))| TxIntent {
+            node: NodeId::from(i),
+            pos,
+            payload: tx.then_some(i as u64),
+        }).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adv = RandomLoss::new(drop_p, 0.0);
+        let out = resolve_round(0, &cfg, &intents, &mut adv, &mut rng);
+        for (j, rx) in out.iter().enumerate() {
+            let received: Vec<usize> = rx.messages.iter().map(|&(src, _)| src.index()).collect();
+            for (i, &(pos_i, tx_i)) in nodes.iter().enumerate() {
+                if i == j || !tx_i {
+                    continue;
+                }
+                let in_r1 = pos_i.within(nodes[j].0, r1);
+                if in_r1 && !received.contains(&i) {
+                    prop_assert!(rx.collision,
+                        "node {j} lost an R1 message from {i} without detection");
+                }
+            }
+        }
+    }
+
+    /// Deliveries obey the quasi-unit-disk law: a received message
+    /// came from within R1, and no other broadcaster sat within R2 of
+    /// the receiver; listeners never receive while broadcasting
+    /// (except their own loopback).
+    #[test]
+    fn channel_delivery_law((nodes, seed, r1, r2) in arb_round()) {
+        let cfg = RadioConfig::reliable(r1, r2);
+        let intents: Vec<TxIntent<u64>> = nodes.iter().enumerate().map(|(i, &(pos, tx))| TxIntent {
+            node: NodeId::from(i),
+            pos,
+            payload: tx.then_some(i as u64),
+        }).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = resolve_round(0, &cfg, &intents, &mut NoAdversary, &mut rng);
+        for (j, rx) in out.iter().enumerate() {
+            for &(src, _) in &rx.messages {
+                let i = src.index();
+                if i == j {
+                    continue; // loopback
+                }
+                prop_assert!(!nodes[j].1, "broadcaster {j} received a foreign message");
+                prop_assert!(nodes[i].0.within(nodes[j].0, r1), "reception beyond R1");
+                for (k, &(pos_k, tx_k)) in nodes.iter().enumerate() {
+                    if tx_k && k != i && k != j {
+                        prop_assert!(!pos_k.within(nodes[j].0, r2),
+                            "delivery despite interferer {k} within R2 of {j}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mobility models never exceed their declared vmax.
+    #[test]
+    fn mobility_respects_vmax(
+        start in (5.0f64..95.0, 5.0f64..95.0),
+        speed in 0.0f64..5.0,
+        vel in (-3.0f64..3.0, -3.0f64..3.0),
+        seed in any::<u64>(),
+    ) {
+        let bounds = Rect::square(100.0);
+        let start = Point::new(start.0, start.1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut models: Vec<Box<dyn MobilityModel>> = vec![
+            Box::new(Waypoint::new(start, speed, bounds)),
+            Box::new(Billiard::new(start, vel, bounds)),
+        ];
+        for m in &mut models {
+            let mut prev = m.advance(0, &mut rng);
+            for round in 1..100 {
+                let next = m.advance(round, &mut rng);
+                prop_assert!(prev.distance(next) <= m.vmax() + 1e-9);
+                prop_assert!(bounds.contains(next));
+                prev = next;
+            }
+        }
+    }
+
+    /// Property 3(1): the stabilized oracle never advises two
+    /// contenders active in the same round, whatever subset contends.
+    #[test]
+    fn oracle_at_most_one_active(
+        pattern in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 5), 1..20),
+    ) {
+        let mut cm = OracleCm::perfect();
+        let slots: Vec<_> = (0..5).map(|_| cm.register()).collect();
+        for (round, mask) in pattern.iter().enumerate() {
+            let active = slots.iter().zip(mask)
+                .filter(|&(_, &contends)| contends)
+                .filter(|&(&s, _)| cm.contend(s, round as u64, Point::ORIGIN).is_active())
+                .count();
+            prop_assert!(active <= 1, "round {round}: {active} active");
+        }
+    }
+
+    /// Property 3(3) for the regional manager: advice is Active only
+    /// for in-region contenders, and never two at once.
+    #[test]
+    fn regional_respects_region_and_uniqueness(
+        positions in proptest::collection::vec(arb_point(), 2..8),
+        rounds in 1u64..30,
+    ) {
+        let cfg = RegionalConfig {
+            location: Point::new(50.0, 50.0),
+            radius: 10.0,
+            lease: 6,
+            stabilize_at: 0,
+        };
+        let mut cm = RegionalCm::new(cfg);
+        let slots: Vec<_> = positions.iter().map(|_| cm.register()).collect();
+        for round in 0..rounds {
+            let mut active = 0;
+            for (i, &slot) in slots.iter().enumerate() {
+                let advice = cm.contend(slot, round, positions[i]);
+                if advice == Advice::Active {
+                    active += 1;
+                    prop_assert!(
+                        positions[i].within(cfg.location, cfg.radius),
+                        "out-of-region node advised active"
+                    );
+                }
+            }
+            prop_assert!(active <= 1, "round {round}: {active} active");
+        }
+    }
+
+    /// Backoff capture: in a clique with a stable contender set, the
+    /// tail of the execution is dominated by single-active rounds.
+    #[test]
+    fn backoff_converges(seed in any::<u64>(), n in 2usize..7) {
+        let mut cm = BackoffCm::with_seed(seed);
+        let slots: Vec<_> = (0..n).map(|_| cm.register()).collect();
+        let mut single = 0;
+        let total = 250u64;
+        for round in 0..total {
+            let advice: Vec<bool> = slots.iter()
+                .map(|&s| cm.contend(s, round, Point::ORIGIN).is_active())
+                .collect();
+            let active = advice.iter().filter(|&&a| a).count();
+            if round >= 150 && active == 1 {
+                single += 1;
+            }
+            for (i, &s) in slots.iter().enumerate() {
+                let fb = match (advice[i], active) {
+                    (true, 1) => ChannelFeedback::TxSucceeded,
+                    (true, _) => ChannelFeedback::TxCollided,
+                    (false, 0) => ChannelFeedback::Quiet,
+                    (false, 1) => ChannelFeedback::HeardOther,
+                    (false, _) => ChannelFeedback::HeardCollision,
+                };
+                cm.observe(s, round, fb);
+            }
+        }
+        prop_assert!(single as f64 / 100.0 > 0.85,
+            "only {single}/100 tail rounds had a single leader");
+    }
+}
