@@ -9,8 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use vi_core::vi::{VirtualAutomaton, VirtualInput, VnCtx};
 use vi_core::vi::{ClientApp, VirtualReception};
+use vi_core::vi::{VirtualAutomaton, VirtualInput, VnCtx};
 use vi_radio::geometry::Point;
 use vi_radio::WireSized;
 
@@ -248,10 +248,7 @@ mod tests {
         world.run_virtual_rounds(15);
 
         let q: &QueryClient = world.device(querier).client::<QueryClient>().unwrap();
-        assert!(
-            !q.answers.is_empty(),
-            "querier should have heard an answer"
-        );
+        assert!(!q.answers.is_empty(), "querier should have heard an answer");
         let (_, cell) = q.answers.last().unwrap();
         assert_eq!(
             *cell,

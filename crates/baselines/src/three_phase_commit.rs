@@ -135,9 +135,9 @@ impl<V: Clone + WireSized + 'static> Process<TpcMessage<V>> for ThreePhaseCommit
             s if s == m + 1 => {
                 (self.rank == 0 && self.votes >= m as usize).then_some(TpcMessage::PreCommit)
             }
-            s if s >= m + 2 && s <= 2 * m + 1 => (self.rank as u64 == s - m - 1
-                && self.precommitted)
-                .then_some(TpcMessage::AckPre),
+            s if s >= m + 2 && s <= 2 * m + 1 => {
+                (self.rank as u64 == s - m - 1 && self.precommitted).then_some(TpcMessage::AckPre)
+            }
             _ => (self.rank == 0 && self.acks >= m as usize).then_some(TpcMessage::DoCommit),
         }
     }

@@ -7,10 +7,10 @@
 //! Θ(n) window.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vi_baselines::{FullHistoryMessage, FullHistoryNode, MajorityConsensus, MajorityMessage};
 use vi_bench::harness::{run_clique, CliqueConfig};
 use vi_contention::{OracleCm, SharedCm};
 use vi_core::cha::TaggedProposer;
-use vi_baselines::{FullHistoryMessage, FullHistoryNode, MajorityConsensus, MajorityMessage};
 use vi_radio::geometry::Point;
 use vi_radio::mobility::Static;
 use vi_radio::{Engine, EngineConfig, NodeSpec, RadioConfig};

@@ -23,10 +23,7 @@ fn world_with(devices_per_vn: usize, rows: usize, cols: usize) -> World<CounterA
     for loc in locations {
         for d in 0..devices_per_vn {
             let off = 0.3 + 0.1 * d as f64;
-            world.add_device(
-                Box::new(Static::new(Point::new(loc.x + off, loc.y))),
-                None,
-            );
+            world.add_device(Box::new(Static::new(Point::new(loc.x + off, loc.y))), None);
         }
     }
     world

@@ -15,7 +15,9 @@ struct Chatty {
 
 impl Process<u64> for Chatty {
     fn transmit(&mut self, ctx: &RoundCtx) -> Option<u64> {
-        (ctx.round + self.phase).is_multiple_of(3).then_some(ctx.round)
+        (ctx.round + self.phase)
+            .is_multiple_of(3)
+            .then_some(ctx.round)
     }
     fn deliver(&mut self, _ctx: &RoundCtx, _rx: RoundReception<u64>) {}
     fn as_any(&self) -> &dyn Any {
@@ -57,5 +59,44 @@ fn rounds_by_population(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, rounds_by_population);
+/// Channel-resolution scaling: the grid-indexed `Medium` vs the naive
+/// reference resolver on identical constant-density inputs (the
+/// acceptance benchmark for the spatial-index refactor).
+fn medium_vs_reference(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vi_bench::exp_radio::{make_intents, radio};
+    use vi_radio::adversary::NoAdversary;
+    use vi_radio::channel::{resolve_round_reference, Medium};
+
+    let mut g = c.benchmark_group("radio_scale_medium");
+    g.sample_size(10);
+    for n in [500usize, 1000, 2000, 5000] {
+        let intents = make_intents(n, 42);
+        let mut medium = Medium::new(radio());
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                medium.resolve_into(0, &intents, &mut NoAdversary, &mut rng, &mut out);
+                out.len()
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("radio_scale_reference");
+    g.sample_size(10);
+    for n in [500usize, 1000, 2000, 5000] {
+        let intents = make_intents(n, 42);
+        let cfg = radio();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| resolve_round_reference(0, &cfg, &intents, &mut NoAdversary, &mut rng).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, rounds_by_population, medium_vs_reference);
 criterion_main!(benches);

@@ -6,8 +6,29 @@
 //! cargo run -p vi-bench --bin repro -- fig2    # one experiment
 //! cargo run -p vi-bench --bin repro -- list    # experiment index
 //! ```
+//!
+//! Whenever the `radio_scale` experiment runs, its table is also
+//! written to `BENCH_radio.json` (machine-readable), so the perf
+//! trajectory of the channel substrate can be tracked across PRs.
 
 use vi_bench::all_experiments;
+use vi_bench::Table;
+
+/// Where the machine-readable radio benchmark lands.
+const RADIO_JSON: &str = "BENCH_radio.json";
+
+fn write_radio_json(table: &Table) {
+    match serde_json::to_string(table) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(RADIO_JSON, json) {
+                eprintln!("warning: could not write {RADIO_JSON}: {e}");
+            } else {
+                eprintln!("wrote {RADIO_JSON}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize radio table: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,7 +52,11 @@ fn main() {
         match experiments.iter().find(|(id, _, _)| *id == want) {
             Some((id, _, run)) => {
                 eprintln!("running {id} ...");
-                println!("{}", run());
+                let table = run();
+                println!("{table}");
+                if *id == "radio_scale" {
+                    write_radio_json(&table);
+                }
             }
             None => {
                 eprintln!("unknown experiment '{want}' — try `repro list`");

@@ -15,7 +15,7 @@
 use crate::harness::{run_clique, AdversaryKind, CliqueConfig};
 use crate::table::{f2, Table};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use vi_baselines::{ThreePhaseCommit, TpcDecision, TpcMessage};
 use vi_radio::adversary::ScriptedAdversary;
 use vi_radio::geometry::Point;
@@ -50,7 +50,7 @@ fn tpc_instance(n: usize, drop_p: f64, rng: &mut StdRng, seed: u64) -> Vec<TpcDe
         .collect();
     let mut adv = ScriptedAdversary::new();
     for &id in ids.iter().skip(1) {
-        if rng.gen_bool(drop_p) {
+        if rng.random_bool(drop_p) {
             adv.drop(precommit_round, ids[0], id);
         }
     }
@@ -99,8 +99,7 @@ pub fn ablation_3pc() -> Table {
         cfg.crashes = vec![(0, 60)];
         let run = run_clique(cfg);
         let checker = run.checker();
-        let violations =
-            checker.check_agreement().len() + checker.check_validity().len();
+        let violations = checker.check_agreement().len() + checker.check_validity().len();
         let bottom = 1.0 - run.decided_fraction();
 
         t.row(&[

@@ -3,10 +3,10 @@
 use crate::harness::{run_clique, AdversaryKind, CliqueConfig};
 use crate::table::{f2, Table};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
+use vi_baselines::{FullHistoryMessage, FullHistoryNode, MajorityConsensus, MajorityMessage};
 use vi_contention::{OracleCm, PreStability, SharedCm};
 use vi_core::cha::{Ballot, ChaProtocol, CheckpointCha, Color, TaggedProposer};
-use vi_baselines::{FullHistoryMessage, FullHistoryNode, MajorityConsensus, MajorityMessage};
 use vi_radio::geometry::Point;
 use vi_radio::mobility::Static;
 use vi_radio::{Engine, EngineConfig, NodeSpec, RadioConfig};
@@ -140,7 +140,15 @@ pub fn rounds() -> Table {
 pub fn spread() -> Table {
     let mut t = Table::new(
         "E4 / Property 4: color mix and max shade spread vs loss rate",
-        &["loss", "%green", "%yellow", "%orange", "%red", "max spread", "violations"],
+        &[
+            "loss",
+            "%green",
+            "%yellow",
+            "%orange",
+            "%red",
+            "max spread",
+            "violations",
+        ],
     );
     for loss in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9] {
         let mut cfg = CliqueConfig::reliable(5, 300, 11);
@@ -184,7 +192,12 @@ pub fn spread() -> Table {
 pub fn convergence() -> Table {
     let mut t = Table::new(
         "E5 / Theorem 12: convergence lag after stabilization",
-        &["disruption rounds", "first stable instance", "all-green from", "lag (instances)"],
+        &[
+            "disruption rounds",
+            "first stable instance",
+            "all-green from",
+            "lag (instances)",
+        ],
     );
     for d in [0u64, 12, 48, 96, 192] {
         let mut cfg = CliqueConfig::reliable(5, d / 3 + 30, 13);
@@ -264,7 +277,7 @@ pub fn gc() -> Table {
             CheckpointCha::new(0, Box::new(|acc, _, v| *acc += v.copied().unwrap_or(0)));
         let mut rng = StdRng::seed_from_u64(17);
         for k in 1..=1000u64 {
-            let yellow = rng.gen_bool(yellow_rate);
+            let yellow = rng.random_bool(yellow_rate);
             // Leader pattern: ballot received cleanly, veto-2 collision
             // iff this instance is "yellow".
             let b1 = plain.begin_instance(k);

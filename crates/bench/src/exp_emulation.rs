@@ -1,9 +1,7 @@
 //! Experiments on the virtual-infrastructure emulation (E7–E9, E11).
 
 use crate::table::{f2, Table};
-use vi_core::vi::{
-    CounterAutomaton, Schedule, VnId, VnLayout, World, WorldConfig,
-};
+use vi_core::vi::{CounterAutomaton, Schedule, VnId, VnLayout, World, WorldConfig};
 use vi_radio::geometry::Point;
 use vi_radio::mobility::{DepartAt, Static};
 use vi_radio::{NodeId, RadioConfig};
@@ -51,7 +49,15 @@ fn grid_world(
 pub fn overhead() -> Table {
     let mut t = Table::new(
         "E7 / Section 4.3: emulation overhead (rounds per virtual round)",
-        &["vns", "spacing", "devices", "s", "rounds/vr", "green fraction", "max msg bytes"],
+        &[
+            "vns",
+            "spacing",
+            "devices",
+            "s",
+            "rounds/vr",
+            "green fraction",
+            "max msg bytes",
+        ],
     );
     // Density sweep: tighter grids force longer schedules.
     let configs = [
@@ -98,7 +104,12 @@ pub fn overhead() -> Table {
 pub fn availability() -> Table {
     let mut t = Table::new(
         "E8 / Section 4.2: availability under churn (residence 3 vrs)",
-        &["arrival gap (vrs)", "live fraction", "state losses (resets)", "joins"],
+        &[
+            "arrival gap (vrs)",
+            "live fraction",
+            "state losses (resets)",
+            "joins",
+        ],
     );
     let residence = 3u64;
     for gap in [1u64, 2, 3, 5, 8] {
@@ -199,11 +210,12 @@ pub fn join_latency() -> Table {
             }
         }
         let replica_at = replica_at.expect("joiner must join");
-        let (_, report) = world
-            .device(joiner)
-            .emulator_report()
-            .expect("emulating");
-        let via = if report.joins > 0 { "transfer" } else { "reset" };
+        let (_, report) = world.device(joiner).emulator_report().expect("emulating");
+        let via = if report.joins > 0 {
+            "transfer"
+        } else {
+            "reset"
+        };
         t.row(&[
             s.to_string(),
             join_vr.to_string(),
@@ -222,7 +234,14 @@ pub fn join_latency() -> Table {
 pub fn schedule_quality() -> Table {
     let mut t = Table::new(
         "E11 / Section 4.1: schedule length vs deployment density",
-        &["grid", "spacing", "max degree", "s", "complete", "non-conflicting"],
+        &[
+            "grid",
+            "spacing",
+            "max degree",
+            "s",
+            "complete",
+            "non-conflicting",
+        ],
     );
     let conflict = R1 + 2.0 * R2; // 50
     for (rows, cols, spacing) in [

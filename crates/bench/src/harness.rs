@@ -34,10 +34,9 @@ impl AdversaryKind {
             AdversaryKind::None => Box::new(NoAdversary),
             AdversaryKind::Random(d, s) => Box::new(RandomLoss::new(*d, *s)),
             AdversaryKind::Burst(ranges) => Box::new(BurstLoss::new(ranges.clone())),
-            AdversaryKind::BrokenDetector { drop_p, miss_p } => Box::new(FaultyDetector::new(
-                RandomLoss::new(*drop_p, 0.0),
-                *miss_p,
-            )),
+            AdversaryKind::BrokenDetector { drop_p, miss_p } => {
+                Box::new(FaultyDetector::new(RandomLoss::new(*drop_p, 0.0), *miss_p))
+            }
         }
     }
 }
@@ -156,6 +155,11 @@ impl CliqueRun {
 }
 
 /// Runs CHAP in a single region per `cfg`.
+///
+/// The engine is built through [`Engine::new`], so every clique run —
+/// and every experiment layered on this harness — resolves its rounds
+/// through the grid-indexed [`vi_radio::Medium`] rather than the naive
+/// reference resolver.
 pub fn run_clique(cfg: CliqueConfig) -> CliqueRun {
     let mut engine: Engine<ChaMessage<u64>> = Engine::new(EngineConfig {
         radio: cfg.radio,

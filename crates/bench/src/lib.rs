@@ -10,6 +10,7 @@
 pub mod exp_ablation;
 pub mod exp_cha;
 pub mod exp_emulation;
+pub mod exp_radio;
 pub mod harness;
 pub mod table;
 
@@ -25,14 +26,47 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("msgsize", "Theorem 14: message size vs k", exp_cha::msgsize),
         ("rounds", "Theorem 14: rounds vs n", exp_cha::rounds),
         ("spread", "Property 4: color spread", exp_cha::spread),
-        ("convergence", "Theorem 12: liveness lag", exp_cha::convergence),
+        (
+            "convergence",
+            "Theorem 12: liveness lag",
+            exp_cha::convergence,
+        ),
         ("safety", "Theorems 10+13: safety sweep", exp_cha::safety),
-        ("overhead", "Section 4.3: emulation overhead", exp_emulation::overhead),
-        ("availability", "Section 4.2: progress under churn", exp_emulation::availability),
-        ("join", "Section 4.3: join latency", exp_emulation::join_latency),
+        (
+            "overhead",
+            "Section 4.3: emulation overhead",
+            exp_emulation::overhead,
+        ),
+        (
+            "availability",
+            "Section 4.2: progress under churn",
+            exp_emulation::availability,
+        ),
+        (
+            "join",
+            "Section 4.3: join latency",
+            exp_emulation::join_latency,
+        ),
         ("gc", "Section 3.5: garbage collection", exp_cha::gc),
-        ("schedule", "Section 4.1: schedule quality", exp_emulation::schedule_quality),
-        ("ablation3pc", "Ablation: CHAP vs 3PC", exp_ablation::ablation_3pc),
-        ("necessity", "Ablation: detector completeness is necessary", exp_ablation::detector_necessity),
+        (
+            "schedule",
+            "Section 4.1: schedule quality",
+            exp_emulation::schedule_quality,
+        ),
+        (
+            "ablation3pc",
+            "Ablation: CHAP vs 3PC",
+            exp_ablation::ablation_3pc,
+        ),
+        (
+            "necessity",
+            "Ablation: detector completeness is necessary",
+            exp_ablation::detector_necessity,
+        ),
+        (
+            "radio_scale",
+            "Engine scalability: grid medium vs naive resolver",
+            exp_radio::radio_scale,
+        ),
     ]
 }

@@ -1,9 +1,13 @@
 //! Plain-text tables, one per reproduced figure/claim.
 
+use serde::Serialize;
 use std::fmt;
 
 /// A printable experiment table.
-#[derive(Clone, Debug)]
+///
+/// Serializes to JSON (`{"title", "headers", "rows", "notes"}`) for the
+/// machine-readable bench artifacts the `repro` binary emits.
+#[derive(Clone, Debug, Serialize)]
 pub struct Table {
     title: String,
     headers: Vec<String>,

@@ -115,7 +115,7 @@ impl ContentionManager for BackoffCm {
         let st = &mut self.slots[slot.0];
         let advice = if st.deferring {
             Advice::Passive
-        } else if st.window <= 1 || self.rng.gen_ratio(1, st.window as u32) {
+        } else if st.window <= 1 || self.rng.random_ratio(1, st.window as u32) {
             Advice::Active
         } else {
             Advice::Passive

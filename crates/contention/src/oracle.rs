@@ -11,7 +11,7 @@
 
 use crate::manager::{Advice, ChannelFeedback, CmSlot, ContentionManager};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use vi_radio::geometry::Point;
 
 /// How the oracle behaves before its stabilization round.
@@ -111,7 +111,7 @@ impl ContentionManager for OracleCm {
                 PreStability::AllActive => Advice::Active,
                 PreStability::NoneActive => Advice::Passive,
                 PreStability::Random(p) => {
-                    if self.rng.gen_bool(p) {
+                    if self.rng.random_bool(p) {
                         Advice::Active
                     } else {
                         Advice::Passive
@@ -126,12 +126,7 @@ impl ContentionManager for OracleCm {
         let leader = match self.cur_leader {
             Some(l) => l,
             None => {
-                let l = self
-                    .prev_contenders
-                    .iter()
-                    .copied()
-                    .min()
-                    .unwrap_or(slot);
+                let l = self.prev_contenders.iter().copied().min().unwrap_or(slot);
                 self.cur_leader = Some(l);
                 l
             }

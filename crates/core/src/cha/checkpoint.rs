@@ -62,7 +62,12 @@ impl<V: Clone + Ord, S> CheckpointCha<V, S> {
     /// protocol's state transfer): `state` summarizes instances
     /// `1..=checkpoint`; the next instance to run is `next_instance +
     /// 1`.
-    pub fn from_checkpoint(state: S, checkpoint: u64, next_instance: u64, apply: ApplyFn<V, S>) -> Self {
+    pub fn from_checkpoint(
+        state: S,
+        checkpoint: u64,
+        next_instance: u64,
+        apply: ApplyFn<V, S>,
+    ) -> Self {
         CheckpointCha {
             protocol: ChaProtocol::from_checkpoint(checkpoint, next_instance),
             state,
@@ -152,10 +157,7 @@ mod tests {
     /// Checkpoint state: concatenation of decided values (⊥ recorded
     /// as `None`), so tests can see exactly what was folded.
     fn log_cha() -> CheckpointCha<u32, Vec<(u64, Option<u32>)>> {
-        CheckpointCha::new(
-            Vec::new(),
-            Box::new(|s, k, v| s.push((k, v.copied()))),
-        )
+        CheckpointCha::new(Vec::new(), Box::new(|s, k, v| s.push((k, v.copied()))))
     }
 
     /// Runs one clean (all-green) instance where this node is leader.
@@ -205,12 +207,7 @@ mod tests {
         assert_eq!(node.resident_entries(), 0);
         assert_eq!(
             node.state(),
-            &vec![
-                (1, Some(1)),
-                (2, Some(2)),
-                (3, Some(3)),
-                (4, Some(4))
-            ]
+            &vec![(1, Some(1)), (2, Some(2)), (3, Some(3)), (4, Some(4))]
         );
     }
 

@@ -14,9 +14,7 @@ use std::fmt;
 ///
 /// The ordering is derived so that [`Ord::min`] yields the *worse*
 /// color, matching the pseudocode's `min(orange, status)` downgrades.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Color {
     /// No ballot received (or a collision in the ballot phase).
     Red,
@@ -141,7 +139,11 @@ impl<V> History<V> {
     ///
     /// Panics if `k` is 0 or beyond the history length.
     pub fn insert(&mut self, k: u64, value: V) {
-        assert!(k >= 1 && k <= self.len, "instance {k} out of 1..={}", self.len);
+        assert!(
+            k >= 1 && k <= self.len,
+            "instance {k} out of 1..={}",
+            self.len
+        );
         self.entries.insert(k, value);
     }
 }

@@ -156,14 +156,12 @@ impl<V: Clone + Ord + vi_radio::WireSized + 'static> Process<ChaMessage<V>> for 
                 self.was_active = advice.is_active();
                 self.was_active.then_some(ChaMessage::Ballot(ballot))
             }
-            Phase::Veto1 if self.synced => self
-                .protocol
-                .veto1_broadcast()
-                .then_some(ChaMessage::Veto),
-            Phase::Veto2 if self.synced => self
-                .protocol
-                .veto2_broadcast()
-                .then_some(ChaMessage::Veto),
+            Phase::Veto1 if self.synced => {
+                self.protocol.veto1_broadcast().then_some(ChaMessage::Veto)
+            }
+            Phase::Veto2 if self.synced => {
+                self.protocol.veto2_broadcast().then_some(ChaMessage::Veto)
+            }
             _ => None,
         }
     }
@@ -172,10 +170,7 @@ impl<V: Clone + Ord + vi_radio::WireSized + 'static> Process<ChaMessage<V>> for 
         if !self.synced {
             return;
         }
-        let veto_heard = rx
-            .messages
-            .iter()
-            .any(|m| matches!(m, ChaMessage::Veto));
+        let veto_heard = rx.messages.iter().any(|m| matches!(m, ChaMessage::Veto));
         match Phase::of_round(ctx.round) {
             Phase::Ballot => {
                 let ballots: Vec<Ballot<V>> = rx

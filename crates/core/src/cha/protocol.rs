@@ -371,14 +371,7 @@ mod tests {
     #[test]
     fn clean_instance_goes_green_everywhere() {
         let mut nodes = vec![ChaProtocol::<u32>::new(); 3];
-        let outs = run_instance(
-            &mut nodes,
-            0,
-            100,
-            &[false; 3],
-            &[false; 3],
-            &[false; 3],
-        );
+        let outs = run_instance(&mut nodes, 0, 100, &[false; 3], &[false; 3], &[false; 3]);
         for out in &outs {
             assert_eq!(out.color, Color::Green);
             let h = out.history.as_ref().unwrap();
@@ -408,7 +401,10 @@ mod tests {
     fn min_ballot_is_adopted() {
         let mut node = ChaProtocol::<u32>::new();
         node.begin_instance(9);
-        node.on_ballot_phase(&[Ballot::new(9, 0), Ballot::new(3, 0), Ballot::new(7, 0)], false);
+        node.on_ballot_phase(
+            &[Ballot::new(9, 0), Ballot::new(3, 0), Ballot::new(7, 0)],
+            false,
+        );
         assert_eq!(node.ballot_of(1), Some(&Ballot::new(3, 0)));
     }
 
@@ -556,7 +552,7 @@ mod tests {
     }
 
     #[test]
-    fn message_sizes_are_constant(){
+    fn message_sizes_are_constant() {
         let b: ChaMessage<u64> = ChaMessage::Ballot(Ballot::new(12345, 999_999));
         let v: ChaMessage<u64> = ChaMessage::Veto;
         assert_eq!(b.wire_size(), 17);

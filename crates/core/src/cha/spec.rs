@@ -112,8 +112,7 @@ impl<V: Clone + Eq + fmt::Debug> ChaSpecChecker<V> {
     /// Records the output (and final color) `node` produced for one
     /// instance.
     pub fn record_output(&mut self, node: usize, out: &ChaOutput<V>) {
-        self.outputs
-            .push((node, out.instance, out.history.clone()));
+        self.outputs.push((node, out.instance, out.history.clone()));
         self.colors.entry(out.instance).or_default().push(out.color);
         self.by_node
             .entry(node)
@@ -272,7 +271,7 @@ fn first_disagreement<V: Eq>(a: &History<V>, b: &History<V>, upto: u64) -> Optio
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cha::history::{Ballot, calculate_history};
+    use crate::cha::history::{calculate_history, Ballot};
     use std::collections::BTreeMap;
 
     fn history(entries: &[(u64, u32)], len: u64) -> History<u32> {
@@ -299,10 +298,7 @@ mod tests {
         }
         for node in 0..3 {
             for k in 1..=3u64 {
-                let h = history(
-                    &(1..=k).map(|i| (i, i as u32 * 10)).collect::<Vec<_>>(),
-                    k,
-                );
+                let h = history(&(1..=k).map(|i| (i, i as u32 * 10)).collect::<Vec<_>>(), k);
                 c.record_output(node, &out(k, Some(h), Color::Green));
             }
         }
@@ -318,7 +314,13 @@ mod tests {
         c.record_output(0, &out(1, Some(h), Color::Green));
         let v = c.check_validity();
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], SpecViolation::Validity { entry_instance: 1, .. }));
+        assert!(matches!(
+            v[0],
+            SpecViolation::Validity {
+                entry_instance: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -339,7 +341,10 @@ mod tests {
         let mut c = ChaSpecChecker::new();
         c.record_proposal(1, 10);
         c.record_proposal(2, 20);
-        c.record_output(0, &out(2, Some(history(&[(1, 10), (2, 20)], 2)), Color::Green));
+        c.record_output(
+            0,
+            &out(2, Some(history(&[(1, 10), (2, 20)], 2)), Color::Green),
+        );
         c.record_output(1, &out(2, Some(history(&[(2, 20)], 2)), Color::Green));
         assert!(!c.check_agreement().is_empty());
     }
@@ -429,7 +434,10 @@ mod tests {
         c.record_output(1, &out(1, None, Color::Yellow));
         let v = c.check_color_spread();
         assert_eq!(v.len(), 1);
-        assert!(matches!(&v[0], SpecViolation::ColorSpread { instance: 1, .. }));
+        assert!(matches!(
+            &v[0],
+            SpecViolation::ColorSpread { instance: 1, .. }
+        ));
     }
 
     #[test]

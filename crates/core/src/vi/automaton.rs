@@ -163,12 +163,7 @@ impl VirtualAutomaton for CounterAutomaton {
         CounterState::default()
     }
 
-    fn step(
-        &self,
-        state: &mut CounterState,
-        ctx: VnCtx,
-        input: &VirtualInput<u64>,
-    ) -> Option<u64> {
+    fn step(&self, state: &mut CounterState, ctx: VnCtx, input: &VirtualInput<u64>) -> Option<u64> {
         state.received += input.messages.len() as u64;
         if input.collision {
             state.collisions += 1;
@@ -192,7 +187,11 @@ pub fn replay<VA: VirtualAutomaton>(
 ) -> Option<VA::Msg> {
     let mut out = None;
     let mut prev: Option<(u64, bool, VirtualInput<VA::Msg>)> = None;
-    let step = |vr: u64, scheduled: bool, next_scheduled: bool, input: &VirtualInput<VA::Msg>, state: &mut VA::State| {
+    let step = |vr: u64,
+                scheduled: bool,
+                next_scheduled: bool,
+                input: &VirtualInput<VA::Msg>,
+                state: &mut VA::State| {
         automaton.step(
             state,
             VnCtx {
@@ -261,7 +260,10 @@ mod tests {
         assert_eq!(o1, o2);
         assert_eq!(s1.received, 3);
         assert_eq!(s1.collisions, 1);
-        assert_eq!(o1, None, "replay assumes the successor round is unscheduled");
+        assert_eq!(
+            o1, None,
+            "replay assumes the successor round is unscheduled"
+        );
     }
 
     #[test]

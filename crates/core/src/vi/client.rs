@@ -103,7 +103,8 @@ impl<A> PeriodicClient<A> {
 impl<A: Clone + 'static> ClientApp<A> for PeriodicClient<A> {
     fn on_virtual_round(&mut self, vr: u64, _pos: Point, prev: &VirtualReception<A>) -> Option<A> {
         self.log.push(prev.clone());
-        (vr >= self.offset && (vr - self.offset).is_multiple_of(self.period)).then(|| (self.make)(vr))
+        (vr >= self.offset && (vr - self.offset).is_multiple_of(self.period))
+            .then(|| (self.make)(vr))
     }
 
     fn as_any(&self) -> &dyn Any {

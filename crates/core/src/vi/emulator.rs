@@ -385,10 +385,7 @@ impl<VA: VirtualAutomaton> Process<Wire<VA::Msg>> for Device<VA> {
                     return None;
                 }
                 e.report.vn_broadcasts += 1;
-                Some(Wire::VnMsg {
-                    vn: e.vn,
-                    payload,
-                })
+                Some(Wire::VnMsg { vn: e.vn, payload })
             }
             VirtualPhase::SchedBallot => {
                 let e = self.emulator.as_mut()?;
@@ -399,10 +396,7 @@ impl<VA: VirtualAutomaton> Process<Wire<VA::Msg>> for Device<VA> {
                 proposal.canonicalize();
                 let ballot = e.protocol.begin_instance(proposal);
                 e.began = true;
-                (e.cm_active).then(|| Wire::Ballot {
-                    vn: e.vn,
-                    ballot,
-                })
+                (e.cm_active).then(|| Wire::Ballot { vn: e.vn, ballot })
             }
             VirtualPhase::UnschedBallot(slot) => {
                 let e = self.emulator.as_mut()?;
@@ -420,10 +414,7 @@ impl<VA: VirtualAutomaton> Process<Wire<VA::Msg>> for Device<VA> {
                 proposal.canonicalize();
                 let ballot = e.protocol.begin_instance(proposal);
                 e.began = true;
-                (e.cm_active).then(|| Wire::Ballot {
-                    vn: e.vn,
-                    ballot,
-                })
+                (e.cm_active).then(|| Wire::Ballot { vn: e.vn, ballot })
             }
             VirtualPhase::SchedVeto1 | VirtualPhase::UnschedVeto1 => {
                 let e = self.emulator.as_ref()?;
@@ -449,11 +440,12 @@ impl<VA: VirtualAutomaton> Process<Wire<VA::Msg>> for Device<VA> {
             }
             VirtualPhase::JoinAck => {
                 let e = self.emulator.as_ref()?;
-                (e.is_replica() && e.scheduled && e.join_activity && e.cm_active)
-                    .then(|| Wire::JoinAck {
+                (e.is_replica() && e.scheduled && e.join_activity && e.cm_active).then(|| {
+                    Wire::JoinAck {
                         vn: e.vn,
                         transfer: e.encode_transfer(),
-                    })
+                    }
+                })
             }
             VirtualPhase::Reset => {
                 let e = self.emulator.as_ref()?;
@@ -462,8 +454,7 @@ impl<VA: VirtualAutomaton> Process<Wire<VA::Msg>> for Device<VA> {
                 // schedule keeps neighbouring join sub-protocols from
                 // cross-talking (a neighbour's Alive would otherwise
                 // block this virtual node's bootstrap reset forever).
-                (e.is_replica() && e.scheduled && e.join_activity)
-                    .then(|| Wire::Alive { vn: e.vn })
+                (e.is_replica() && e.scheduled && e.join_activity).then(|| Wire::Alive { vn: e.vn })
             }
         }
     }

@@ -151,7 +151,11 @@ mod tests {
         // Three colinear nodes 10 apart: adjacent pairs conflict at
         // dist 15, all pairs at dist 25.
         let l = VnLayout::new(
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(20.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+            ],
             2.0,
         );
         let near = l.conflicts(15.0);

@@ -25,8 +25,8 @@ pub mod schedule;
 pub mod world;
 
 pub use automaton::{
-    replay, CounterAutomaton, CounterState, VirtualAutomaton, VirtualInput, VnCtx, VnId,
-    VnMessage, VnState,
+    replay, CounterAutomaton, CounterState, VirtualAutomaton, VirtualInput, VnCtx, VnId, VnMessage,
+    VnState,
 };
 pub use client::{ClientApp, CollectorClient, PeriodicClient, VirtualReception};
 pub use emulator::{Deployment, Device, EmulatorReport, TransferState};

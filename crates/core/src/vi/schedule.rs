@@ -190,8 +190,7 @@ mod tests {
         let layout = grid_layout(3, 3, 30.0);
         let s = Schedule::build(&layout, 70.0);
         for (vn, _) in layout.iter() {
-            let times: Vec<u64> =
-                (1..=s.len()).filter(|&vr| s.is_scheduled(vn, vr)).collect();
+            let times: Vec<u64> = (1..=s.len()).filter(|&vr| s.is_scheduled(vn, vr)).collect();
             assert_eq!(times.len(), 1, "{vn} scheduled once per cycle");
         }
     }

@@ -167,6 +167,12 @@ impl<VA: VirtualAutomaton> World<VA> {
         &self.engine
     }
 
+    /// The broadcast medium resolving this deployment's rounds (the
+    /// spatially-indexed channel path; see [`vi_radio::Medium`]).
+    pub fn medium(&self) -> &vi_radio::Medium {
+        self.engine.medium()
+    }
+
     /// The most advanced replica view of `vn`: `(state, folded_to)`
     /// with the largest `folded_to` among current replicas.
     pub fn vn_state(&self, vn: VnId) -> Option<(VA::State, u64)> {
@@ -241,6 +247,14 @@ mod tests {
     }
 
     #[test]
+    fn world_resolves_through_grid_medium() {
+        let (world, _) = single_vn_world(1);
+        // The deployment's rounds go through the spatially-indexed
+        // medium, configured from the world's radio parameters.
+        assert_eq!(*world.medium().config(), RadioConfig::reliable(10.0, 20.0));
+    }
+
+    #[test]
     fn bootstrap_via_reset_creates_replicas() {
         let (mut world, ids) = single_vn_world(3);
         world.run_virtual_rounds(2);
@@ -278,8 +292,10 @@ mod tests {
         world.run_virtual_rounds(6);
         // The counter automaton broadcasts every scheduled round (s=1:
         // every round once live); collectors must have heard it.
-        let client: &CollectorClient<u64> =
-            world.device(ids[0]).client::<CollectorClient<u64>>().unwrap();
+        let client: &CollectorClient<u64> = world
+            .device(ids[0])
+            .client::<CollectorClient<u64>>()
+            .unwrap();
         let heard: usize = client.log.iter().map(|r| r.messages.len()).sum();
         assert!(heard >= 3, "client heard the virtual node: {heard}");
     }

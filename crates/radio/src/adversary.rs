@@ -19,7 +19,6 @@
 
 use crate::engine::NodeId;
 use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::HashSet;
 use std::ops::Range;
 
@@ -82,7 +81,7 @@ impl<A: Adversary> Adversary for FaultyDetector<A> {
     }
 
     fn suppress_detection(&mut self, _round: u64, _node: NodeId, rng: &mut StdRng) -> bool {
-        rng.gen_bool(self.miss_p)
+        rng.random_bool(self.miss_p)
     }
 }
 
@@ -128,11 +127,11 @@ impl RandomLoss {
 
 impl Adversary for RandomLoss {
     fn drop_message(&mut self, _round: u64, _src: NodeId, _dst: NodeId, rng: &mut StdRng) -> bool {
-        rng.gen_bool(self.drop_p)
+        rng.random_bool(self.drop_p)
     }
 
     fn spurious_collision(&mut self, _round: u64, _node: NodeId, rng: &mut StdRng) -> bool {
-        rng.gen_bool(self.spurious_p)
+        rng.random_bool(self.spurious_p)
     }
 }
 

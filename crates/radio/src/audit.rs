@@ -189,9 +189,9 @@ mod tests {
     use super::*;
     use crate::adversary::RandomLoss;
     use crate::geometry::Point;
+    use crate::geometry::Rect;
     use crate::mobility::Waypoint;
     use crate::{Engine, EngineConfig, NodeSpec, Process, RoundCtx, RoundReception};
-    use crate::geometry::Rect;
     use std::any::Any;
 
     struct Chatty;
@@ -263,7 +263,10 @@ mod tests {
                 .into_iter()
                 .map(|(n, x)| (NodeId::from(n), Point::new(x, 0.0)))
                 .collect(),
-            broadcasts: broadcasts.into_iter().map(|n| (NodeId::from(n), 8)).collect(),
+            broadcasts: broadcasts
+                .into_iter()
+                .map(|n| (NodeId::from(n), 8))
+                .collect(),
             deliveries: deliveries
                 .into_iter()
                 .map(|(a, b)| (NodeId::from(a), NodeId::from(b)))
@@ -275,13 +278,7 @@ mod tests {
     #[test]
     fn detects_delivery_beyond_r1() {
         let cfg = RadioConfig::reliable(10.0, 20.0);
-        let rec = record(
-            vec![(0, 0.0), (1, 15.0)],
-            vec![0],
-            vec![(0, 1)],
-            vec![],
-            0,
-        );
+        let rec = record(vec![(0, 0.0), (1, 15.0)], vec![0], vec![(0, 1)], vec![], 0);
         let v = audit_round(&rec, &cfg);
         assert!(matches!(v[0], ChannelViolation::DeliveryBeyondR1 { .. }));
     }
@@ -330,13 +327,7 @@ mod tests {
     #[test]
     fn clean_round_passes() {
         let cfg = RadioConfig::reliable(10.0, 20.0);
-        let rec = record(
-            vec![(0, 0.0), (1, 5.0)],
-            vec![0],
-            vec![(0, 1)],
-            vec![],
-            3,
-        );
+        let rec = record(vec![(0, 0.0), (1, 5.0)], vec![0], vec![(0, 1)], vec![], 3);
         assert!(audit_round(&rec, &cfg).is_empty());
     }
 }

@@ -23,7 +23,7 @@
 use crate::adversary::Adversary;
 use crate::config::RadioConfig;
 use crate::engine::NodeId;
-use crate::geometry::Point;
+use crate::geometry::{Point, SpatialGrid};
 use rand::rngs::StdRng;
 
 /// A node's transmission decision for one round.
@@ -86,16 +86,217 @@ impl<M> AttributedReception<M> {
     }
 }
 
-/// Resolves one slotted round of the channel.
+/// The shared broadcast medium: resolves rounds through a spatial
+/// index with reusable per-round buffers.
 ///
-/// `intents` carries every *alive, participating* node exactly once.
-/// Returns one [`AttributedReception`] per intent, in the same order.
+/// This is the engine's hot path. The naive delivery rule is
+/// O(receivers × broadcasters × nodes): for every (receiver,
+/// broadcaster) pair it scans *all* broadcasters for an interferer.
+/// `Medium` instead rebuilds a [`SpatialGrid`] over the round's
+/// broadcasters (cell size `R2`) and answers "which broadcasters sit
+/// within `R2` of this receiver?" with a 3×3-cell query, making the
+/// round near-linear in the node count for bounded-density
+/// deployments. All index and scratch buffers are owned by the
+/// `Medium` and reused round over round, so resolution allocates
+/// nothing in steady state beyond the delivered payloads themselves.
 ///
-/// The adversary is consulted only within its mandate: message drops
-/// only for rounds before `cfg.rcf`, spurious collision indications
-/// only before `cfg.racc`. Completeness (Property 1) cannot be
-/// suppressed by any adversary.
+/// Observational equivalence with the naive rule is load-bearing:
+/// [`Medium::resolve_into`] consults the [`Adversary`] for exactly the
+/// same (round, sender, receiver) queries in exactly the same order as
+/// [`resolve_round_reference`], so for any seed the two produce
+/// byte-for-byte identical receptions, traces, and statistics (see the
+/// differential tests in `tests/substrate_properties.rs`).
+#[derive(Debug)]
+pub struct Medium {
+    cfg: RadioConfig,
+    grid: SpatialGrid,
+    /// Intent indices of this round's broadcasters.
+    broadcasters: Vec<usize>,
+    /// Broadcaster positions, parallel to `broadcasters` (grid input).
+    broadcaster_pos: Vec<Point>,
+    /// Scratch: grid query output (slots into `broadcasters`).
+    candidates: Vec<u32>,
+    /// Scratch: in-`R2` broadcaster intent indices, sorted ascending.
+    neighbors: Vec<usize>,
+}
+
+impl Medium {
+    /// Creates a medium for the given radio parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`RadioConfig::validate`]).
+    pub fn new(cfg: RadioConfig) -> Self {
+        cfg.validate().expect("invalid radio config");
+        Medium {
+            cfg,
+            grid: SpatialGrid::new(cfg.r2),
+            broadcasters: Vec::new(),
+            broadcaster_pos: Vec::new(),
+            candidates: Vec::new(),
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// The radio parameters this medium resolves under.
+    pub fn config(&self) -> &RadioConfig {
+        &self.cfg
+    }
+
+    /// Resolves one round, appending one [`AttributedReception`] per
+    /// intent (same order) to `out`.
+    ///
+    /// `intents` carries every *alive, participating* node exactly
+    /// once. The adversary is consulted only within its mandate:
+    /// message drops only for rounds before `cfg.rcf`, spurious
+    /// collision indications only before `cfg.racc`. Completeness
+    /// (Property 1) cannot be suppressed by any adversary.
+    ///
+    /// `out` is cleared first; callers that keep the buffer across
+    /// rounds amortize its allocation away.
+    pub fn resolve_into<M: Clone>(
+        &mut self,
+        round: u64,
+        intents: &[TxIntent<M>],
+        adversary: &mut dyn Adversary,
+        rng: &mut StdRng,
+        out: &mut Vec<AttributedReception<M>>,
+    ) {
+        out.clear();
+        let cfg = &self.cfg;
+        self.broadcasters.clear();
+        self.broadcaster_pos.clear();
+        for (i, intent) in intents.iter().enumerate() {
+            if intent.payload.is_some() {
+                self.broadcasters.push(i);
+                self.broadcaster_pos.push(intent.pos);
+            }
+        }
+        self.grid.rebuild(&self.broadcaster_pos);
+
+        for (j, rx_intent) in intents.iter().enumerate() {
+            let j_broadcasting = rx_intent.payload.is_some();
+            let mut messages: Vec<(NodeId, M)> = Vec::new();
+            let mut lost_within_r1 = false;
+            let mut lost_within_r2 = false;
+
+            // The sender observes its own payload (it knows what it
+            // sent).
+            if let Some(own) = &rx_intent.payload {
+                messages.push((rx_intent.node, own.clone()));
+            }
+
+            // All broadcasters within R2 of j, in ascending intent
+            // order (the adversary consultation order of the reference
+            // resolver).
+            self.candidates.clear();
+            self.grid
+                .query_within(rx_intent.pos, cfg.r2, &mut self.candidates);
+            self.neighbors.clear();
+            self.neighbors.extend(
+                self.candidates
+                    .iter()
+                    .map(|&slot| self.broadcasters[slot as usize])
+                    .filter(|&i| i != j),
+            );
+            self.neighbors.sort_unstable();
+            // `interfered` for any specific in-R2 sender i means "some
+            // broadcaster k != i, k != j within R2 of j" — with the
+            // in-R2 count in hand that is simply `count >= 2`.
+            let interfered = self.neighbors.len() >= 2;
+
+            for &i in &self.neighbors {
+                let tx = &intents[i];
+                let d2 = tx.pos.distance_sq(rx_intent.pos);
+                let in_r1 = d2 <= cfg.r1 * cfg.r1;
+
+                let physically_ok = !j_broadcasting && in_r1 && !interfered;
+                let delivered = physically_ok
+                    && !(round < cfg.rcf
+                        && adversary.drop_message(round, tx.node, rx_intent.node, rng));
+
+                if delivered {
+                    messages.push((tx.node, tx.payload.as_ref().expect("broadcaster").clone()));
+                } else {
+                    if in_r1 {
+                        lost_within_r1 = true;
+                    }
+                    lost_within_r2 = true;
+                }
+            }
+
+            // Collision detector output.
+            // Property 1 (completeness): any loss within R1 forces a
+            // report. Property 2 (eventual accuracy): from racc
+            // onwards, reports only when something within R2 was lost.
+            // Before racc the adversary may inject false positives.
+            let accurate_report = if cfg.ring_reports {
+                lost_within_r2
+            } else {
+                lost_within_r1
+            };
+            let mut collision = lost_within_r1
+                || accurate_report
+                || (round < cfg.racc && adversary.spurious_collision(round, rx_intent.node, rng));
+            // Model-violation hook: the E13 necessity ablation may
+            // break completeness here. Normal adversaries never do.
+            if collision && adversary.suppress_detection(round, rx_intent.node, rng) {
+                collision = false;
+            }
+
+            out.push(AttributedReception {
+                node: rx_intent.node,
+                messages,
+                collision,
+            });
+        }
+    }
+
+    /// Convenience wrapper over [`Medium::resolve_into`] returning a
+    /// fresh vector.
+    pub fn resolve<M: Clone>(
+        &mut self,
+        round: u64,
+        intents: &[TxIntent<M>],
+        adversary: &mut dyn Adversary,
+        rng: &mut StdRng,
+    ) -> Vec<AttributedReception<M>> {
+        let mut out = Vec::with_capacity(intents.len());
+        self.resolve_into(round, intents, adversary, rng, &mut out);
+        out
+    }
+}
+
+/// Resolves one slotted round of the channel through a fresh
+/// [`Medium`] (grid-indexed path).
+///
+/// One-shot convenience for tests and tools; the engine keeps a
+/// long-lived [`Medium`] instead so buffers amortize across rounds.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid (see [`RadioConfig::validate`]).
 pub fn resolve_round<M: Clone>(
+    round: u64,
+    cfg: &RadioConfig,
+    intents: &[TxIntent<M>],
+    adversary: &mut dyn Adversary,
+    rng: &mut StdRng,
+) -> Vec<AttributedReception<M>> {
+    Medium::new(*cfg).resolve(round, intents, adversary, rng)
+}
+
+/// The naive O(receivers × broadcasters × nodes) resolver, kept as the
+/// executable specification of the delivery rule.
+///
+/// [`Medium`] must be observationally identical to this function —
+/// same receptions, same adversary consultation order, same RNG
+/// stream. Differential tests (`tests/substrate_properties.rs`) and
+/// the `radio_scale` experiment in `vi-bench` hold the two against
+/// each other. Do not optimize this function: its value is being
+/// obviously correct.
+pub fn resolve_round_reference<M: Clone>(
     round: u64,
     cfg: &RadioConfig,
     intents: &[TxIntent<M>],

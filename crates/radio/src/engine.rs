@@ -2,9 +2,10 @@
 //!
 //! The engine owns a set of nodes, each bundling a mobility model and
 //! a protocol [`Process`]. Every round it (1) advances mobility, (2)
-//! collects transmission decisions, (3) resolves the channel with
-//! [`crate::channel::resolve_round`], and (4) delivers
-//! receptions. Executions are deterministic given the seed.
+//! collects transmission decisions, (3) resolves the channel through
+//! the engine-owned [`Medium`] (spatially indexed, reusable buffers),
+//! and (4) delivers receptions. Executions are deterministic given
+//! the seed.
 //!
 //! Crash failures and dynamic arrivals follow the paper's model: a
 //! node may crash at any point (including mid-protocol-phase), and new
@@ -12,7 +13,7 @@
 //! again; not-yet-spawned nodes are invisible to the channel.
 
 use crate::adversary::{Adversary, NoAdversary};
-use crate::channel::{resolve_round, RoundReception, TxIntent};
+use crate::channel::{AttributedReception, Medium, RoundReception, TxIntent};
 use crate::config::RadioConfig;
 use crate::geometry::Point;
 use crate::mobility::MobilityModel;
@@ -170,6 +171,14 @@ pub struct Engine<M> {
     round: u64,
     trace: Trace,
     stats: ChannelStats,
+    /// The broadcast medium: spatial index plus reusable resolution
+    /// buffers (see [`Medium`]).
+    medium: Medium,
+    /// Per-round buffers, reused across [`Engine::step`] calls so the
+    /// steady-state loop does not allocate.
+    intents: Vec<TxIntent<M>>,
+    live: Vec<usize>,
+    receptions: Vec<AttributedReception<M>>,
 }
 
 impl<M: Clone + WireSized + 'static> Engine<M> {
@@ -181,6 +190,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
     pub fn new(config: EngineConfig) -> Self {
         config.radio.validate().expect("invalid radio config");
         let rng = StdRng::seed_from_u64(config.seed);
+        let medium = Medium::new(config.radio);
         Engine {
             config,
             nodes: Vec::new(),
@@ -189,7 +199,16 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             round: 0,
             trace: Trace::new(),
             stats: ChannelStats::default(),
+            medium,
+            intents: Vec::new(),
+            live: Vec::new(),
+            receptions: Vec::new(),
         }
+    }
+
+    /// The broadcast medium driving channel resolution.
+    pub fn medium(&self) -> &Medium {
+        &self.medium
     }
 
     /// Installs an adversary (replacing the current one).
@@ -278,11 +297,13 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         self.nodes.len()
     }
 
-    /// Executes one slotted round.
+    /// Executes one slotted round: advance mobility, collect intents,
+    /// resolve the channel through the [`Medium`], deliver outcomes.
+    /// All round buffers are engine-owned and reused.
     pub fn step(&mut self) {
         let round = self.round;
-        let mut intents: Vec<TxIntent<M>> = Vec::new();
-        let mut live: Vec<usize> = Vec::new();
+        self.intents.clear();
+        self.live.clear();
 
         for idx in 0..self.nodes.len() {
             if !self.nodes[idx].participates(round) {
@@ -302,32 +323,32 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             self.nodes[idx].placed = true;
             let ctx = RoundCtx { round, pos };
             let payload = self.nodes[idx].process.transmit(&ctx);
-            intents.push(TxIntent {
+            self.intents.push(TxIntent {
                 node: self.nodes[idx].id,
                 pos,
                 payload,
             });
-            live.push(idx);
+            self.live.push(idx);
         }
 
-        let receptions = resolve_round(
+        self.medium.resolve_into(
             round,
-            &self.config.radio,
-            &intents,
+            &self.intents,
             self.adversary.as_mut(),
             &mut self.rng,
+            &mut self.receptions,
         );
 
         // Statistics and trace.
         self.stats.rounds += 1;
         let mut record = self.config.record_trace.then(|| RoundRecord {
             round,
-            positions: intents.iter().map(|i| (i.node, i.pos)).collect(),
+            positions: self.intents.iter().map(|i| (i.node, i.pos)).collect(),
             broadcasts: Vec::new(),
             deliveries: Vec::new(),
             collisions: Vec::new(),
         });
-        for intent in &intents {
+        for intent in &self.intents {
             if let Some(payload) = &intent.payload {
                 let size = payload.wire_size();
                 self.stats.broadcasts += 1;
@@ -338,7 +359,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
                 }
             }
         }
-        for rx in &receptions {
+        for rx in &self.receptions {
             for &(src, _) in rx.messages.iter().filter(|(src, _)| *src != rx.node) {
                 self.stats.deliveries += 1;
                 if let Some(rec) = record.as_mut() {
@@ -356,9 +377,9 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             self.trace.rounds.push(rec);
         }
 
-        // Deliver outcomes.
-        for (k, rx) in receptions.into_iter().enumerate() {
-            let idx = live[k];
+        // Deliver outcomes (draining keeps the buffer's capacity).
+        for (k, rx) in self.receptions.drain(..).enumerate() {
+            let idx = self.live[k];
             let ctx = RoundCtx {
                 round,
                 pos: self.nodes[idx].pos,

@@ -153,6 +153,170 @@ impl fmt::Display for Rect {
     }
 }
 
+/// A uniform-grid spatial index over a set of points, rebuilt cheaply
+/// every round and queried for "all points within `radius` of here".
+///
+/// The channel [`Medium`](crate::channel::Medium) rebuilds one of these
+/// per round over the broadcasting nodes: with cell size `R2`, a range
+/// query for an interference radius touches at most a 3×3 block of
+/// cells, turning the naive all-pairs scan into a near-linear sweep.
+///
+/// Internally a counting-sort CSR layout: `starts[c]..starts[c + 1]`
+/// indexes `items` for cell `c`. Rebuilding reuses all buffers, so the
+/// steady-state allocation cost is zero once capacities have grown to
+/// the working-set size. Insertion order is preserved within a cell,
+/// but query results interleave cells — callers needing a canonical
+/// order must sort.
+#[derive(Clone, Debug, Default)]
+pub struct SpatialGrid {
+    /// Nominal cell size requested at construction.
+    cell: f64,
+    /// Cell size actually used by the last rebuild (the nominal size,
+    /// possibly coarsened to respect [`Self::MAX_CELLS_PER_AXIS`]).
+    effective_cell: f64,
+    origin: Point,
+    cols: usize,
+    rows: usize,
+    /// CSR cell offsets (`cells + 1` entries).
+    starts: Vec<u32>,
+    /// Point indices bucketed by cell.
+    items: Vec<u32>,
+    /// Cursor scratch for the counting-sort scatter.
+    cursors: Vec<u32>,
+    /// Copy of the indexed positions (for distance filtering).
+    positions: Vec<Point>,
+}
+
+impl SpatialGrid {
+    /// Upper bound on cells per axis; beyond this the effective cell
+    /// size is coarsened so sparse, far-flung populations cannot make
+    /// the grid allocate quadratically in the coordinate spread.
+    const MAX_CELLS_PER_AXIS: usize = 1024;
+
+    /// Creates an empty grid with the given nominal cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not positive and finite.
+    pub fn new(cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "grid cell size must be positive and finite (got {cell})"
+        );
+        SpatialGrid {
+            cell,
+            ..SpatialGrid::default()
+        }
+    }
+
+    /// Number of points currently indexed.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Reindexes `points`, reusing all internal buffers.
+    pub fn rebuild(&mut self, points: &[Point]) {
+        self.positions.clear();
+        self.positions.extend_from_slice(points);
+        self.items.clear();
+        if points.is_empty() {
+            self.cols = 0;
+            self.rows = 0;
+            self.starts.clear();
+            return;
+        }
+
+        let (mut min_x, mut min_y, mut max_x, mut max_y) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        self.origin = Point::new(min_x, min_y);
+        let span_x = (max_x - min_x).max(0.0);
+        let span_y = (max_y - min_y).max(0.0);
+        let max_axis = Self::MAX_CELLS_PER_AXIS as f64;
+        let mut effective_cell = self.cell.max(span_x / max_axis).max(span_y / max_axis);
+        // Rebuild cost is O(cells), so also cap the cell count relative
+        // to the population: a few far-flung points must not make every
+        // round re-zero a huge, almost-empty grid.
+        let cell_budget = (16 * points.len().max(16)) as f64;
+        let cells_at = |cell: f64| ((span_x / cell) + 1.0) * ((span_y / cell) + 1.0);
+        if cells_at(effective_cell) > cell_budget {
+            effective_cell *= (cells_at(effective_cell) / cell_budget).sqrt();
+        }
+        self.cols = (span_x / effective_cell) as usize + 1;
+        self.rows = (span_y / effective_cell) as usize + 1;
+        let cells = self.cols * self.rows;
+
+        // Counting sort into CSR: count, prefix-sum, scatter.
+        self.starts.clear();
+        self.starts.resize(cells + 1, 0);
+        for p in points {
+            let c = self.cell_of(*p, effective_cell);
+            self.starts[c + 1] += 1;
+        }
+        for c in 0..cells {
+            self.starts[c + 1] += self.starts[c];
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.starts[..cells]);
+        self.items.resize(points.len(), 0);
+        for (i, p) in points.iter().enumerate() {
+            let c = self.cell_of(*p, effective_cell);
+            self.items[self.cursors[c] as usize] = i as u32;
+            self.cursors[c] += 1;
+        }
+        self.effective_cell = effective_cell;
+    }
+
+    fn cell_of(&self, p: Point, cell: f64) -> usize {
+        let cx = (((p.x - self.origin.x) / cell) as usize).min(self.cols - 1);
+        let cy = (((p.y - self.origin.y) / cell) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Appends to `out` the index of every point within `radius` of
+    /// `center` (inclusive, matching [`Point::within`]). Results are in
+    /// cell order, **not** index order.
+    pub fn query_within(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        if self.positions.is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        let cell = self.effective_cell;
+        let lo_x = ((center.x - radius - self.origin.x) / cell).floor();
+        let hi_x = ((center.x + radius - self.origin.x) / cell).floor();
+        let lo_y = ((center.y - radius - self.origin.y) / cell).floor();
+        let hi_y = ((center.y + radius - self.origin.y) / cell).floor();
+        let clamp = |v: f64, hi: usize| (v.max(0.0) as usize).min(hi - 1);
+        let (cx0, cx1) = (clamp(lo_x, self.cols), clamp(hi_x, self.cols));
+        let (cy0, cy1) = (clamp(lo_y, self.rows), clamp(hi_y, self.rows));
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let c = cy * self.cols + cx;
+                let (s, e) = (self.starts[c] as usize, self.starts[c + 1] as usize);
+                for &idx in &self.items[s..e] {
+                    if self.positions[idx as usize].distance_sq(center) <= r_sq {
+                        out.push(idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +389,81 @@ mod tests {
         assert_eq!(a.lerp(b, 0.0), a);
         assert_eq!(a.lerp(b, 1.0), b);
         assert_eq!(a.lerp(b, 0.5), Point::new(2.0, 4.0));
+    }
+
+    /// Brute-force oracle for grid queries.
+    fn naive_within(points: &[Point], center: Point, radius: f64) -> Vec<u32> {
+        (0..points.len() as u32)
+            .filter(|&i| points[i as usize].within(center, radius))
+            .collect()
+    }
+
+    #[test]
+    fn grid_matches_naive_queries() {
+        // Deterministic pseudo-random scatter (no RNG dependency here).
+        let points: Vec<Point> = (0..200u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+                Point::new((h % 1000) as f64 / 7.0, ((h >> 32) % 1000) as f64 / 7.0)
+            })
+            .collect();
+        let mut grid = SpatialGrid::new(20.0);
+        grid.rebuild(&points);
+        assert_eq!(grid.len(), points.len());
+        for (qi, &center) in points.iter().enumerate().step_by(17) {
+            for radius in [0.5, 5.0, 20.0, 75.0] {
+                let mut got = Vec::new();
+                grid.query_within(center, radius, &mut got);
+                got.sort_unstable();
+                assert_eq!(
+                    got,
+                    naive_within(&points, center, radius),
+                    "query {qi} radius {radius}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_rebuild_reuses_and_resizes() {
+        let mut grid = SpatialGrid::new(10.0);
+        grid.rebuild(&[Point::new(1.0, 1.0), Point::new(2.0, 2.0)]);
+        assert_eq!(grid.len(), 2);
+        let mut out = Vec::new();
+        grid.query_within(Point::new(1.0, 1.0), 5.0, &mut out);
+        assert_eq!(out.len(), 2);
+
+        // Shrink to empty and grow again: queries must stay consistent.
+        grid.rebuild(&[]);
+        assert!(grid.is_empty());
+        out.clear();
+        grid.query_within(Point::ORIGIN, 100.0, &mut out);
+        assert!(out.is_empty());
+
+        let far = vec![Point::new(0.0, 0.0), Point::new(1e6, 1e6)];
+        grid.rebuild(&far);
+        out.clear();
+        grid.query_within(Point::new(1e6, 1e6), 1.0, &mut out);
+        assert_eq!(out, vec![1], "coarsened grid still answers correctly");
+    }
+
+    #[test]
+    fn grid_query_is_inclusive_like_within() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        let mut grid = SpatialGrid::new(20.0);
+        grid.rebuild(&points);
+        let mut out = Vec::new();
+        grid.query_within(Point::ORIGIN, 5.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1], "boundary point included");
+        out.clear();
+        grid.query_within(Point::ORIGIN, 4.999, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid cell size")]
+    fn grid_rejects_bad_cell() {
+        let _ = SpatialGrid::new(0.0);
     }
 }

@@ -13,6 +13,10 @@
 //! * **Quasi-unit-disk communication** — nodes within the broadcast
 //!   radius `R1` can communicate; broadcasters within the interference
 //!   radius `R2` of a receiver destroy reception ([`RadioConfig`]).
+//!   Rounds are resolved by the [`Medium`], a spatially-indexed
+//!   ([`SpatialGrid`]) path with reusable buffers that is
+//!   differentially tested against the naive
+//!   [`resolve_round_reference`] specification.
 //! * **Collision detectors in class 3A-C** — *complete* (no false
 //!   negatives, Property 1 of the paper) and *eventually accurate*
 //!   (eventually no false positives, Property 2). See [`channel`].
@@ -87,10 +91,12 @@ pub use adversary::{
     Adversary, BurstLoss, FaultyDetector, NoAdversary, RandomLoss, ScriptedAdversary,
 };
 pub use audit::{audit_trace, ChannelViolation};
-pub use channel::{resolve_round, RoundReception, TxIntent};
+pub use channel::{
+    resolve_round, resolve_round_reference, AttributedReception, Medium, RoundReception, TxIntent,
+};
 pub use config::{ConfigError, RadioConfig};
 pub use engine::{Engine, EngineConfig, NodeId, NodeSpec, Process, RoundCtx};
-pub use geometry::Point;
+pub use geometry::{Point, SpatialGrid};
 pub use trace::{ChannelStats, RoundRecord, Trace};
 
 /// Abstract on-the-wire size of a message, in bytes.

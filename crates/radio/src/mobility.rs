@@ -13,7 +13,6 @@
 
 use crate::geometry::{Point, Rect};
 use rand::rngs::StdRng;
-use rand::Rng;
 
 /// A trajectory generator with bounded per-round displacement.
 pub trait MobilityModel {
@@ -92,8 +91,8 @@ impl MobilityModel for Waypoint {
     fn advance(&mut self, _round: u64, rng: &mut StdRng) -> Point {
         if self.pos == self.target {
             self.target = Point::new(
-                rng.gen_range(self.bounds.min.x..=self.bounds.max.x),
-                rng.gen_range(self.bounds.min.y..=self.bounds.max.y),
+                rng.random_range(self.bounds.min.x..=self.bounds.max.x),
+                rng.random_range(self.bounds.min.y..=self.bounds.max.y),
             );
         }
         self.pos = self.pos.step_towards(self.target, self.speed);

@@ -36,10 +36,7 @@ fn main() {
     let relay = world.add_device(Box::new(Static::new(Point::new(50.0, 50.6))), None);
 
     world.run_virtual_rounds(15);
-    println!(
-        "before crash: {} replicas",
-        world.replica_count(VnId(0))
-    );
+    println!("before crash: {} replicas", world.replica_count(VnId(0)));
 
     // Crash one replica mid-flight; the virtual node must survive.
     world.crash(relay);

@@ -41,7 +41,10 @@ fn main() {
         })
         .collect();
 
-    println!("one virtual round = {} radio rounds", world.plan().rounds_per_vr());
+    println!(
+        "one virtual round = {} radio rounds",
+        world.plan().rounds_per_vr()
+    );
     for step in 1..=5 {
         world.run_virtual_rounds(2);
         let vr = world.virtual_rounds_done();
@@ -64,7 +67,10 @@ fn main() {
         .client::<CollectorClient<u64>>()
         .expect("client present");
     let heard: Vec<&u64> = client.log.iter().flat_map(|r| &r.messages).collect();
-    println!("client 0 heard {} virtual-node broadcasts: {heard:?}", heard.len());
+    println!(
+        "client 0 heard {} virtual-node broadcasts: {heard:?}",
+        heard.len()
+    );
 
     let (_, report) = world.vn_report(VnId(0));
     println!(

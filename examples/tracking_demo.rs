@@ -36,7 +36,11 @@ fn main() {
 
     // The tracked object: reports every 2 virtual rounds while roaming.
     let reporter = world.add_device(
-        Box::new(Waypoint::new(Point::new(20.0, 20.0), 0.05, Rect::square(100.0))),
+        Box::new(Waypoint::new(
+            Point::new(20.0, 20.0),
+            0.05,
+            Rect::square(100.0),
+        )),
         Some(Box::new(ReporterClient::new(7, 2, CELL))),
     );
 

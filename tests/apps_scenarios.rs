@@ -62,7 +62,10 @@ fn tracking_across_regions() {
         cell_of(Point::new(35.0, 55.0), 20.0),
         cell_of(Point::new(165.0, 55.0), 20.0),
     ];
-    assert!(visited.contains(cell) || cell.0 >= 1, "plausible cell: {cell:?}");
+    assert!(
+        visited.contains(cell) || cell.0 >= 1,
+        "plausible cell: {cell:?}"
+    );
 }
 
 /// The register survives replica churn without losing acknowledged
@@ -108,7 +111,10 @@ fn register_survives_replica_rotation() {
     assert_eq!(w.ack_log, vec![1, 2, 3, 4, 5, 6, 7, 8], "all writes acked");
     let r: &ReaderClient = world.device(reader).client::<ReaderClient>().unwrap();
     let tags: Vec<u64> = r.read_log.iter().map(|&(t, _)| t).collect();
-    assert!(tags.windows(2).all(|w| w[0] <= w[1]), "regular reads: {tags:?}");
+    assert!(
+        tags.windows(2).all(|w| w[0] <= w[1]),
+        "regular reads: {tags:?}"
+    );
     let (state, _) = world.vn_state(VnId(0)).expect("register alive");
     assert_eq!((state.tag, state.value), (8, 508), "no acked write lost");
 }

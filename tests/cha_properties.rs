@@ -8,11 +8,11 @@
 //! when the environment stabilizes.
 
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use vi_bench::harness::{run_clique, AdversaryKind, CliqueConfig};
 use virtual_infra::contention::PreStability;
 use virtual_infra::core::cha::{calculate_history, Ballot, ChaSpecChecker};
 use virtual_infra::radio::RadioConfig;
-use std::collections::BTreeMap;
 
 /// A randomly hostile environment that never stabilizes.
 fn hostile_config() -> impl Strategy<Value = CliqueConfig> {
@@ -31,26 +31,21 @@ fn hostile_config() -> impl Strategy<Value = CliqueConfig> {
             cfg.cm_stabilize = u64::MAX;
             cfg.cm_pre = PreStability::Random(cm_p);
             cfg.adversary = AdversaryKind::Random(loss, spurious);
-            cfg.crashes = crashes
-                .into_iter()
-                .filter(|&(node, _)| node < n)
-                .collect();
+            cfg.crashes = crashes.into_iter().filter(|&(node, _)| node < n).collect();
             cfg
         })
 }
 
 /// An environment that stabilizes midway.
 fn stabilizing_config() -> impl Strategy<Value = CliqueConfig> {
-    (2usize..6, 0u64..60, 0.0f64..0.8, any::<u64>()).prop_map(
-        |(n, disrupt, loss, seed)| {
-            let mut cfg = CliqueConfig::reliable(n, disrupt / 3 + 15, seed);
-            cfg.radio = RadioConfig::stabilizing(10.0, 20.0, disrupt);
-            cfg.cm_stabilize = disrupt;
-            cfg.cm_pre = PreStability::AllActive;
-            cfg.adversary = AdversaryKind::Random(loss, loss / 2.0);
-            cfg
-        },
-    )
+    (2usize..6, 0u64..60, 0.0f64..0.8, any::<u64>()).prop_map(|(n, disrupt, loss, seed)| {
+        let mut cfg = CliqueConfig::reliable(n, disrupt / 3 + 15, seed);
+        cfg.radio = RadioConfig::stabilizing(10.0, 20.0, disrupt);
+        cfg.cm_stabilize = disrupt;
+        cfg.cm_pre = PreStability::AllActive;
+        cfg.adversary = AdversaryKind::Random(loss, loss / 2.0);
+        cfg
+    })
 }
 
 proptest! {

@@ -166,8 +166,16 @@ fn co_located_clients_see_identical_vn_traffic() {
         Some(Box::new(CollectorClient::<u64>::default())),
     );
     world.run_virtual_rounds(12);
-    let log1 = &world.device(c1).client::<CollectorClient<u64>>().unwrap().log;
-    let log2 = &world.device(c2).client::<CollectorClient<u64>>().unwrap().log;
+    let log1 = &world
+        .device(c1)
+        .client::<CollectorClient<u64>>()
+        .unwrap()
+        .log;
+    let log2 = &world
+        .device(c2)
+        .client::<CollectorClient<u64>>()
+        .unwrap()
+        .log;
     let msgs1: Vec<&u64> = log1.iter().flat_map(|r| &r.messages).collect();
     let msgs2: Vec<&u64> = log2.iter().flat_map(|r| &r.messages).collect();
     assert_eq!(msgs1, msgs2, "same virtual broadcasts observed");

@@ -3,9 +3,7 @@
 //! replication invariants must hold in every generated world.
 
 use proptest::prelude::*;
-use virtual_infra::core::vi::{
-    CounterAutomaton, CounterState, VnId, VnLayout, World, WorldConfig,
-};
+use virtual_infra::core::vi::{CounterAutomaton, CounterState, VnId, VnLayout, World, WorldConfig};
 use virtual_infra::radio::adversary::BurstLoss;
 use virtual_infra::radio::geometry::Point;
 use virtual_infra::radio::mobility::Static;
@@ -32,14 +30,16 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         proptest::option::of((2u64..10, 1u64..5)),
         proptest::collection::vec((0usize..12, 0u64..6, 8u64..18), 0..3),
     )
-        .prop_map(|(seed, devices_per_vn, vn_count, vrs, burst, churn)| Scenario {
-            seed,
-            devices_per_vn,
-            vn_count,
-            vrs,
-            burst,
-            churn,
-        })
+        .prop_map(
+            |(seed, devices_per_vn, vn_count, vrs, burst, churn)| Scenario {
+                seed,
+                devices_per_vn,
+                vn_count,
+                vrs,
+                burst,
+                churn,
+            },
+        )
 }
 
 fn build(s: &Scenario) -> World<CounterAutomaton> {

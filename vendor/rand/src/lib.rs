@@ -1,0 +1,308 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the rand 0.9 API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] sampling methods `random_bool` / `random_ratio` /
+//! `random_range` / `random`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a
+//! well-studied, fast PRNG. Streams are **not** bit-compatible with
+//! upstream `StdRng` (ChaCha12); every consumer in this workspace only
+//! requires determinism for a fixed seed, which this provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from a `u64` (the only
+/// construction path this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface over a raw `u64` stream.
+pub trait Rng {
+    /// Next raw 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // 53 uniform mantissa bits, same construction as rand's
+        // Standard distribution for f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero or `numerator > denominator`.
+    fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "zero denominator");
+        assert!(numerator <= denominator, "ratio above 1");
+        self.random_range(0..denominator) < numerator
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Samples a uniformly random value of a [`Standard`]-distributed
+    /// type (`bool` and the integer widths used in this workspace).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+/// Types with a canonical "uniform over the whole domain" distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_range_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                // Lemire-style unbiased bounded draw via 128-bit multiply
+                // with a rejection step.
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let x = rng.next_u64();
+                    let m = (x as u128) * (span as u128);
+                    if (m as u64) >= threshold {
+                        return low.wrapping_add((m >> 64) as $t);
+                    }
+                }
+            }
+            fn sample_range_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range");
+                if low == 0 && high as u128 == <$t>::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                Self::sample_range(rng, low, high.wrapping_add(1))
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range");
+                let span = (high as $u).wrapping_sub(low as $u);
+                let off = <$u>::sample_range(rng, 0, span);
+                low.wrapping_add(off as $t)
+            }
+            fn sample_range_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range");
+                if low == <$t>::MIN && high == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                Self::sample_range(rng, low, high.wrapping_add(1))
+            }
+        }
+    )*};
+}
+
+uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + u * (high - low)
+    }
+    fn sample_range_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + u * (high - low)
+    }
+}
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one value from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator:
+    /// xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro
+            // authors for seeding from a single word.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl StdRng {
+        /// Inherent mirror of [`Rng::random_bool`], so call sites work
+        /// without the trait in scope (proptest perturb closures).
+        pub fn random_bool(&mut self, p: f64) -> bool {
+            Rng::random_bool(self, p)
+        }
+
+        /// Inherent mirror of [`Rng::random_range`].
+        pub fn random_range<T, R>(&mut self, range: R) -> T
+        where
+            T: super::SampleUniform,
+            R: super::SampleRange<T>,
+        {
+            Rng::random_range(self, range)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn bool_probability_is_approximate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let i = rng.random_range(-50i64..50);
+            assert!((-50..50).contains(&i));
+        }
+    }
+
+    #[test]
+    fn ratio_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.random_ratio(0, 5));
+        assert!(rng.random_ratio(5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bool_rejects_bad_probability() {
+        StdRng::seed_from_u64(0).random_bool(1.5);
+    }
+}

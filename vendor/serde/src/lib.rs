@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the serde surface it uses. Instead of upstream serde's
+//! visitor architecture, this crate routes everything through a
+//! self-describing [`Value`] tree: `Serialize` renders a value into a
+//! [`Value`], `Deserialize` rebuilds one from it. The companion
+//! `serde_json` vendor crate prints and parses `Value` as JSON.
+//!
+//! `#[derive(Serialize, Deserialize)]` is provided by the vendored
+//! `serde_derive` proc-macro and supports the struct/enum shapes used
+//! in this workspace (named, tuple and unit structs; enums with unit,
+//! tuple and struct variants; plain type parameters with simple
+//! bounds).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer.
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Value`].
+pub trait Serialize {
+    /// Converts to the self-describing value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses from the self-describing value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `v` does not have the expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Mirror of `serde::de`, providing the `DeserializeOwned` bound alias.
+pub mod de {
+    /// In this vendored serde, every `Deserialize` is already owned.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// Looks up a field in a serialized map (used by derived impls).
+///
+/// # Errors
+///
+/// Returns an error naming the missing key.
+pub fn map_field<'v>(m: &'v [(String, Value)], key: &str) -> Result<&'v Value, Error> {
+    m.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::custom("unsigned integer out of range")),
+                    Value::Int(i) => u64::try_from(*i)
+                        .ok()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::custom("negative value for unsigned integer")),
+                    _ => Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i < 0 { Value::Int(i) } else { Value::UInt(i as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::UInt(u) => i64::try_from(*u)
+                        .ok()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::custom("integer out of range")),
+                    _ => Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    _ => Err(Error::custom("expected number")),
+                }
+            }
+        }
+    )*};
+}
+
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::custom("expected null")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    Value::Seq(items.map(Serialize::to_value).collect())
+}
+
+fn seq_from_value<T: Deserialize>(v: &Value) -> Result<Vec<T>, Error> {
+    match v {
+        Value::Seq(s) => s.iter().map(T::from_value).collect(),
+        _ => Err(Error::custom("expected sequence")),
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        seq_from_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        seq_from_value(v)
+            .map(Vec::into_iter)
+            .map(VecDeque::from_iter)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = seq_from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected sequence of length {N}")))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let Value::Seq(pairs) = v else {
+            return Err(Error::custom("expected sequence of pairs"));
+        };
+        pairs
+            .iter()
+            .map(|p| match p {
+                Value::Seq(kv) if kv.len() == 2 => {
+                    Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                }
+                _ => Err(Error::custom("expected [key, value] pair")),
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let pairs: BTreeMapLike<K, V> = match v {
+            Value::Seq(pairs) => pairs
+                .iter()
+                .map(|p| match p {
+                    Value::Seq(kv) if kv.len() == 2 => {
+                        Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                    }
+                    _ => Err(Error::custom("expected [key, value] pair")),
+                })
+                .collect::<Result<_, _>>()?,
+            _ => return Err(Error::custom("expected sequence of pairs")),
+        };
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+type BTreeMapLike<K, V> = Vec<(K, V)>;
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        seq_from_value(v)
+            .map(Vec::into_iter)
+            .map(BTreeSet::from_iter)
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        seq_from_value(v)
+            .map(Vec::into_iter)
+            .map(HashSet::from_iter)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(s) if s.len() == [$($n),+].len() => {
+                        Ok(($($t::from_value(&s[$n])?,)+))
+                    }
+                    _ => Err(Error::custom("expected tuple sequence")),
+                }
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-9i64).to_value()), Ok(-9));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let round: Vec<(u64, String)> = Vec::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+
+        let mut m = BTreeMap::new();
+        m.insert(3u64, Some(7i64));
+        m.insert(9, None);
+        let round: BTreeMap<u64, Option<i64>> = BTreeMap::from_value(&m.to_value()).unwrap();
+        assert_eq!(round, m);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(<(u8, u8)>::from_value(&Value::Seq(vec![Value::UInt(1)])).is_err());
+        assert!(map_field(&[], "missing").is_err());
+    }
+}

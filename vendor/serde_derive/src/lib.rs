@@ -1,0 +1,495 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` impls for the vendored value-model
+//! serde, without `syn`/`quote` (which are unavailable offline): the
+//! input `TokenStream` is walked directly and the impl is emitted as a
+//! formatted string.
+//!
+//! Supported shapes — the full set used by this workspace:
+//! named/tuple/unit structs, enums with unit/tuple/struct variants, and
+//! plain type parameters with simple trait bounds (e.g. `<S, A: Ord>`).
+//! Lifetimes, const generics and `where` clauses are not supported and
+//! fail with a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// Derives `serde::Serialize` (value-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives `serde::Deserialize` (value-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+struct GenericParam {
+    name: String,
+    bounds: String,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, generics, shape) = match parse(&tokens) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!(\"serde derive (vendored): {msg}\");")
+                .parse()
+                .unwrap()
+        }
+    };
+    let code = match mode {
+        Mode::Ser => gen_serialize(&name, &generics, &shape),
+        Mode::De => gen_deserialize(&name, &generics, &shape),
+    };
+    code.parse().unwrap()
+}
+
+fn parse(tokens: &[TokenTree]) -> Result<(String, Vec<GenericParam>, Shape), String> {
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+
+    let mut generics = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 1usize;
+        let mut current: Vec<TokenTree> = Vec::new();
+        let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+        i += 1;
+        while depth > 0 {
+            let tok = tokens
+                .get(i)
+                .ok_or_else(|| "unterminated generics".to_string())?;
+            i += 1;
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        chunks.push(std::mem::take(&mut current));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            current.push(tok.clone());
+        }
+        if !current.is_empty() {
+            chunks.push(current);
+        }
+        for chunk in chunks {
+            generics.push(parse_generic_param(&chunk)?);
+        }
+    }
+
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err(format!("`where` clauses are not supported (type {name})"));
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => return Err(format!("unrecognized struct body for {name}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("unrecognized enum body for {name}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok((name, generics, shape))
+}
+
+fn parse_generic_param(chunk: &[TokenTree]) -> Result<GenericParam, String> {
+    match chunk.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            Err("const generics are not supported".into())
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            Err("lifetime parameters are not supported".into())
+        }
+        Some(TokenTree::Ident(id)) => {
+            let name = id.to_string();
+            let bounds = if matches!(chunk.get(1), Some(TokenTree::Punct(p)) if p.as_char() == ':')
+            {
+                chunk[2..]
+                    .iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            } else {
+                String::new()
+            };
+            Ok(GenericParam { name, bounds })
+        }
+        _ => Err("unrecognized generic parameter".into()),
+    }
+}
+
+/// Splits a token stream on top-level commas (angle-bracket aware).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Strips leading attributes and visibility from a field/variant chunk.
+fn strip_attrs_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &chunk[i..],
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_commas(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs_vis(chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+                _ => Err("unrecognized field".into()),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_commas(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs_vis(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return Err("unrecognized enum variant".to_string()),
+            };
+            if chunk
+                .iter()
+                .any(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == '='))
+            {
+                return Err(format!("discriminants are not supported (variant {name})"));
+            }
+            let fields = match chunk.get(1) {
+                None => VariantFields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantFields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(g.stream())?)
+                }
+                _ => return Err(format!("unrecognized variant body for {name}")),
+            };
+            Ok(Variant { name, fields })
+        })
+        .collect()
+}
+
+/// `impl<A: Ord + ::serde::Serialize, B: ::serde::Serialize>` plus the
+/// `<A, B>` type-argument list.
+fn generics_strings(generics: &[GenericParam], bound: &str) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = generics
+        .iter()
+        .map(|g| {
+            if g.bounds.is_empty() {
+                format!("{}: {bound}", g.name)
+            } else {
+                format!("{}: {} + {bound}", g.name, g.bounds)
+            }
+        })
+        .collect();
+    let ty_args: Vec<&str> = generics.iter().map(|g| g.name.as_str()).collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_args.join(", ")),
+    )
+}
+
+fn gen_serialize(name: &str, generics: &[GenericParam], shape: &Shape) -> String {
+    let (impl_g, ty_g) = generics_strings(generics, "::serde::Serialize");
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let values: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"$variant\"), \
+                                  ::serde::Value::Str(::std::string::String::from(\"{vn}\"))), \
+                                 (::std::string::String::from(\"$fields\"), \
+                                  ::serde::Value::Seq(::std::vec![{values}]))])",
+                                binds = binders.join(", "),
+                                values = values.join(", "),
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"$variant\"), \
+                                  ::serde::Value::Str(::std::string::String::from(\"{vn}\"))), \
+                                 (::std::string::String::from(\"$fields\"), \
+                                  ::serde::Value::Map(::std::vec![{entries}]))])",
+                                binds = fields.join(", "),
+                                entries = entries.join(", "),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(name: &str, generics: &[GenericParam], shape: &Shape) -> String {
+    let (impl_g, ty_g) = generics_strings(generics, "::serde::Deserialize");
+    let err = |what: &str| {
+        format!(
+            "::std::result::Result::Err(::serde::Error::custom(\"expected {what} for {name}\"))"
+        )
+    };
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_field(m, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Map(m) => \
+                 ::std::result::Result::Ok({name} {{ {inits} }}), _ => {e} }}",
+                inits = inits.join(", "),
+                e = err("map"),
+            )
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Seq(s) if s.len() == {n} => \
+                 ::std::result::Result::Ok({name}({inits})), _ => {e} }}",
+                inits = inits.join(", "),
+                e = err("sequence"),
+            )
+        }
+        Shape::UnitStruct => format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match ::serde::map_field(m, \"$fields\")? {{ \
+                                 ::serde::Value::Seq(s) if s.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vn}({inits})), \
+                                 _ => {e} }},",
+                                inits = inits.join(", "),
+                                e = err("variant fields"),
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::map_field(fm, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match ::serde::map_field(m, \"$fields\")? {{ \
+                                 ::serde::Value::Map(fm) => \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }}), \
+                                 _ => {e} }},",
+                                inits = inits.join(", "),
+                                e = err("variant fields"),
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} _ => {e_var} }}, \
+                 ::serde::Value::Map(m) => {{ \
+                   let tag = ::serde::map_field(m, \"$variant\")?; \
+                   let ::serde::Value::Str(s) = tag else {{ return {e_tag}; }}; \
+                   match s.as_str() {{ {data_arms} {unit_arms} _ => {e_var} }} }}, \
+                 _ => {e_shape} }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" "),
+                e_var = err("known variant name"),
+                e_tag = err("string variant tag"),
+                e_shape = err("enum representation"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{ {body} }} }}"
+    )
+}
