@@ -7,26 +7,38 @@
 //! cargo run -p vi-bench --bin repro -- list    # experiment index
 //! ```
 //!
-//! Whenever the `radio_scale` experiment runs, its table is also
-//! written to `BENCH_radio.json` (machine-readable), so the perf
-//! trajectory of the channel substrate can be tracked across PRs.
+//! Every experiment that runs also writes a machine-readable copy of
+//! its table to `BENCH_<id>.json` (a couple of ids keep their
+//! historical artifact names, see [`artifact_name`]), so the repo's
+//! quantitative trajectory can be tracked across PRs.
 
 use vi_bench::all_experiments;
 use vi_bench::Table;
 
-/// Where the machine-readable radio benchmark lands.
-const RADIO_JSON: &str = "BENCH_radio.json";
+/// The JSON artifact written for experiment `id`.
+///
+/// `radio_scale` and `scenario_matrix` keep the artifact names CI
+/// has always uploaded (`BENCH_radio.json`, `BENCH_scenarios.json`);
+/// every other experiment uses `BENCH_<id>.json`.
+fn artifact_name(id: &str) -> String {
+    match id {
+        "radio_scale" => "BENCH_radio.json".to_string(),
+        "scenario_matrix" => "BENCH_scenarios.json".to_string(),
+        _ => format!("BENCH_{id}.json"),
+    }
+}
 
-fn write_radio_json(table: &Table) {
+fn write_json(id: &str, table: &Table) {
+    let path = artifact_name(id);
     match serde_json::to_string(table) {
         Ok(json) => {
-            if let Err(e) = std::fs::write(RADIO_JSON, json) {
-                eprintln!("warning: could not write {RADIO_JSON}: {e}");
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {e}");
             } else {
-                eprintln!("wrote {RADIO_JSON}");
+                eprintln!("wrote {path}");
             }
         }
-        Err(e) => eprintln!("warning: could not serialize radio table: {e}"),
+        Err(e) => eprintln!("warning: could not serialize {id} table: {e}"),
     }
 }
 
@@ -37,7 +49,7 @@ fn main() {
     if args.first().map(String::as_str) == Some("list") {
         println!("available experiments:");
         for (id, desc, _) in &experiments {
-            println!("  {id:<14} {desc}");
+            println!("  {id:<16} {desc}");
         }
         return;
     }
@@ -54,9 +66,7 @@ fn main() {
                 eprintln!("running {id} ...");
                 let table = run();
                 println!("{table}");
-                if *id == "radio_scale" {
-                    write_radio_json(&table);
-                }
+                write_json(id, &table);
             }
             None => {
                 eprintln!("unknown experiment '{want}' — try `repro list`");

@@ -18,9 +18,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vi_baselines::{ThreePhaseCommit, TpcDecision, TpcMessage};
 use vi_radio::adversary::ScriptedAdversary;
-use vi_radio::geometry::Point;
+use vi_radio::geometry::{Point, Rect};
 use vi_radio::mobility::Static;
 use vi_radio::{Engine, EngineConfig, NodeSpec, RadioConfig};
+use vi_scenario::{CmSpec, PlacementSpec, PopulationSpec, ScenarioSpec, SweepRunner, WorkloadSpec};
 
 /// Runs one slotted-3PC instance with each pre-commit delivery dropped
 /// independently with probability `drop_p`, and the coordinator
@@ -119,32 +120,49 @@ pub fn ablation_3pc() -> Table {
 /// phases lean on. Breaking completeness with probability `miss_p`
 /// makes agreement violations appear — empirical evidence that the
 /// guarantee is load-bearing, not decorative.
+///
+/// Rewired through `vi-scenario`: each `(miss rate, seed)` run is a
+/// declarative [`ScenarioSpec`] (the broken detector is just an
+/// [`AdversaryKind`] value) and the 80-run sweep fans across cores via
+/// [`SweepRunner`], with per-run executions identical to the former
+/// sequential [`run_clique`] loop.
 pub fn detector_necessity() -> Table {
     let mut t = Table::new(
         "E13 / necessity: breaking detector completeness breaks agreement",
         &["detector miss rate", "runs", "runs with safety violations"],
     );
-    for miss_p in [0.0, 0.3, 0.7, 1.0] {
-        let runs = 20;
-        let mut bad_runs = 0usize;
-        for seed in 0..runs {
-            let mut cfg = CliqueConfig::reliable(4, 40, 1000 + seed);
-            cfg.radio = RadioConfig::stabilizing(10.0, 20.0, u64::MAX);
-            cfg.cm_stabilize = u64::MAX;
-            cfg.cm_pre = vi_contention::PreStability::Random(0.5);
-            cfg.adversary = AdversaryKind::BrokenDetector {
-                drop_p: 0.35,
-                miss_p,
-            };
-            let run = run_clique(cfg);
-            let checker = run.checker();
-            let violations = checker.check_agreement().len()
-                + checker.check_validity().len()
-                + checker.check_color_spread().len();
-            if violations > 0 {
-                bad_runs += 1;
-            }
-        }
+    let miss_rates = [0.0, 0.3, 0.7, 1.0];
+    let runs = 20u64;
+    let spec = |miss_p: f64| ScenarioSpec {
+        name: format!("necessity miss {miss_p}"),
+        arena: Rect::square(10.0),
+        radio: RadioConfig::stabilizing(10.0, 20.0, u64::MAX),
+        populations: vec![PopulationSpec::fixed(
+            4,
+            PlacementSpec::Line {
+                start: Point::ORIGIN,
+                step_x: 0.1,
+                step_y: 0.0,
+            },
+        )],
+        adversary: AdversaryKind::BrokenDetector {
+            drop_p: 0.35,
+            miss_p,
+        },
+        cm: CmSpec::Oracle {
+            stabilize_at: u64::MAX,
+            pre: vi_contention::PreStability::Random(0.5),
+        },
+        workload: WorkloadSpec::ChaClique { instances: 40 },
+    };
+    let jobs: Vec<(ScenarioSpec, u64)> = miss_rates
+        .iter()
+        .flat_map(|&miss_p| (0..runs).map(move |seed| (spec(miss_p), 1000 + seed)))
+        .collect();
+    let outcomes = SweepRunner::auto().run(&jobs);
+    for (g, &miss_p) in miss_rates.iter().enumerate() {
+        let group = &outcomes[g * runs as usize..(g + 1) * runs as usize];
+        let bad_runs = group.iter().filter(|o| o.safety_violations() > 0).count();
         t.row(&[f2(miss_p), runs.to_string(), bad_runs.to_string()]);
     }
     t.note("miss rate 0 (the paper's model) must show zero violations; any incompleteness admits disagreement");

@@ -7,9 +7,10 @@ use rand::SeedableRng;
 use vi_baselines::{FullHistoryMessage, FullHistoryNode, MajorityConsensus, MajorityMessage};
 use vi_contention::{OracleCm, PreStability, SharedCm};
 use vi_core::cha::{Ballot, ChaProtocol, CheckpointCha, Color, TaggedProposer};
-use vi_radio::geometry::Point;
+use vi_radio::geometry::{Point, Rect};
 use vi_radio::mobility::Static;
 use vi_radio::{Engine, EngineConfig, NodeSpec, RadioConfig};
+use vi_scenario::{CmSpec, PlacementSpec, PopulationSpec, ScenarioSpec, SweepRunner, WorkloadSpec};
 
 /// E1 — reproduces **Figure 2**: how a replica's color and output
 /// depend on which phases it survives. A ✓ means the node received
@@ -223,6 +224,12 @@ pub fn convergence() -> Table {
 /// E6 — **Theorems 10 & 13 (safety)**: a seed sweep with loss,
 /// spurious collisions, and crash injection; the specification checker
 /// must find zero violations.
+///
+/// Rewired through `vi-scenario`: each `(config, seed)` run is a
+/// declarative [`ScenarioSpec`] and the whole sweep fans across cores
+/// via [`SweepRunner`] — the per-run executions (node layout, CM, RNG
+/// streams) are identical to the former hand-rolled
+/// [`run_clique`] loop.
 pub fn safety() -> Table {
     let mut t = Table::new(
         "E6 / Theorems 10+13: safety sweep (violations must be 0)",
@@ -234,24 +241,56 @@ pub fn safety() -> Table {
         ("loss 0.5 + crashes", 0.5, 0.2, true),
         ("loss 0.7 + crashes", 0.7, 0.3, true),
     ];
-    for (name, loss, spur, crashes) in groups {
-        let mut outputs = 0usize;
-        let mut violations = 0usize;
-        let runs = 10;
-        for seed in 0..runs {
-            let mut cfg = CliqueConfig::reliable(6, 60, seed);
-            cfg.radio = RadioConfig::stabilizing(10.0, 20.0, 120);
-            cfg.cm_stabilize = 120;
-            cfg.cm_pre = PreStability::Random(0.3);
-            cfg.adversary = AdversaryKind::Random(loss, spur);
-            if crashes {
-                cfg.crashes = vec![(4, 40 + seed), (5, 90 + seed)];
-            }
-            let run = run_clique(cfg);
-            let checker = run.checker();
-            outputs += checker.output_count();
-            violations += checker.check_all(true).len();
+    let runs = 10u64;
+    let spec = |name: &str, loss: f64, spur: f64, crashes: bool, seed: u64| -> ScenarioSpec {
+        let line_at = |i: usize, count: usize| {
+            PopulationSpec::fixed(
+                count,
+                PlacementSpec::Line {
+                    start: Point::new(i as f64 * 0.1, 0.0),
+                    step_x: 0.1,
+                    step_y: 0.0,
+                },
+            )
+        };
+        let populations = if crashes {
+            vec![
+                line_at(0, 4),
+                line_at(4, 1).crashing_at(40 + seed),
+                line_at(5, 1).crashing_at(90 + seed),
+            ]
+        } else {
+            vec![line_at(0, 6)]
+        };
+        ScenarioSpec {
+            name: name.to_string(),
+            arena: Rect::square(10.0),
+            radio: RadioConfig::stabilizing(10.0, 20.0, 120),
+            populations,
+            adversary: AdversaryKind::Random(loss, spur),
+            cm: CmSpec::Oracle {
+                stabilize_at: 120,
+                pre: PreStability::Random(0.3),
+            },
+            workload: WorkloadSpec::ChaClique { instances: 60 },
         }
+    };
+    let jobs: Vec<(ScenarioSpec, u64)> = groups
+        .iter()
+        .flat_map(|&(name, loss, spur, crashes)| {
+            (0..runs).map(move |seed| (spec(name, loss, spur, crashes, seed), seed))
+        })
+        .collect();
+    let outcomes = SweepRunner::auto().run(&jobs);
+    for (g, &(name, ..)) in groups.iter().enumerate() {
+        let group = &outcomes[g * runs as usize..(g + 1) * runs as usize];
+        let outputs: usize = group.iter().map(|o| o.outputs_checked).sum();
+        // `check_all(true)`: every safety check plus a liveness
+        // violation when the run never stabilized.
+        let violations: usize = group
+            .iter()
+            .map(|o| o.safety_violations() + usize::from(o.stabilized_kst.is_none()))
+            .sum();
         t.row(&[
             name.to_string(),
             runs.to_string(),

@@ -2,44 +2,15 @@
 
 use vi_contention::{OracleCm, PreStability, SharedCm};
 use vi_core::cha::{ChaMessage, ChaNode, ChaOutput, ChaSpecChecker, TaggedProposer};
-use vi_radio::adversary::{BurstLoss, FaultyDetector, NoAdversary, RandomLoss};
 use vi_radio::geometry::Point;
 use vi_radio::mobility::Static;
 use vi_radio::trace::ChannelStats;
-use vi_radio::{Adversary, Engine, EngineConfig, NodeId, NodeSpec, RadioConfig};
+use vi_radio::{Engine, EngineConfig, NodeId, NodeSpec, RadioConfig};
 
-/// Which adversary to install for a run.
-#[derive(Clone, Debug)]
-pub enum AdversaryKind {
-    /// No misbehaviour.
-    None,
-    /// Random loss: `(drop probability, spurious-collision probability)`.
-    Random(f64, f64),
-    /// Total loss during the given round ranges.
-    Burst(Vec<std::ops::Range<u64>>),
-    /// Random loss `(drop_p)` **plus a broken collision detector**
-    /// that misses forced reports with probability `miss_p` — a
-    /// deliberate model violation for the E13 necessity ablation.
-    BrokenDetector {
-        /// Per-delivery drop probability.
-        drop_p: f64,
-        /// Per-(node, round) detection-suppression probability.
-        miss_p: f64,
-    },
-}
-
-impl AdversaryKind {
-    fn build(&self) -> Box<dyn Adversary> {
-        match self {
-            AdversaryKind::None => Box::new(NoAdversary),
-            AdversaryKind::Random(d, s) => Box::new(RandomLoss::new(*d, *s)),
-            AdversaryKind::Burst(ranges) => Box::new(BurstLoss::new(ranges.clone())),
-            AdversaryKind::BrokenDetector { drop_p, miss_p } => {
-                Box::new(FaultyDetector::new(RandomLoss::new(*drop_p, 0.0), *miss_p))
-            }
-        }
-    }
-}
+// `AdversaryKind` began life here and moved to `vi-radio::adversary`
+// (serde-derived) so scenario specs can describe adversaries
+// declaratively; re-exported so existing call sites keep compiling.
+pub use vi_radio::adversary::AdversaryKind;
 
 /// Configuration for a Section 3 single-region CHAP run.
 #[derive(Clone, Debug)]

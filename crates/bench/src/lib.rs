@@ -1,16 +1,19 @@
 //! # vi-bench
 //!
 //! Experiment harness reproducing every figure and quantitative claim
-//! of the paper. Each experiment in the DESIGN.md index (E1–E12) is a
-//! function returning a [`Table`], callable from the `repro` binary
-//! (which prints paper-shaped tables) and exercised by unit tests that
-//! assert the claimed *shape* (who wins, what stays constant, what
-//! grows).
+//! of the paper. Each experiment (E1–E15) is a function returning a
+//! [`Table`], callable from the `repro` binary (which prints
+//! paper-shaped tables and writes a `BENCH_<id>.json` artifact per
+//! experiment) and exercised by unit tests that assert the claimed
+//! *shape* (who wins, what stays constant, what grows). Seed sweeps
+//! (E6, E13, E15) fan across cores through
+//! [`vi_scenario::SweepRunner`].
 
 pub mod exp_ablation;
 pub mod exp_cha;
 pub mod exp_emulation;
 pub mod exp_radio;
+pub mod exp_scenarios;
 pub mod harness;
 pub mod table;
 
@@ -67,6 +70,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "radio_scale",
             "Engine scalability: grid medium vs naive resolver",
             exp_radio::radio_scale,
+        ),
+        (
+            "scenario_matrix",
+            "Named scenarios × seeds via the parallel SweepRunner",
+            exp_scenarios::scenario_matrix,
         ),
     ]
 }

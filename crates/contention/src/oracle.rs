@@ -12,10 +12,14 @@
 use crate::manager::{Advice, ChannelFeedback, CmSlot, ContentionManager};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use vi_radio::geometry::Point;
 
 /// How the oracle behaves before its stabilization round.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// Serializable so scenario specs (`vi-scenario`) can describe oracle
+/// misbehaviour declaratively.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum PreStability {
     /// Everyone who contends is told to broadcast — maximal contention
     /// (the worst case for the protocol under test).

@@ -211,6 +211,17 @@ pub fn calculate_history<V: Clone>(
             break; // unreachable under the model; see above
         };
         history.insert(cursor, ballot.value.clone());
+        if ballot.prev >= cursor {
+            // A `prev` pointer that fails to decrease can only come
+            // from mixing ballots of nodes with inconsistent instance
+            // numbering (e.g. a node spawned mid-run with a fresh
+            // counter instead of a checkpoint) — outside the model,
+            // where every adopted ballot's `prev` precedes the
+            // instance it was heard in. Stop rather than chase a
+            // cycle; the truncated prefix resolves to ⊥ and surfaces
+            // as checker-visible disagreement.
+            break;
+        }
         cursor = ballot.prev;
     }
     history
@@ -296,6 +307,23 @@ mod tests {
         assert!(h.includes(5));
         assert!(!h.includes(3), "unreachable prefix is ⊥");
         assert_eq!(h.included_count(), 1);
+    }
+
+    #[test]
+    fn calculate_terminates_on_cyclic_prev_chain() {
+        // A `prev` pointer that does not decrease (self-loop 4 -> 4 or
+        // back-edge 3 -> 4) can only arise when nodes with
+        // inconsistent instance numbering exchange ballots — outside
+        // the model. The walk must terminate instead of spinning.
+        let b = ballots(&[(5, 50, 4), (4, 40, 4)]);
+        let h = calculate_history(5, 5, &b, 0);
+        assert!(h.includes(5) && h.includes(4));
+        assert_eq!(h.included_count(), 2, "cycle truncates the prefix");
+
+        let b = ballots(&[(5, 50, 3), (3, 30, 4), (4, 40, 3)]);
+        let h = calculate_history(5, 5, &b, 0);
+        assert!(h.includes(5) && h.includes(3));
+        assert!(!h.includes(4), "back-edge stops the walk");
     }
 
     #[test]

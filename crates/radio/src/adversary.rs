@@ -19,6 +19,7 @@
 
 use crate::engine::NodeId;
 use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::ops::Range;
 
@@ -45,6 +46,52 @@ pub trait Adversary {
     /// the guarantee is load-bearing.
     fn suppress_detection(&mut self, _round: u64, _node: NodeId, _rng: &mut StdRng) -> bool {
         false
+    }
+}
+
+/// A serializable description of which adversary to install for a
+/// run — the data form of the [`Adversary`] implementations in this
+/// module, usable in scenario specs and experiment configs.
+///
+/// Call [`AdversaryKind::build`] to instantiate the described
+/// adversary (fresh, with no carried-over state).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AdversaryKind {
+    /// No misbehaviour ([`NoAdversary`]).
+    None,
+    /// Random loss: `(drop probability, spurious-collision
+    /// probability)` ([`RandomLoss`]).
+    Random(f64, f64),
+    /// Total loss during the given round ranges ([`BurstLoss`]).
+    Burst(Vec<Range<u64>>),
+    /// Random loss `(drop_p)` **plus a broken collision detector**
+    /// that misses forced reports with probability `miss_p` — a
+    /// deliberate model violation for the E13 necessity ablation
+    /// ([`FaultyDetector`]).
+    BrokenDetector {
+        /// Per-delivery drop probability.
+        drop_p: f64,
+        /// Per-(node, round) detection-suppression probability.
+        miss_p: f64,
+    },
+}
+
+impl AdversaryKind {
+    /// Instantiates the described adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability lies outside `[0, 1]` (the underlying
+    /// constructors validate their inputs).
+    pub fn build(&self) -> Box<dyn Adversary> {
+        match self {
+            AdversaryKind::None => Box::new(NoAdversary),
+            AdversaryKind::Random(d, s) => Box::new(RandomLoss::new(*d, *s)),
+            AdversaryKind::Burst(ranges) => Box::new(BurstLoss::new(ranges.clone())),
+            AdversaryKind::BrokenDetector { drop_p, miss_p } => {
+                Box::new(FaultyDetector::new(RandomLoss::new(*drop_p, 0.0), *miss_p))
+            }
+        }
     }
 }
 
@@ -277,6 +324,37 @@ mod tests {
         assert!(!a.drop_message(10, src, dst, &mut rng));
         assert!(a.spurious_collision(20, src, &mut rng));
         assert!(!a.spurious_collision(21, src, &mut rng));
+    }
+
+    #[test]
+    fn adversary_kind_round_trips_and_builds() {
+        let kinds = vec![
+            AdversaryKind::None,
+            AdversaryKind::Random(0.4, 0.1),
+            AdversaryKind::Burst(vec![3..9, 20..21]),
+            AdversaryKind::BrokenDetector {
+                drop_p: 0.35,
+                miss_p: 0.7,
+            },
+        ];
+        let round: Vec<AdversaryKind> =
+            Deserialize::from_value(&Serialize::to_value(&kinds)).unwrap();
+        assert_eq!(round, kinds);
+        let mut rng = rng();
+        // The burst description builds a burst adversary with the same
+        // active windows.
+        let mut built = kinds[2].build();
+        assert!(built.drop_message(3, NodeId::from(0), NodeId::from(1), &mut rng));
+        assert!(!built.drop_message(9, NodeId::from(0), NodeId::from(1), &mut rng));
+        // The broken-detector description is the only one that can
+        // suppress forced reports.
+        let mut faulty = kinds[3].build();
+        let suppressed = (0..200)
+            .filter(|_| faulty.suppress_detection(0, NodeId::from(0), &mut rng))
+            .count();
+        assert!(suppressed > 0);
+        let mut benign = kinds[0].build();
+        assert!(!benign.suppress_detection(0, NodeId::from(0), &mut rng));
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub mod mobility;
 pub mod trace;
 
 pub use adversary::{
-    Adversary, BurstLoss, FaultyDetector, NoAdversary, RandomLoss, ScriptedAdversary,
+    Adversary, AdversaryKind, BurstLoss, FaultyDetector, NoAdversary, RandomLoss, ScriptedAdversary,
 };
 pub use audit::{audit_trace, ChannelViolation};
 pub use channel::{

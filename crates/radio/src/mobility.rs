@@ -383,6 +383,56 @@ mod tests {
         let _ = PatrolRoute::new(vec![], 1.0);
     }
 
+    /// Replays a model from identical seeds and asserts the two
+    /// position streams match (determinism), returning one of them.
+    fn positions<M: MobilityModel + Clone>(m: &M, rounds: u64) -> Vec<Point> {
+        let run = |mut m: M| -> Vec<Point> {
+            let mut rng = rng();
+            (0..rounds).map(|r| m.advance(r, &mut rng)).collect()
+        };
+        let a = run(m.clone());
+        let b = run(m.clone());
+        assert_eq!(a, b, "mobility must be deterministic per seed");
+        a
+    }
+
+    #[test]
+    fn patrol_with_single_waypoint_pins_the_node() {
+        let p = Point::new(3.0, 7.0);
+        let m = PatrolRoute::new(vec![p], 2.5);
+        for (r, pos) in positions(&m, 50).into_iter().enumerate() {
+            assert_eq!(pos, p, "round {r}: a 1-stop patrol never leaves it");
+        }
+    }
+
+    #[test]
+    fn zero_speed_waypoint_never_moves_and_stays_in_bounds() {
+        let bounds = Rect::square(30.0);
+        let start = Point::new(12.0, 8.0);
+        let m = Waypoint::new(start, 0.0, bounds);
+        assert_eq!(m.vmax(), 0.0);
+        for (r, pos) in positions(&m, 100).into_iter().enumerate() {
+            assert_eq!(pos, start, "round {r}: zero speed pins the walker");
+            assert!(bounds.contains(pos));
+        }
+    }
+
+    #[test]
+    fn depart_at_in_the_past_departs_immediately() {
+        let home = Point::new(5.0, 5.0);
+        let m = DepartAt::new(home, (0.0, 1.0), 1.5, 0);
+        let ps = positions(&m, 20);
+        // Already moving in round 0: no stationary prefix.
+        assert_eq!(ps[0], Point::new(5.0, 6.5));
+        for (r, pos) in ps.iter().enumerate() {
+            let expected = Point::new(5.0, 5.0 + 1.5 * (r as f64 + 1.0));
+            assert!(
+                pos.distance(expected) < 1e-9,
+                "round {r}: {pos} vs {expected}"
+            );
+        }
+    }
+
     #[test]
     #[should_panic(expected = "outside bounds")]
     fn waypoint_rejects_start_outside_bounds() {

@@ -1,0 +1,292 @@
+//! The library of named scenarios.
+//!
+//! Each scenario is a ready-to-run [`ScenarioSpec`] covering one of
+//! the execution regimes the paper argues about. The E15
+//! `scenario_matrix` experiment sweeps all of them across seeds; any
+//! of them can also serve as a template — serialize one to JSON, edit
+//! it, and load it back (see `examples/scenarios.json`).
+
+use crate::spec::{
+    CmSpec, LayoutSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, WorkloadSpec,
+};
+use vi_contention::PreStability;
+use vi_radio::geometry::{Point, Rect};
+use vi_radio::{AdversaryKind, RadioConfig};
+
+const R1: f64 = 10.0;
+const R2: f64 = 20.0;
+const REGION: f64 = 2.5;
+
+fn line(n: usize) -> PopulationSpec {
+    PopulationSpec::fixed(
+        n,
+        PlacementSpec::Line {
+            start: Point::ORIGIN,
+            step_x: 0.1,
+            step_y: 0.0,
+        },
+    )
+}
+
+fn cluster(n: usize, center: Point) -> PopulationSpec {
+    PopulationSpec::fixed(
+        n,
+        PlacementSpec::Cluster {
+            center,
+            radius: 0.4,
+        },
+    )
+}
+
+/// `clique` — the paper's base case: a reliable single region, perfect
+/// contention manager, CHA deciding every instance.
+fn clique() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "clique".into(),
+        arena: Rect::square(10.0),
+        radio: RadioConfig::reliable(R1, R2),
+        populations: vec![line(5)],
+        adversary: AdversaryKind::None,
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::ChaClique { instances: 30 },
+    }
+}
+
+/// `sparse_grid` — a 2×2 virtual-node grid with static device
+/// clusters, measuring emulation overhead on a quiet network.
+fn sparse_grid() -> ScenarioSpec {
+    let origin = Point::new(50.0, 50.0);
+    let spacing = 60.0;
+    let locations: Vec<Point> = (0..2)
+        .flat_map(|r| {
+            (0..2).map(move |c| {
+                Point::new(origin.x + c as f64 * spacing, origin.y + r as f64 * spacing)
+            })
+        })
+        .collect();
+    ScenarioSpec {
+        name: "sparse_grid".into(),
+        arena: Rect::square(200.0),
+        radio: RadioConfig::reliable(R1, R2),
+        populations: locations.iter().map(|&loc| cluster(3, loc)).collect(),
+        adversary: AdversaryKind::None,
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::ViCounter {
+            layout: LayoutSpec::Grid {
+                rows: 2,
+                cols: 2,
+                spacing,
+                origin,
+                region_radius: REGION,
+            },
+            virtual_rounds: 8,
+        },
+    }
+}
+
+/// `flash_crowd` — a small core joined by a staggered arrival wave on
+/// a still-misbehaving channel (ad hoc deployment, Section 1).
+fn flash_crowd() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "flash_crowd".into(),
+        arena: Rect::square(10.0),
+        radio: RadioConfig::stabilizing(R1, R2, 60),
+        populations: vec![
+            line(3),
+            PopulationSpec::fixed(
+                6,
+                PlacementSpec::Line {
+                    start: Point::new(0.3, 0.0),
+                    step_x: 0.1,
+                    step_y: 0.0,
+                },
+            )
+            .spawning(30, 6),
+        ],
+        adversary: AdversaryKind::Random(0.3, 0.1),
+        cm: CmSpec::Oracle {
+            stabilize_at: 60,
+            pre: PreStability::Random(0.5),
+        },
+        workload: WorkloadSpec::ChaClique { instances: 40 },
+    }
+}
+
+/// `partition_heal` — the paper's "alternating periods of stability
+/// and instability": total-loss bursts before `rcf`, then the channel
+/// heals and liveness resumes with O(1) lag (Theorem 12).
+fn partition_heal() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "partition_heal".into(),
+        arena: Rect::square(10.0),
+        radio: RadioConfig::stabilizing(R1, R2, 120),
+        populations: vec![line(5)],
+        adversary: AdversaryKind::Burst(vec![30..60, 90..120]),
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::ChaClique { instances: 50 },
+    }
+}
+
+/// `robot_patrol` — robots patrolling a fixed circuit through two
+/// virtual-node regions while static anchors keep both regions alive.
+fn robot_patrol() -> ScenarioSpec {
+    let a = Point::new(50.0, 50.0);
+    let b = Point::new(70.0, 50.0);
+    ScenarioSpec {
+        name: "robot_patrol".into(),
+        arena: Rect::square(120.0),
+        radio: RadioConfig::reliable(R1, R2),
+        populations: vec![
+            cluster(2, a),
+            cluster(2, b),
+            PopulationSpec::fixed(3, PlacementSpec::Uniform).with_mobility(
+                MobilitySpec::PatrolRoute {
+                    route: vec![a, b, Point::new(60.0, 60.0)],
+                    speed: 1.0,
+                },
+            ),
+        ],
+        adversary: AdversaryKind::None,
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::ViCounter {
+            layout: LayoutSpec::Explicit {
+                locations: vec![a, b],
+                region_radius: REGION,
+            },
+            virtual_rounds: 10,
+        },
+    }
+}
+
+/// `commuter_wave` — churn at a single virtual node: anchored
+/// replicas plus commuter populations that depart in scripted waves
+/// (the Section 4.2 availability regime).
+fn commuter_wave() -> ScenarioSpec {
+    let vn = Point::new(50.0, 50.0);
+    let commuters = |depart_at: u64| {
+        cluster(4, vn).with_mobility(MobilitySpec::DepartAt {
+            dir_x: 1.0,
+            dir_y: 0.3,
+            speed: 0.5,
+            depart_at,
+        })
+    };
+    ScenarioSpec {
+        name: "commuter_wave".into(),
+        arena: Rect::square(200.0),
+        radio: RadioConfig::reliable(R1, R2),
+        populations: vec![cluster(2, vn), commuters(40), commuters(80)],
+        adversary: AdversaryKind::None,
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::ViCounter {
+            layout: LayoutSpec::Explicit {
+                locations: vec![vn],
+                region_radius: REGION,
+            },
+            virtual_rounds: 12,
+        },
+    }
+}
+
+/// `broken_detector` — the E13 ablation as a scenario: a detector
+/// that violates completeness (Property 1), demonstrating why the
+/// guarantee is load-bearing.
+fn broken_detector() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "broken_detector".into(),
+        arena: Rect::square(10.0),
+        radio: RadioConfig::stabilizing(R1, R2, u64::MAX),
+        populations: vec![line(4)],
+        adversary: AdversaryKind::BrokenDetector {
+            drop_p: 0.35,
+            miss_p: 0.7,
+        },
+        cm: CmSpec::Oracle {
+            stabilize_at: u64::MAX,
+            pre: PreStability::Random(0.5),
+        },
+        workload: WorkloadSpec::ChaClique { instances: 40 },
+    }
+}
+
+/// `city_scale` — 2000 nodes (a quarter of them mobile) at constant
+/// density across a ~670 m square: the throughput regime the
+/// spatially-indexed medium exists for.
+fn city_scale() -> ScenarioSpec {
+    let side = (2000.0f64).sqrt() * 15.0;
+    ScenarioSpec {
+        name: "city_scale".into(),
+        arena: Rect::square(side),
+        radio: RadioConfig::reliable(R1, R2),
+        populations: vec![
+            PopulationSpec::fixed(1500, PlacementSpec::Uniform),
+            PopulationSpec::fixed(500, PlacementSpec::Uniform)
+                .with_mobility(MobilitySpec::Waypoint { speed: 0.5 }),
+        ],
+        adversary: AdversaryKind::None,
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::ChaClique { instances: 4 },
+    }
+}
+
+/// All named scenarios, in catalog order.
+pub fn catalog() -> Vec<ScenarioSpec> {
+    vec![
+        clique(),
+        sparse_grid(),
+        flash_crowd(),
+        partition_heal(),
+        robot_patrol(),
+        commuter_wave(),
+        broken_detector(),
+        city_scale(),
+    ]
+}
+
+/// Looks up a named scenario from the catalog.
+pub fn scenario(name: &str) -> Option<ScenarioSpec> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_scenario_validates_and_round_trips() {
+        let all = catalog();
+        assert!(all.len() >= 8, "catalog must stay ≥ 8 scenarios");
+        for spec in &all {
+            spec.validate().expect("catalog scenario must be valid");
+            let json = serde_json::to_string(spec).unwrap();
+            let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, spec, "{} JSON round-trip", spec.name);
+        }
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "names must be unique");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(scenario("clique").is_some());
+        assert!(scenario("city_scale").is_some());
+        assert!(scenario("nope").is_none());
+    }
+
+    #[test]
+    fn partition_heal_stabilizes_late_but_safely() {
+        let out = scenario("partition_heal").unwrap().run(1);
+        assert_eq!(out.safety_violations(), 0);
+        let kst = out.stabilized_kst.expect("must converge after healing");
+        assert!(kst > 30, "bursts must delay stabilization (kst {kst})");
+    }
+
+    #[test]
+    fn clique_is_all_green() {
+        let out = scenario("clique").unwrap().run(2);
+        assert!(out.decided_fraction > 0.9);
+        assert_eq!(out.safety_violations(), 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The scenario compiler: `ScenarioSpec × seed → execution → outcome`.
+//!
+//! [`ScenarioSpec::run`] builds the deployment the spec describes —
+//! a [`vi_radio::Engine`] running CHA nodes, or a
+//! [`vi_core::vi::World`] emulating virtual nodes — executes it, and
+//! extracts a uniform [`ScenarioOutcome`] row. Runs are deterministic:
+//! identical `(spec, seed)` pairs produce identical outcomes, no
+//! matter which thread executes them (every run owns its engine and
+//! all of its RNG state).
+
+use crate::spec::{ScenarioSpec, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vi_core::cha::{ChaMessage, ChaNode, ChaSpecChecker, TaggedProposer};
+use vi_core::vi::{CounterAutomaton, VnId, World, WorldConfig};
+use vi_radio::trace::ChannelStats;
+use vi_radio::{Engine, EngineConfig, NodeId, NodeSpec};
+
+/// Salt separating the placement RNG stream from the engine's seed
+/// stream (so random placement never perturbs channel resolution).
+const PLACEMENT_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One row of a sweep result table: everything measured about one
+/// `(scenario, seed)` run. Serializable, so whole result tables can be
+/// compared byte-for-byte and shipped as bench artifacts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Nodes deployed.
+    pub nodes: usize,
+    /// Real (slotted) rounds executed.
+    pub rounds: u64,
+    /// Total broadcast attempts.
+    pub broadcasts: u64,
+    /// Total successful deliveries to other nodes.
+    pub deliveries: u64,
+    /// Total collision indications reported.
+    pub collision_reports: u64,
+    /// Largest message broadcast, in bytes.
+    pub max_message_bytes: usize,
+    /// CHA outputs fed to the specification checker (0 for VI runs).
+    pub outputs_checked: usize,
+    /// Validity violations found by the checker.
+    pub validity_violations: usize,
+    /// Agreement violations found by the checker.
+    pub agreement_violations: usize,
+    /// Color-spread (Property 4) violations found by the checker.
+    pub spread_violations: usize,
+    /// Fraction of (node, instance) outcomes that decided; for VI
+    /// runs, the fraction of green virtual rounds.
+    pub decided_fraction: f64,
+    /// Measured stabilization: the checker's liveness instance `kst`
+    /// (CHA runs only; `None` if the run never stabilized).
+    pub stabilized_kst: Option<u64>,
+    /// Virtual-node join transfers (VI runs; 0 for CHA).
+    pub vn_joins: u64,
+    /// Virtual-node state losses / resets (VI runs; 0 for CHA).
+    pub vn_resets: u64,
+}
+
+impl ScenarioOutcome {
+    /// Total safety violations (validity + agreement + color spread).
+    pub fn safety_violations(&self) -> usize {
+        self.validity_violations + self.agreement_violations + self.spread_violations
+    }
+}
+
+impl ScenarioSpec {
+    /// Compiles and executes this scenario with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`ScenarioSpec::validate`];
+    /// the sweep runner validates up front).
+    pub fn run(&self, seed: u64) -> ScenarioOutcome {
+        match &self.workload {
+            WorkloadSpec::ChaClique { instances } => self.run_cha(seed, *instances),
+            WorkloadSpec::ViCounter {
+                layout,
+                virtual_rounds,
+            } => self.run_vi(seed, layout, *virtual_rounds),
+        }
+    }
+
+    fn run_cha(&self, seed: u64, instances: u64) -> ScenarioOutcome {
+        let rounds = instances * 3;
+        let mut engine: Engine<ChaMessage<u64>> = Engine::new(EngineConfig {
+            radio: self.radio,
+            seed,
+            record_trace: false,
+        });
+        engine.set_adversary(self.adversary.build());
+        let cm = self.cm.build(seed);
+        let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
+
+        let mut ids: Vec<NodeId> = Vec::with_capacity(self.node_count());
+        let mut crashed: Vec<usize> = Vec::new();
+        let mut genesis: Vec<bool> = Vec::with_capacity(self.node_count());
+        let mut tag = 0u64;
+        for pop in &self.populations {
+            for j in 0..pop.count {
+                let start = pop.placement.position(j, self.arena, &mut place_rng);
+                let spawn = pop.spawn_at + j as u64 * pop.spawn_stride;
+                // Nodes deployed from round 0 run the plain Section 3
+                // protocol. Late arrivals must enter with a consistent
+                // instance counter — the paper's join-by-state-transfer
+                // — so they resume from a checkpoint aligned to the
+                // global round/instance mapping (their first ballot
+                // phase starts instance `spawn.div_ceil(3) + 1`).
+                let node: Box<dyn vi_radio::Process<ChaMessage<u64>>> = if spawn == 0 {
+                    Box::new(ChaNode::<u64>::new(
+                        Box::new(TaggedProposer::new(tag)),
+                        cm.clone(),
+                    ))
+                } else {
+                    let k0 = spawn.div_ceil(3);
+                    Box::new(ChaNode::<u64>::from_checkpoint(
+                        k0,
+                        k0,
+                        Box::new(TaggedProposer::new(tag)),
+                        cm.clone(),
+                    ))
+                };
+                let mut spec = NodeSpec::new(pop.mobility.build(start, self.arena), node);
+                if spawn > 0 {
+                    spec = spec.spawn_at(spawn);
+                }
+                if let Some(c) = pop.crash_at {
+                    spec = spec.crash_at(c);
+                    if c < rounds {
+                        crashed.push(tag as usize);
+                    }
+                }
+                ids.push(engine.add_node(spec));
+                genesis.push(spawn == 0);
+                tag += 1;
+            }
+        }
+
+        engine.run(rounds);
+
+        // The Section 3 specification (and its checker) quantifies
+        // over a fixed participant set. Every node's proposals are
+        // recorded (adopted values must trace back to *some* proposal)
+        // and every node counts towards `decided_fraction`, but only
+        // genesis nodes' outputs feed the checker: a checkpoint
+        // joiner's history summarizes the pre-join prefix as ⊥, which
+        // the strict history-equality relation would misread as
+        // disagreement.
+        let mut checker = ChaSpecChecker::new();
+        let mut total_outputs = 0usize;
+        let mut decided = 0usize;
+        for (node, &id) in ids.iter().enumerate() {
+            let p = engine.process::<ChaNode<u64>>(id).expect("cha node");
+            for &(k, v) in p.proposals() {
+                checker.record_proposal(k, v);
+            }
+            for out in p.outputs() {
+                if genesis[node] {
+                    checker.record_output(node, out);
+                }
+                total_outputs += 1;
+                if out.decided() {
+                    decided += 1;
+                }
+            }
+        }
+        for &node in &crashed {
+            checker.mark_crashed(node);
+        }
+
+        let decided_fraction = if total_outputs == 0 {
+            0.0
+        } else {
+            decided as f64 / total_outputs as f64
+        };
+        self.outcome(
+            seed,
+            rounds,
+            engine.stats(),
+            checker.output_count(),
+            &checker,
+            decided_fraction,
+            0,
+            0,
+        )
+    }
+
+    fn run_vi(
+        &self,
+        seed: u64,
+        layout: &crate::spec::LayoutSpec,
+        virtual_rounds: u64,
+    ) -> ScenarioOutcome {
+        let layout = layout.build();
+        let vns = layout.len();
+        let mut world = World::new(WorldConfig {
+            radio: self.radio,
+            layout,
+            automaton: CounterAutomaton,
+            seed,
+            record_trace: false,
+        });
+        world.set_adversary(self.adversary.build());
+        let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
+        for pop in &self.populations {
+            for j in 0..pop.count {
+                let start = pop.placement.position(j, self.arena, &mut place_rng);
+                let spawn = pop.spawn_at + j as u64 * pop.spawn_stride;
+                world.add_device_spec(
+                    pop.mobility.build(start, self.arena),
+                    None,
+                    (spawn > 0).then_some(spawn),
+                    pop.crash_at,
+                );
+            }
+        }
+
+        world.run_virtual_rounds(virtual_rounds);
+
+        let mut decided = 0u64;
+        let mut bottom = 0u64;
+        let mut joins = 0u64;
+        let mut resets = 0u64;
+        for vn in 0..vns {
+            let (_, report) = world.vn_report(VnId(vn));
+            decided += report.decided;
+            bottom += report.bottom;
+            joins += report.joins;
+            resets += report.resets;
+        }
+        let decided_fraction = decided as f64 / (decided + bottom).max(1) as f64;
+        let stats = *world.stats();
+        let checker = ChaSpecChecker::<u64>::new();
+        self.outcome(
+            seed,
+            stats.rounds,
+            &stats,
+            0,
+            &checker,
+            decided_fraction,
+            joins,
+            resets,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn outcome(
+        &self,
+        seed: u64,
+        rounds: u64,
+        stats: &ChannelStats,
+        outputs_checked: usize,
+        checker: &ChaSpecChecker<u64>,
+        decided_fraction: f64,
+        vn_joins: u64,
+        vn_resets: u64,
+    ) -> ScenarioOutcome {
+        ScenarioOutcome {
+            scenario: self.name.clone(),
+            seed,
+            nodes: self.node_count(),
+            rounds,
+            broadcasts: stats.broadcasts,
+            deliveries: stats.deliveries,
+            collision_reports: stats.collision_reports,
+            max_message_bytes: stats.max_message_bytes,
+            outputs_checked,
+            validity_violations: checker.check_validity().len(),
+            agreement_violations: checker.check_agreement().len(),
+            spread_violations: checker.check_color_spread().len(),
+            decided_fraction,
+            stabilized_kst: checker.liveness_kst(),
+            vn_joins,
+            vn_resets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CmSpec, LayoutSpec, PlacementSpec, PopulationSpec};
+    use vi_radio::geometry::{Point, Rect};
+    use vi_radio::{AdversaryKind, RadioConfig};
+
+    fn clique(n: usize, instances: u64) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "test-clique".into(),
+            arena: Rect::square(10.0),
+            radio: RadioConfig::reliable(10.0, 20.0),
+            populations: vec![PopulationSpec::fixed(
+                n,
+                PlacementSpec::Line {
+                    start: Point::ORIGIN,
+                    step_x: 0.1,
+                    step_y: 0.0,
+                },
+            )],
+            adversary: AdversaryKind::None,
+            cm: CmSpec::perfect(),
+            workload: WorkloadSpec::ChaClique { instances },
+        }
+    }
+
+    #[test]
+    fn reliable_clique_decides_and_stays_safe() {
+        let out = clique(4, 20).run(1);
+        assert_eq!(out.nodes, 4);
+        assert_eq!(out.rounds, 60);
+        assert!(out.decided_fraction > 0.9, "{}", out.decided_fraction);
+        assert_eq!(out.safety_violations(), 0);
+        assert!(out.stabilized_kst.unwrap_or(u64::MAX) <= 2);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed_and_distinct_across_seeds() {
+        let mut spec = clique(5, 30);
+        spec.radio = RadioConfig::stabilizing(10.0, 20.0, 60);
+        spec.adversary = AdversaryKind::Random(0.4, 0.2);
+        assert_eq!(spec.run(7), spec.run(7));
+        assert_ne!(spec.run(7), spec.run(8), "seeds must matter");
+    }
+
+    #[test]
+    fn vi_world_scenario_reports_green_fraction() {
+        let spec = ScenarioSpec {
+            name: "test-world".into(),
+            arena: Rect::square(100.0),
+            radio: RadioConfig::reliable(10.0, 20.0),
+            populations: vec![PopulationSpec::fixed(
+                3,
+                PlacementSpec::Cluster {
+                    center: Point::new(50.0, 50.0),
+                    radius: 0.4,
+                },
+            )],
+            adversary: AdversaryKind::None,
+            cm: CmSpec::perfect(),
+            workload: WorkloadSpec::ViCounter {
+                layout: LayoutSpec::Explicit {
+                    locations: vec![Point::new(50.0, 50.0)],
+                    region_radius: 2.5,
+                },
+                virtual_rounds: 8,
+            },
+        };
+        let out = spec.run(3);
+        assert!(out.decided_fraction > 0.5, "{}", out.decided_fraction);
+        assert_eq!(out.outputs_checked, 0);
+        assert!(out.rounds > 8, "real rounds exceed virtual rounds");
+        assert_eq!(out, spec.run(3), "world runs are deterministic");
+    }
+}

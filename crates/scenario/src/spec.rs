@@ -1,0 +1,561 @@
+//! The declarative scenario description.
+//!
+//! A [`ScenarioSpec`] is plain serializable data: everything needed to
+//! reconstruct a full deployment — arena, radio model, node
+//! populations with placement/mobility/churn, channel adversary,
+//! contention manager, and workload. The compiler (see
+//! [`crate::compile`]) turns a spec plus a seed into an execution;
+//! identical `(spec, seed)` pairs yield identical executions.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use vi_contention::{BackoffCm, BackoffConfig, OracleCm, PreStability, SharedCm};
+use vi_core::vi::VnLayout;
+use vi_radio::geometry::{Point, Rect};
+use vi_radio::mobility::{Billiard, DepartAt, MobilityModel, PatrolRoute, Static, Waypoint};
+use vi_radio::{AdversaryKind, RadioConfig};
+
+/// Where a population's nodes start, as a function of the node's index
+/// within the population.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PlacementSpec {
+    /// Node `i` starts at `start + i * (step_x, step_y)` — a
+    /// deterministic line (the layout the clique experiments use).
+    Line {
+        /// Position of node 0.
+        start: Point,
+        /// Per-node x offset.
+        step_x: f64,
+        /// Per-node y offset.
+        step_y: f64,
+    },
+    /// Uniformly random within a disc of `radius` around `center`
+    /// (seeded; deterministic per run).
+    Cluster {
+        /// Disc center.
+        center: Point,
+        /// Disc radius in meters.
+        radius: f64,
+    },
+    /// Uniformly random over the whole arena (seeded; deterministic
+    /// per run).
+    Uniform,
+}
+
+impl PlacementSpec {
+    /// The start position of node `i` of a population. Random
+    /// placements draw from `rng` and are clamped into `arena`.
+    pub fn position(&self, i: usize, arena: Rect, rng: &mut StdRng) -> Point {
+        let p = match self {
+            PlacementSpec::Line {
+                start,
+                step_x,
+                step_y,
+            } => Point::new(start.x + *step_x * i as f64, start.y + *step_y * i as f64),
+            PlacementSpec::Cluster { center, radius } => {
+                // Polar sampling: uniform over the disc.
+                let r = *radius * rng.random_range(0.0..=1.0f64).sqrt();
+                let theta = rng.random_range(0.0..std::f64::consts::TAU);
+                Point::new(center.x + r * theta.cos(), center.y + r * theta.sin())
+            }
+            PlacementSpec::Uniform => Point::new(
+                rng.random_range(arena.min.x..=arena.max.x),
+                rng.random_range(arena.min.y..=arena.max.y),
+            ),
+        };
+        // Mobility constructors assert in-bounds starts; clamp so every
+        // placement is valid inside the arena.
+        Point::new(
+            p.x.clamp(arena.min.x, arena.max.x),
+            p.y.clamp(arena.min.y, arena.max.y),
+        )
+    }
+}
+
+/// How a population's nodes move, given their start position and the
+/// arena bounds. Mirrors the models in [`vi_radio::mobility`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MobilitySpec {
+    /// Never moves ([`Static`]).
+    Static,
+    /// Random waypoint inside the arena at `speed` m/round
+    /// ([`Waypoint`]).
+    Waypoint {
+        /// Speed in meters per round.
+        speed: f64,
+    },
+    /// Constant velocity, reflecting off the arena bounds
+    /// ([`Billiard`]).
+    Billiard {
+        /// X velocity in meters per round.
+        vel_x: f64,
+        /// Y velocity in meters per round.
+        vel_y: f64,
+    },
+    /// Cyclic patrol through explicit waypoints ([`PatrolRoute`]);
+    /// starts at the first waypoint (the placement is ignored).
+    PatrolRoute {
+        /// Waypoints, visited cyclically.
+        route: Vec<Point>,
+        /// Speed in meters per round.
+        speed: f64,
+    },
+    /// Stationary until `depart_at`, then a straight-line walk
+    /// ([`DepartAt`]).
+    DepartAt {
+        /// X component of the departure direction.
+        dir_x: f64,
+        /// Y component of the departure direction.
+        dir_y: f64,
+        /// Speed in meters per round.
+        speed: f64,
+        /// Round at which the node departs.
+        depart_at: u64,
+    },
+}
+
+impl MobilitySpec {
+    /// Builds the mobility model for a node starting at `start`.
+    pub fn build(&self, start: Point, arena: Rect) -> Box<dyn MobilityModel> {
+        match self {
+            MobilitySpec::Static => Box::new(Static::new(start)),
+            MobilitySpec::Waypoint { speed } => Box::new(Waypoint::new(start, *speed, arena)),
+            MobilitySpec::Billiard { vel_x, vel_y } => {
+                Box::new(Billiard::new(start, (*vel_x, *vel_y), arena))
+            }
+            MobilitySpec::PatrolRoute { route, speed } => {
+                Box::new(PatrolRoute::new(route.clone(), *speed))
+            }
+            MobilitySpec::DepartAt {
+                dir_x,
+                dir_y,
+                speed,
+                depart_at,
+            } => Box::new(DepartAt::new(start, (*dir_x, *dir_y), *speed, *depart_at)),
+        }
+    }
+}
+
+/// One homogeneous group of nodes: count, placement, mobility, and
+/// churn windows (scripted spawn and crash rounds).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Number of nodes in the population.
+    pub count: usize,
+    /// Start positions.
+    pub placement: PlacementSpec,
+    /// Motion model.
+    pub mobility: MobilitySpec,
+    /// Round at which node 0 of the population spawns (0 = deployed
+    /// from the start).
+    pub spawn_at: u64,
+    /// Extra spawn delay per node: node `i` spawns at
+    /// `spawn_at + i * spawn_stride` (models arrival waves).
+    pub spawn_stride: u64,
+    /// Round at which every node of the population crashes, if any.
+    pub crash_at: Option<u64>,
+}
+
+impl PopulationSpec {
+    /// A static, always-alive population (the common case).
+    pub fn fixed(count: usize, placement: PlacementSpec) -> Self {
+        PopulationSpec {
+            count,
+            placement,
+            mobility: MobilitySpec::Static,
+            spawn_at: 0,
+            spawn_stride: 0,
+            crash_at: None,
+        }
+    }
+
+    /// Sets the mobility model.
+    pub fn with_mobility(mut self, mobility: MobilitySpec) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// Sets the spawn window (`spawn_at` plus per-node stride).
+    pub fn spawning(mut self, spawn_at: u64, spawn_stride: u64) -> Self {
+        self.spawn_at = spawn_at;
+        self.spawn_stride = spawn_stride;
+        self
+    }
+
+    /// Crashes the whole population at `round`.
+    pub fn crashing_at(mut self, round: u64) -> Self {
+        self.crash_at = Some(round);
+        self
+    }
+}
+
+/// Which contention manager the CHA workload runs on.
+///
+/// Only meaningful for [`WorkloadSpec::ChaClique`]; the virtual-node
+/// workload manages contention internally (regional leases).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CmSpec {
+    /// [`OracleCm`]: realizes Property 3 exactly from `stabilize_at`,
+    /// behaving per `pre` before it.
+    Oracle {
+        /// Stabilization round.
+        stabilize_at: u64,
+        /// Pre-stabilization behaviour.
+        pre: PreStability,
+    },
+    /// [`BackoffCm`] with the default configuration: the practical
+    /// randomized scheme.
+    Backoff,
+}
+
+impl CmSpec {
+    /// A manager that is perfect from round 0.
+    pub fn perfect() -> Self {
+        CmSpec::Oracle {
+            stabilize_at: 0,
+            pre: PreStability::NoneActive,
+        }
+    }
+
+    /// Builds the shared contention-manager handle for a run.
+    pub fn build(&self, seed: u64) -> SharedCm {
+        match self {
+            CmSpec::Oracle { stabilize_at, pre } => {
+                SharedCm::new(OracleCm::new(*stabilize_at, *pre, seed))
+            }
+            CmSpec::Backoff => SharedCm::new(BackoffCm::new(BackoffConfig::default(), seed)),
+        }
+    }
+}
+
+/// Virtual-node layout for the [`WorkloadSpec::ViCounter`] workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LayoutSpec {
+    /// A `rows × cols` grid of virtual nodes.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+        /// Spacing between neighbouring locations, in meters.
+        spacing: f64,
+        /// Location of the first virtual node.
+        origin: Point,
+        /// Region radius around each location.
+        region_radius: f64,
+    },
+    /// Explicit virtual-node locations.
+    Explicit {
+        /// Virtual-node locations.
+        locations: Vec<Point>,
+        /// Region radius around each location.
+        region_radius: f64,
+    },
+}
+
+impl LayoutSpec {
+    /// Builds the [`VnLayout`].
+    pub fn build(&self) -> VnLayout {
+        match self {
+            LayoutSpec::Grid {
+                rows,
+                cols,
+                spacing,
+                origin,
+                region_radius,
+            } => VnLayout::grid(*rows, *cols, *spacing, *origin, *region_radius),
+            LayoutSpec::Explicit {
+                locations,
+                region_radius,
+            } => VnLayout::new(locations.clone(), *region_radius),
+        }
+    }
+}
+
+/// What the deployed nodes run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Single-region convergent history agreement: every node is a
+    /// [`vi_core::cha::ChaNode`] proposing tagged values; the run
+    /// lasts `instances` agreement instances (3 rounds each).
+    ChaClique {
+        /// Agreement instances to run.
+        instances: u64,
+    },
+    /// Virtual-infrastructure emulation: populations are devices
+    /// emulating a replicated counter
+    /// ([`vi_core::vi::CounterAutomaton`]) at the layout's locations.
+    ViCounter {
+        /// Virtual-node layout.
+        layout: LayoutSpec,
+        /// Virtual rounds to run.
+        virtual_rounds: u64,
+    },
+}
+
+/// A full declarative deployment: the unit the sweep runner executes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (unique within a catalog or spec file).
+    pub name: String,
+    /// Bounding box for placement and mobility.
+    pub arena: Rect,
+    /// Radio model parameters (including `rcf`/`racc`).
+    pub radio: RadioConfig,
+    /// The deployed node populations.
+    pub populations: Vec<PopulationSpec>,
+    /// Channel adversary active before stabilization.
+    pub adversary: AdversaryKind,
+    /// Contention manager (CHA workload only).
+    pub cm: CmSpec,
+    /// The workload to execute.
+    pub workload: WorkloadSpec,
+}
+
+impl ScenarioSpec {
+    /// Total number of nodes across all populations.
+    pub fn node_count(&self) -> usize {
+        self.populations.iter().map(|p| p.count).sum()
+    }
+
+    /// Checks the spec for model violations the builders would panic
+    /// on: invalid radio parameters, empty deployments, out-of-range
+    /// probabilities, degenerate mobility.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        self.radio
+            .validate()
+            .map_err(|e| format!("{}: {e}", self.name))?;
+        // Deserialized `Rect`s bypass `Rect::new`'s assertion, so a
+        // hand-edited JSON arena can be degenerate; check here.
+        let finite = |p: Point| p.x.is_finite() && p.y.is_finite();
+        if !finite(self.arena.min)
+            || !finite(self.arena.max)
+            || self.arena.min.x > self.arena.max.x
+            || self.arena.min.y > self.arena.max.y
+        {
+            return Err(format!(
+                "{}: arena must be finite with min <= max",
+                self.name
+            ));
+        }
+        if self.populations.is_empty() || self.node_count() == 0 {
+            return Err(format!("{}: scenario deploys no nodes", self.name));
+        }
+        let prob = |p: f64| (0.0..=1.0).contains(&p);
+        match &self.adversary {
+            AdversaryKind::Random(d, s) if !prob(*d) || !prob(*s) => {
+                return Err(format!(
+                    "{}: adversary probability outside [0, 1]",
+                    self.name
+                ));
+            }
+            AdversaryKind::BrokenDetector { drop_p, miss_p }
+                if !prob(*drop_p) || !prob(*miss_p) =>
+            {
+                return Err(format!(
+                    "{}: adversary probability outside [0, 1]",
+                    self.name
+                ));
+            }
+            _ => {}
+        }
+        if let CmSpec::Oracle {
+            pre: PreStability::Random(p),
+            ..
+        } = self.cm
+        {
+            if !prob(p) {
+                return Err(format!("{}: CM probability outside [0, 1]", self.name));
+            }
+        }
+        let good_speed = |s: f64| s.is_finite() && s >= 0.0;
+        for (i, pop) in self.populations.iter().enumerate() {
+            let bad = |what: &str| Err(format!("{}: population {i} has {what}", self.name));
+            if let PlacementSpec::Cluster { radius, .. } = pop.placement {
+                if !good_speed(radius) {
+                    return bad("an invalid cluster radius");
+                }
+            }
+            match &pop.mobility {
+                MobilitySpec::Waypoint { speed } if !good_speed(*speed) => {
+                    return bad("an invalid speed");
+                }
+                MobilitySpec::Billiard { vel_x, vel_y }
+                    if !vel_x.is_finite() || !vel_y.is_finite() =>
+                {
+                    return bad("a non-finite velocity");
+                }
+                MobilitySpec::PatrolRoute { route, speed } => {
+                    if route.is_empty() {
+                        return bad("an empty route");
+                    }
+                    if !good_speed(*speed) {
+                        return bad("an invalid speed");
+                    }
+                }
+                MobilitySpec::DepartAt {
+                    dir_x,
+                    dir_y,
+                    speed,
+                    ..
+                } => {
+                    if *dir_x == 0.0 && *dir_y == 0.0 {
+                        return bad("a zero departure direction");
+                    }
+                    if !good_speed(*speed) {
+                        return bad("an invalid speed");
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "unit".into(),
+            arena: Rect::square(100.0),
+            radio: RadioConfig::reliable(10.0, 20.0),
+            populations: vec![PopulationSpec::fixed(
+                3,
+                PlacementSpec::Line {
+                    start: Point::new(1.0, 1.0),
+                    step_x: 0.1,
+                    step_y: 0.0,
+                },
+            )],
+            adversary: AdversaryKind::None,
+            cm: CmSpec::perfect(),
+            workload: WorkloadSpec::ChaClique { instances: 5 },
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn validate_catches_bad_probability_and_empty_deployment() {
+        let mut s = spec();
+        s.adversary = AdversaryKind::Random(1.5, 0.0);
+        assert!(s.validate().unwrap_err().contains("probability"));
+        let mut s = spec();
+        s.populations.clear();
+        assert!(s.validate().unwrap_err().contains("no nodes"));
+        assert!(spec().validate().is_ok());
+    }
+
+    type SpecEdit = Box<dyn Fn(&mut ScenarioSpec)>;
+
+    #[test]
+    fn validate_catches_every_builder_panic_case() {
+        // Each of these would otherwise panic inside a sweep worker
+        // (mobility/placement constructor asserts, rand range panics).
+        let cases: Vec<(&str, SpecEdit)> = vec![
+            ("arena", Box::new(|s| s.arena.min = Point::new(50.0, 200.0))),
+            (
+                "arena",
+                Box::new(|s| s.arena.max = Point::new(f64::NAN, 1.0)),
+            ),
+            (
+                "speed",
+                Box::new(|s| {
+                    s.populations[0].mobility = MobilitySpec::PatrolRoute {
+                        route: vec![Point::ORIGIN],
+                        speed: -1.0,
+                    }
+                }),
+            ),
+            (
+                "velocity",
+                Box::new(|s| {
+                    s.populations[0].mobility = MobilitySpec::Billiard {
+                        vel_x: f64::NAN,
+                        vel_y: 0.0,
+                    }
+                }),
+            ),
+            (
+                "speed",
+                Box::new(|s| {
+                    s.populations[0].mobility = MobilitySpec::DepartAt {
+                        dir_x: 1.0,
+                        dir_y: 0.0,
+                        speed: f64::INFINITY,
+                        depart_at: 0,
+                    }
+                }),
+            ),
+            (
+                "radius",
+                Box::new(|s| {
+                    s.populations[0].placement = PlacementSpec::Cluster {
+                        center: Point::new(5.0, 5.0),
+                        radius: -2.0,
+                    }
+                }),
+            ),
+        ];
+        for (expect, break_it) in cases {
+            let mut s = spec();
+            break_it(&mut s);
+            let err = s.validate().expect_err(expect);
+            assert!(err.contains(expect), "{err} should mention {expect}");
+        }
+    }
+
+    #[test]
+    fn placements_stay_in_arena_and_are_deterministic() {
+        let arena = Rect::square(50.0);
+        for placement in [
+            PlacementSpec::Uniform,
+            PlacementSpec::Cluster {
+                center: Point::new(25.0, 25.0),
+                radius: 40.0, // overflows the arena; clamping applies
+            },
+            PlacementSpec::Line {
+                start: Point::new(0.0, 0.0),
+                step_x: 1.0,
+                step_y: 0.5,
+            },
+        ] {
+            let mut a = StdRng::seed_from_u64(9);
+            let mut b = StdRng::seed_from_u64(9);
+            for i in 0..50 {
+                let p = placement.position(i, arena, &mut a);
+                assert!(arena.contains(p), "{placement:?} escaped: {p}");
+                assert_eq!(p, placement.position(i, arena, &mut b));
+            }
+        }
+    }
+
+    #[test]
+    fn line_placement_matches_clique_layout() {
+        let arena = Rect::square(10.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let line = PlacementSpec::Line {
+            start: Point::ORIGIN,
+            step_x: 0.1,
+            step_y: 0.0,
+        };
+        assert_eq!(
+            line.position(4, arena, &mut rng),
+            Point::new(0.1 * 4.0, 0.0)
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Load declarative scenario specs from a JSON file and sweep them
+//! across seeds on all cores — no Rust required to define a new
+//! deployment.
+//!
+//! ```sh
+//! cargo run --release --example scenario_sweep -- examples/scenarios.json 1 2 3
+//! ```
+//!
+//! The file holds a JSON array of `ScenarioSpec`s (see
+//! `examples/scenarios.json` for a template, or serialize any
+//! `vi_scenario::catalog` entry to get a starting point). Each
+//! `(scenario, seed)` run is deterministic, so re-running this example
+//! with the same file and seeds replays the exact same executions.
+
+use virtual_infra::scenario::{ScenarioSpec, SweepRunner};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .unwrap_or_else(|| "examples/scenarios.json".to_string());
+    let seeds: Vec<u64> = {
+        let rest: Vec<u64> = args
+            .map(|a| a.parse().expect("seed must be a u64"))
+            .collect();
+        if rest.is_empty() {
+            vec![1, 2]
+        } else {
+            rest
+        }
+    };
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let specs: Vec<ScenarioSpec> =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    for spec in &specs {
+        spec.validate().expect("scenario spec must be valid");
+    }
+
+    let runner = SweepRunner::auto();
+    println!(
+        "sweeping {} scenario(s) × {} seed(s) on {} worker(s)\n",
+        specs.len(),
+        seeds.len(),
+        runner.workers()
+    );
+    for o in runner.run_matrix(&specs, &seeds) {
+        println!(
+            "{:<20} seed {:<3} {:>5} nodes {:>6} rounds  decided {:.2}  \
+             safety violations {}  kst {}",
+            o.scenario,
+            o.seed,
+            o.nodes,
+            o.rounds,
+            o.decided_fraction,
+            o.safety_violations(),
+            o.stabilized_kst
+                .map_or_else(|| "-".to_string(), |k| k.to_string()),
+        );
+    }
+}

@@ -10,9 +10,11 @@
 //! * [`core`] — convergent history agreement + virtual infrastructure.
 //! * [`baselines`] — comparison protocols.
 //! * [`apps`] — applications on virtual infrastructure.
+//! * [`scenario`] — declarative scenario specs + parallel sweep runner.
 
 pub use vi_apps as apps;
 pub use vi_baselines as baselines;
 pub use vi_contention as contention;
 pub use vi_core as core;
 pub use vi_radio as radio;
+pub use vi_scenario as scenario;

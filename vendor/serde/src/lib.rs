@@ -399,6 +399,27 @@ impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
     }
 }
 
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("start".to_string(), self.start.to_value()),
+            ("end".to_string(), self.end.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(m) => Ok(std::ops::Range {
+                start: T::from_value(map_field(m, "start")?)?,
+                end: T::from_value(map_field(m, "end")?)?,
+            }),
+            _ => Err(Error::custom("expected {start, end} map for Range")),
+        }
+    }
+}
+
 macro_rules! ser_tuple {
     ($(($($n:tt $t:ident),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -454,6 +475,13 @@ mod tests {
         m.insert(9, None);
         let round: BTreeMap<u64, Option<i64>> = BTreeMap::from_value(&m.to_value()).unwrap();
         assert_eq!(round, m);
+    }
+
+    #[test]
+    fn ranges_round_trip() {
+        let r = 5u64..10u64;
+        assert_eq!(<std::ops::Range<u64>>::from_value(&r.to_value()), Ok(r));
+        assert!(<std::ops::Range<u64>>::from_value(&Value::UInt(3)).is_err());
     }
 
     #[test]
