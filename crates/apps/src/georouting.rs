@@ -45,6 +45,19 @@ pub enum RouteMsg {
     },
 }
 
+impl RouteMsg {
+    /// A freshly injected packet: maximal carrier distance, so any
+    /// virtual node hearing it makes progress (how clients and load
+    /// generators enter packets into the overlay).
+    pub fn inject(dst: QPoint, payload: u32) -> Self {
+        RouteMsg::Packet {
+            dst,
+            payload,
+            carrier_dist: u64::MAX,
+        }
+    }
+}
+
 impl WireSized for RouteMsg {
     fn wire_size(&self) -> usize {
         1 + 16 + 4 + 8

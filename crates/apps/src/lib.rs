@@ -11,6 +11,11 @@
 //!   grid (paper references \[12, 16\]).
 //! * [`mutex`] — a FIFO lock server hosted on a virtual node (the
 //!   coordination primitive behind the robot motivation \[4, 27\]).
+//!
+//! Each app's message type exposes response matchers (`ack_tag`,
+//! `granted_client`, `answered_object`, …) — the hooks the
+//! `vi-traffic` service adapters key request completions on when the
+//! apps run under generated client load.
 
 pub mod georouting;
 pub mod mutex;

@@ -38,6 +38,17 @@ pub enum LockMsg {
     },
 }
 
+impl LockMsg {
+    /// The client a `Grant` names, if this is a grant (the response
+    /// matcher load generators key completions on).
+    pub fn granted_client(&self) -> Option<u32> {
+        match self {
+            LockMsg::Grant { client } => Some(*client),
+            _ => None,
+        }
+    }
+}
+
 impl WireSized for LockMsg {
     fn wire_size(&self) -> usize {
         5

@@ -1,0 +1,54 @@
+//! Criterion benches for the traffic metrics hot path: histogram
+//! record and merge — the per-request cost of the streaming metrics
+//! pipeline (must stay allocation-free and branch-cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vi_traffic::LatencyHistogram;
+
+fn histogram_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic_histogram_record");
+    g.sample_size(40);
+    for n in [1_000u64, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut h = LatencyHistogram::new();
+                // A latency-like stream: mostly small with a heavy tail.
+                for i in 0..n {
+                    let v = (i % 13) + ((i % 97) * (i % 97)) / 13;
+                    h.record(criterion::black_box(v));
+                }
+                h.count()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn histogram_merge(c: &mut Criterion) {
+    // Shards as a sweep would produce them: per-job histograms merged
+    // in job order.
+    let shards: Vec<LatencyHistogram> = (0..64u64)
+        .map(|s| {
+            let mut h = LatencyHistogram::new();
+            for i in 0..1_000u64 {
+                h.record((i * (s + 1)) % 4_096);
+            }
+            h
+        })
+        .collect();
+    let mut g = c.benchmark_group("traffic_histogram_merge");
+    g.sample_size(40);
+    g.bench_function(BenchmarkId::from_parameter(shards.len()), |b| {
+        b.iter(|| {
+            let mut all = LatencyHistogram::new();
+            for s in &shards {
+                all.merge(criterion::black_box(s));
+            }
+            all.count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, histogram_record, histogram_merge);
+criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! # vi-bench
 //!
 //! Experiment harness reproducing every figure and quantitative claim
-//! of the paper. Each experiment (E1–E15) is a function returning a
+//! of the paper. Each experiment (E1–E16) is a function returning a
 //! [`Table`], callable from the `repro` binary (which prints
 //! paper-shaped tables and writes a `BENCH_<id>.json` artifact per
 //! experiment) and exercised by unit tests that assert the claimed
 //! *shape* (who wins, what stays constant, what grows). Seed sweeps
-//! (E6, E13, E15) fan across cores through
+//! (E6, E13, E15, E16) fan across cores through
 //! [`vi_scenario::SweepRunner`].
 
 pub mod exp_ablation;
@@ -14,6 +14,7 @@ pub mod exp_cha;
 pub mod exp_emulation;
 pub mod exp_radio;
 pub mod exp_scenarios;
+pub mod exp_traffic;
 pub mod harness;
 pub mod table;
 
@@ -75,6 +76,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "scenario_matrix",
             "Named scenarios × seeds via the parallel SweepRunner",
             exp_scenarios::scenario_matrix,
+        ),
+        (
+            "traffic_profile",
+            "Client traffic: apps × scenarios × open/closed loop",
+            exp_traffic::traffic_profile,
         ),
     ]
 }

@@ -12,6 +12,7 @@ use crate::spec::{
 use vi_contention::PreStability;
 use vi_radio::geometry::{Point, Rect};
 use vi_radio::{AdversaryKind, RadioConfig};
+use vi_traffic::{AppKind, LoadMode, RatePhase, TrafficSpec};
 
 const R1: f64 = 10.0;
 const R2: f64 = 20.0;
@@ -229,6 +230,109 @@ fn city_scale() -> ScenarioSpec {
     }
 }
 
+/// `mall_rush` — a flash crowd hammering the register: four anchored
+/// clients under an open-loop schedule that bursts to the service
+/// capacity mid-run, while an arrival wave of extra devices churns
+/// the region. The latency histogram shows the queue build-up and
+/// drain.
+fn mall_rush() -> ScenarioSpec {
+    let vn = Point::new(50.0, 50.0);
+    ScenarioSpec {
+        name: "mall_rush".into(),
+        arena: Rect::square(100.0),
+        radio: RadioConfig::reliable(R1, R2),
+        populations: vec![
+            // Clients first: deployment order assigns the ports.
+            cluster(4, vn),
+            // Replica anchors.
+            cluster(2, vn),
+            // The rush: extra devices joining the region mid-run.
+            PopulationSpec::fixed(
+                6,
+                PlacementSpec::Cluster {
+                    center: vn,
+                    radius: 0.8,
+                },
+            )
+            .spawning(200, 40),
+        ],
+        adversary: AdversaryKind::None,
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::Traffic {
+            app: AppKind::Register,
+            layout: LayoutSpec::Explicit {
+                locations: vec![vn],
+                region_radius: REGION,
+            },
+            traffic: TrafficSpec {
+                clients: 4,
+                mode: LoadMode::Open {
+                    rate_per_round: 0.25,
+                    phases: vec![
+                        RatePhase {
+                            from_vr: 20,
+                            rate_per_round: 1.0,
+                        },
+                        RatePhase {
+                            from_vr: 40,
+                            rate_per_round: 0.25,
+                        },
+                    ],
+                },
+                query_fraction: 0.5,
+                timeout_rounds: 30,
+                virtual_rounds: 60,
+            },
+        },
+    }
+}
+
+/// `courier_fleet` — mobile couriers streaming tracking updates: a
+/// closed loop of position reports and lookups from waypoint-moving
+/// clients, against two anchored virtual-node regions.
+fn courier_fleet() -> ScenarioSpec {
+    let a = Point::new(50.0, 50.0);
+    let b = Point::new(110.0, 50.0);
+    ScenarioSpec {
+        name: "courier_fleet".into(),
+        arena: Rect::square(160.0),
+        radio: RadioConfig::reliable(R1, R2),
+        populations: vec![
+            // The couriers (clients) roam the arena.
+            PopulationSpec::fixed(
+                4,
+                PlacementSpec::Cluster {
+                    center: a,
+                    radius: 2.0,
+                },
+            )
+            .with_mobility(MobilitySpec::Waypoint { speed: 0.4 }),
+            // Anchors keep both regions alive.
+            cluster(2, a),
+            cluster(2, b),
+        ],
+        adversary: AdversaryKind::None,
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::Traffic {
+            app: AppKind::Tracking,
+            layout: LayoutSpec::Explicit {
+                locations: vec![a, b],
+                region_radius: REGION,
+            },
+            traffic: TrafficSpec {
+                clients: 4,
+                mode: LoadMode::Closed {
+                    outstanding_per_client: 1,
+                    think_rounds: 2,
+                },
+                query_fraction: 0.3,
+                timeout_rounds: 25,
+                virtual_rounds: 50,
+            },
+        },
+    }
+}
+
 /// All named scenarios, in catalog order.
 pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
@@ -240,6 +344,8 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         commuter_wave(),
         broken_detector(),
         city_scale(),
+        mall_rush(),
+        courier_fleet(),
     ]
 }
 
@@ -255,7 +361,7 @@ mod tests {
     #[test]
     fn every_catalog_scenario_validates_and_round_trips() {
         let all = catalog();
-        assert!(all.len() >= 8, "catalog must stay ≥ 8 scenarios");
+        assert!(all.len() >= 10, "catalog must stay ≥ 10 scenarios");
         for spec in &all {
             spec.validate().expect("catalog scenario must be valid");
             let json = serde_json::to_string(spec).unwrap();
@@ -281,6 +387,24 @@ mod tests {
         assert_eq!(out.safety_violations(), 0);
         let kst = out.stabilized_kst.expect("must converge after healing");
         assert!(kst > 30, "bursts must delay stabilization (kst {kst})");
+    }
+
+    #[test]
+    fn mall_rush_burst_shows_in_the_latency_tail() {
+        let out = scenario("mall_rush").unwrap().run(1);
+        let t = out.traffic.as_ref().expect("traffic summary");
+        assert!(t.issued >= 30, "burst admits plenty of requests: {t:?}");
+        assert!(t.completed > 0, "{t:?}");
+        assert!(t.p99 >= t.p50, "burst shows up as a latency tail: {t:?}");
+    }
+
+    #[test]
+    fn courier_fleet_streams_updates() {
+        let out = scenario("courier_fleet").unwrap().run(2);
+        let t = out.traffic.as_ref().expect("traffic summary");
+        assert_eq!(t.app, "tracking");
+        assert_eq!(t.mode, "closed");
+        assert!(t.completed > 10, "couriers stream updates: {t:?}");
     }
 
     #[test]

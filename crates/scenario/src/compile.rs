@@ -16,6 +16,7 @@ use vi_core::cha::{ChaMessage, ChaNode, ChaSpecChecker, TaggedProposer};
 use vi_core::vi::{CounterAutomaton, VnId, World, WorldConfig};
 use vi_radio::trace::ChannelStats;
 use vi_radio::{Engine, EngineConfig, NodeId, NodeSpec};
+use vi_traffic::{AppKind, DevicePlan, TrafficSpec, TrafficSummary, TrafficWorld};
 
 /// Salt separating the placement RNG stream from the engine's seed
 /// stream (so random placement never perturbs channel resolution).
@@ -60,6 +61,8 @@ pub struct ScenarioOutcome {
     pub vn_joins: u64,
     /// Virtual-node state losses / resets (VI runs; 0 for CHA).
     pub vn_resets: u64,
+    /// Client-traffic metrics (traffic workloads only).
+    pub traffic: Option<TrafficSummary>,
 }
 
 impl ScenarioOutcome {
@@ -83,6 +86,11 @@ impl ScenarioSpec {
                 layout,
                 virtual_rounds,
             } => self.run_vi(seed, layout, *virtual_rounds),
+            WorkloadSpec::Traffic {
+                app,
+                layout,
+                traffic,
+            } => self.run_traffic(seed, *app, layout, traffic),
         }
     }
 
@@ -187,6 +195,7 @@ impl ScenarioSpec {
             decided_fraction,
             0,
             0,
+            None,
         )
     }
 
@@ -245,6 +254,55 @@ impl ScenarioSpec {
             decided_fraction,
             joins,
             resets,
+            None,
+        )
+    }
+
+    /// Runs a client-traffic workload: populations emulate the app's
+    /// virtual nodes; the first `traffic.clients` devices also run
+    /// request ports driven by the vi-traffic generator.
+    fn run_traffic(
+        &self,
+        seed: u64,
+        app: AppKind,
+        layout: &crate::spec::LayoutSpec,
+        traffic: &TrafficSpec,
+    ) -> ScenarioOutcome {
+        let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
+        let mut devices = Vec::with_capacity(self.node_count());
+        for pop in &self.populations {
+            for j in 0..pop.count {
+                let start = pop.placement.position(j, self.arena, &mut place_rng);
+                let spawn = pop.spawn_at + j as u64 * pop.spawn_stride;
+                devices.push(DevicePlan {
+                    start,
+                    mobility: pop.mobility.build(start, self.arena),
+                    spawn_at: (spawn > 0).then_some(spawn),
+                    crash_at: pop.crash_at,
+                });
+            }
+        }
+        let tw = TrafficWorld {
+            radio: self.radio,
+            layout: layout.build(),
+            seed,
+            adversary: self.adversary.clone(),
+            devices,
+        };
+        let out = vi_traffic::run_traffic(app, tw, traffic);
+        let decided_fraction =
+            out.vn_decided as f64 / (out.vn_decided + out.vn_bottom).max(1) as f64;
+        let checker = ChaSpecChecker::<u64>::new();
+        self.outcome(
+            seed,
+            out.stats.rounds,
+            &out.stats,
+            0,
+            &checker,
+            decided_fraction,
+            out.vn_joins,
+            out.vn_resets,
+            Some(out.summary),
         )
     }
 
@@ -259,6 +317,7 @@ impl ScenarioSpec {
         decided_fraction: f64,
         vn_joins: u64,
         vn_resets: u64,
+        traffic: Option<TrafficSummary>,
     ) -> ScenarioOutcome {
         ScenarioOutcome {
             scenario: self.name.clone(),
@@ -277,6 +336,7 @@ impl ScenarioSpec {
             stabilized_kst: checker.liveness_kst(),
             vn_joins,
             vn_resets,
+            traffic,
         }
     }
 }
@@ -324,6 +384,45 @@ mod tests {
         spec.adversary = AdversaryKind::Random(0.4, 0.2);
         assert_eq!(spec.run(7), spec.run(7));
         assert_ne!(spec.run(7), spec.run(8), "seeds must matter");
+    }
+
+    #[test]
+    fn traffic_scenario_reports_latency_metrics() {
+        let spec = ScenarioSpec {
+            name: "test-traffic".into(),
+            arena: Rect::square(100.0),
+            radio: RadioConfig::reliable(10.0, 20.0),
+            populations: vec![PopulationSpec::fixed(
+                3,
+                PlacementSpec::Cluster {
+                    center: Point::new(50.0, 50.0),
+                    radius: 0.4,
+                },
+            )],
+            adversary: AdversaryKind::None,
+            cm: CmSpec::perfect(),
+            workload: WorkloadSpec::Traffic {
+                app: vi_traffic::AppKind::Register,
+                layout: LayoutSpec::Explicit {
+                    locations: vec![Point::new(50.0, 50.0)],
+                    region_radius: 2.5,
+                },
+                traffic: vi_traffic::TrafficSpec::open(2, 0.25, 30),
+            },
+        };
+        spec.validate().expect("traffic spec validates");
+        let out = spec.run(5);
+        let t = out.traffic.as_ref().expect("traffic summary present");
+        assert!(t.issued > 0);
+        assert!(t.completed > 0, "{t:?}");
+        assert!(t.p50 >= 1 && t.p50 <= t.p99, "{t:?}");
+        assert_eq!(out, spec.run(5), "traffic runs are deterministic");
+        // Too many clients for the deployment must fail validation.
+        let mut bad = spec.clone();
+        if let WorkloadSpec::Traffic { traffic, .. } = &mut bad.workload {
+            traffic.clients = 99;
+        }
+        assert!(bad.validate().unwrap_err().contains("clients"));
     }
 
     #[test]

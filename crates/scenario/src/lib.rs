@@ -17,7 +17,8 @@
 //!   builds the corresponding [`vi_radio::Engine`] or
 //!   [`vi_core::vi::World`], executes it, and extracts a uniform
 //!   [`ScenarioOutcome`] row (channel statistics, CHA spec-checker
-//!   verdicts, measured stabilization).
+//!   verdicts, measured stabilization; traffic workloads additionally
+//!   carry a [`vi_traffic::TrafficSummary`] with latency quantiles).
 //! * [`SweepRunner`] (module [`runner`]) — fans a `scenario × seed`
 //!   matrix across `std::thread` workers. Every run owns its engine
 //!   (specs are plain data, so jobs are `Send` by construction) and
@@ -49,3 +50,4 @@ pub use runner::SweepRunner;
 pub use spec::{
     CmSpec, LayoutSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, WorkloadSpec,
 };
+pub use vi_traffic::{AppKind, LoadMode, RatePhase, TrafficSpec, TrafficSummary};

@@ -179,6 +179,34 @@ mod tests {
     }
 
     #[test]
+    fn empty_scenario_list_yields_empty_table() {
+        let out = SweepRunner::new(3).run_matrix(&[], &[1, 2, 3]);
+        assert!(out.is_empty(), "no scenarios → no rows");
+    }
+
+    #[test]
+    fn zero_seeds_yield_empty_table() {
+        let out = SweepRunner::new(3).run_matrix(&small_matrix(), &[]);
+        assert!(out.is_empty(), "no seeds → no rows");
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_clean() {
+        let scenarios = small_matrix();
+        // 2 scenarios × 1 seed = 2 jobs on 16 workers: the surplus
+        // workers must exit cleanly and the table must match the
+        // single-worker run.
+        let wide = SweepRunner::new(16).run_matrix(&scenarios, &[4]);
+        let narrow = SweepRunner::new(1).run_matrix(&scenarios, &[4]);
+        assert_eq!(wide.len(), 2);
+        assert_eq!(
+            serde_json::to_string(&wide).unwrap(),
+            serde_json::to_string(&narrow).unwrap(),
+            "surplus workers must not change the table"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "invalid scenario spec")]
     fn invalid_specs_are_rejected_up_front() {
         let mut bad = small_matrix().remove(0);

@@ -14,6 +14,7 @@ use vi_core::vi::VnLayout;
 use vi_radio::geometry::{Point, Rect};
 use vi_radio::mobility::{Billiard, DepartAt, MobilityModel, PatrolRoute, Static, Waypoint};
 use vi_radio::{AdversaryKind, RadioConfig};
+use vi_traffic::{AppKind, TrafficSpec};
 
 /// Where a population's nodes start, as a function of the node's index
 /// within the population.
@@ -291,6 +292,20 @@ pub enum WorkloadSpec {
         /// Virtual rounds to run.
         virtual_rounds: u64,
     },
+    /// Client traffic against a vi-app: populations are devices
+    /// emulating the app's virtual nodes, and the first
+    /// `traffic.clients` devices (population order) additionally run
+    /// request-generating client ports. The outcome carries a
+    /// [`vi_traffic::TrafficSummary`] with latency quantiles and
+    /// throughput.
+    Traffic {
+        /// Which app is driven.
+        app: AppKind,
+        /// Virtual-node layout.
+        layout: LayoutSpec,
+        /// Arrival discipline, op mix, timeout, and window.
+        traffic: TrafficSpec,
+    },
 }
 
 /// A full declarative deployment: the unit the sweep runner executes.
@@ -344,6 +359,19 @@ impl ScenarioSpec {
         }
         if self.populations.is_empty() || self.node_count() == 0 {
             return Err(format!("{}: scenario deploys no nodes", self.name));
+        }
+        if let WorkloadSpec::Traffic { traffic, .. } = &self.workload {
+            traffic
+                .validate()
+                .map_err(|e| format!("{}: {e}", self.name))?;
+            if traffic.clients > self.node_count() {
+                return Err(format!(
+                    "{}: traffic needs {} clients but only {} nodes deployed",
+                    self.name,
+                    traffic.clients,
+                    self.node_count()
+                ));
+            }
         }
         let prob = |p: f64| (0.0..=1.0).contains(&p);
         match &self.adversary {

@@ -1,0 +1,1029 @@
+//! The uniform request/response interface over the vi-apps.
+//!
+//! A [`Service`] adapts one application (register, mutex, tracking,
+//! georouting) running on a [`World`] to the shape a load generator
+//! understands: `submit` a [`Request`], `step_round` the deployment by
+//! one virtual round, harvest [`Completion`]s. Each request's
+//! lifecycle is round-stamped — issued at a virtual round, completed
+//! at the virtual round its response was heard — so latency is always
+//! measured in the emulation's own clock.
+//!
+//! Client endpoints are ordinary [`ClientApp`]s: a [`Port`] shared
+//! (via `Rc<RefCell<_>>`, the `World` is single-threaded) between the
+//! adapter and the in-world client program shuttles outbound messages
+//! and observed receptions. Ports broadcast in staggered slots —
+//! client `i` speaks only in virtual rounds `vr ≡ i (mod clients)` —
+//! so client-phase broadcasts never collide with each other, exactly
+//! like the stagger the mutex app's reference client uses.
+
+use crate::workload::AppKind;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+use vi_apps::georouting::{quantize, GeoRouterVn, RouteMsg};
+use vi_apps::mutex::{LockMsg, LockVn};
+use vi_apps::register::{RegMsg, RegisterVn};
+use vi_apps::tracking::{cell_of, TrackMsg, TrackingVn};
+use vi_core::vi::{
+    ClientApp, VirtualAutomaton, VirtualReception, VnId, VnLayout, World, WorldConfig,
+};
+use vi_radio::geometry::Point;
+use vi_radio::mobility::MobilityModel;
+use vi_radio::trace::ChannelStats;
+use vi_radio::{AdversaryKind, RadioConfig};
+
+/// Virtual rounds between retransmissions of an unanswered request
+/// (all app messages are idempotent at the virtual node, so retries
+/// only cost bandwidth).
+const RETRY_ROUNDS: u64 = 6;
+
+/// Tracking-report quantization (meters per cell).
+const TRACK_CELL_SIZE: f64 = 10.0;
+
+/// The class of an operation, for mix accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    /// State-changing op: register write, lock cycle, position
+    /// report, packet send.
+    Mutate,
+    /// Read-only op: register read, tracking lookup.
+    Query,
+}
+
+/// One client request, as issued by the generator.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// Unique (per run) request id.
+    pub id: u64,
+    /// Operation class.
+    pub class: OpClass,
+    /// Virtual round the request entered the system.
+    pub issued_vr: u64,
+}
+
+/// A completed request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The completed request.
+    pub id: u64,
+    /// Virtual round the response was heard (or the op took effect).
+    pub completed_vr: u64,
+}
+
+/// Aggregated virtual-node emulation counters for a traffic run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorldTotals {
+    /// Green (decided) instances across all virtual nodes.
+    pub decided: u64,
+    /// ⊥ instances.
+    pub bottom: u64,
+    /// Join transfers.
+    pub joins: u64,
+    /// Resets.
+    pub resets: u64,
+}
+
+/// A request/response adapter over one app deployment.
+pub trait Service {
+    /// Which app this service drives.
+    fn app(&self) -> AppKind;
+    /// Number of client endpoints.
+    fn clients(&self) -> usize;
+    /// Queues `req` for issuance by client `client`.
+    fn submit(&mut self, client: usize, req: &Request);
+    /// Runs one virtual round and returns the completions observed in
+    /// it, in deterministic (client-index, arrival) order.
+    fn step_round(&mut self) -> Vec<Completion>;
+    /// Drops the measurement state of a timed-out request. Protocol
+    /// obligations (e.g. releasing a lock that is granted late)
+    /// survive; only completion matching is cancelled.
+    fn forget(&mut self, id: u64);
+    /// Completed virtual rounds.
+    fn virtual_round(&self) -> u64;
+    /// Channel statistics snapshot.
+    fn stats(&self) -> ChannelStats;
+    /// Aggregated emulation counters.
+    fn world_totals(&self) -> WorldTotals;
+}
+
+/// How one deployed device participates in a traffic run.
+pub struct DevicePlan {
+    /// Start position (used to seed the client port before the first
+    /// round).
+    pub start: Point,
+    /// Motion model.
+    pub mobility: Box<dyn MobilityModel>,
+    /// Real round the device spawns, if not deployed from the start.
+    pub spawn_at: Option<u64>,
+    /// Real round the device crashes, if any.
+    pub crash_at: Option<u64>,
+}
+
+/// Everything needed to build the world a service runs over.
+pub struct TrafficWorld {
+    /// Radio model.
+    pub radio: RadioConfig,
+    /// Virtual-node placement.
+    pub layout: VnLayout,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Channel adversary active before stabilization.
+    pub adversary: AdversaryKind,
+    /// Devices in deployment order; the first `clients` run ports.
+    pub devices: Vec<DevicePlan>,
+}
+
+/// The shared mailbox between an adapter and its in-world client.
+struct Port<M> {
+    /// Messages awaiting broadcast: `(request id, message)`, FIFO.
+    outbox: VecDeque<(u64, M)>,
+    /// Messages heard, tagged with the virtual round they arrived in.
+    rx: Vec<(u64, M)>,
+    /// Send events: `(request id, virtual round broadcast)`.
+    sent: Vec<(u64, u64)>,
+    /// Device position as of the last client phase.
+    pos: Point,
+    /// This client's stagger slot.
+    slot: u64,
+    /// Stagger stride (the client count).
+    stride: u64,
+}
+
+impl<M> Port<M> {
+    fn new(slot: u64, stride: u64, start: Point) -> Self {
+        Port {
+            outbox: VecDeque::new(),
+            rx: Vec::new(),
+            sent: Vec::new(),
+            pos: start,
+            slot,
+            stride,
+        }
+    }
+}
+
+/// The [`ClientApp`] end of a port: records receptions, broadcasts
+/// the head of the outbox on this client's stagger slots.
+struct PortClient<M> {
+    port: Rc<RefCell<Port<M>>>,
+}
+
+impl<M: Clone + 'static> ClientApp<M> for PortClient<M> {
+    fn on_virtual_round(&mut self, vr: u64, pos: Point, prev: &VirtualReception<M>) -> Option<M> {
+        let mut p = self.port.borrow_mut();
+        p.pos = pos;
+        // `prev` is the reception of virtual round `vr - 1`.
+        for m in &prev.messages {
+            p.rx.push((vr.saturating_sub(1), m.clone()));
+        }
+        if p.stride > 1 && vr % p.stride != p.slot % p.stride {
+            return None;
+        }
+        let (id, msg) = p.outbox.pop_front()?;
+        p.sent.push((id, vr));
+        Some(msg)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// World + ports: the plumbing every adapter shares.
+struct Harness<VA: VirtualAutomaton> {
+    world: World<VA>,
+    ports: Vec<Rc<RefCell<Port<VA::Msg>>>>,
+    vr: u64,
+}
+
+impl<VA: VirtualAutomaton> Harness<VA>
+where
+    VA::Msg: Clone,
+{
+    /// Builds the world: every device emulates; the first `clients`
+    /// devices additionally run a traffic port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` exceeds the device count or is zero.
+    fn new(automaton: VA, tw: TrafficWorld, clients: usize) -> Self {
+        assert!(clients >= 1, "traffic needs at least one client");
+        assert!(
+            clients <= tw.devices.len(),
+            "traffic needs {clients} clients but only {} devices deployed",
+            tw.devices.len()
+        );
+        let mut world = World::new(WorldConfig {
+            radio: tw.radio,
+            layout: tw.layout,
+            automaton,
+            seed: tw.seed,
+            record_trace: false,
+        });
+        world.set_adversary(tw.adversary.build());
+        let mut ports = Vec::with_capacity(clients);
+        for (i, d) in tw.devices.into_iter().enumerate() {
+            let client: Option<Box<dyn ClientApp<VA::Msg>>> = if i < clients {
+                let port = Rc::new(RefCell::new(Port::new(i as u64, clients as u64, d.start)));
+                ports.push(Rc::clone(&port));
+                Some(Box::new(PortClient { port }))
+            } else {
+                None
+            };
+            world.add_device_spec(d.mobility, client, d.spawn_at, d.crash_at);
+        }
+        Harness {
+            world,
+            ports,
+            vr: 0,
+        }
+    }
+
+    /// Runs one virtual round.
+    fn step(&mut self) {
+        self.world.run_virtual_rounds(1);
+        self.vr += 1;
+    }
+
+    /// Drains the received messages of client `i`.
+    fn drain_rx(&mut self, i: usize) -> Vec<(u64, VA::Msg)> {
+        std::mem::take(&mut self.ports[i].borrow_mut().rx)
+    }
+
+    /// Drains the send events of client `i`.
+    fn drain_sent(&mut self, i: usize) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.ports[i].borrow_mut().sent)
+    }
+
+    /// Queues `(id, msg)` on client `i`'s port.
+    fn enqueue(&mut self, i: usize, id: u64, msg: VA::Msg) {
+        self.ports[i].borrow_mut().outbox.push_back((id, msg));
+    }
+
+    /// Removes queued-but-unsent messages of request `id` everywhere.
+    fn purge(&mut self, id: u64) {
+        for p in &self.ports {
+            p.borrow_mut().outbox.retain(|&(e, _)| e != id);
+        }
+    }
+
+    /// Client `i`'s current position.
+    fn pos(&self, i: usize) -> Point {
+        self.ports[i].borrow().pos
+    }
+
+    fn totals(&self) -> WorldTotals {
+        let mut t = WorldTotals::default();
+        for vn in 0..self.world.deployment().layout.len() {
+            let (_, r) = self.world.vn_report(VnId(vn));
+            t.decided += r.decided;
+            t.bottom += r.bottom;
+            t.joins += r.joins;
+            t.resets += r.resets;
+        }
+        t
+    }
+}
+
+/// A pending request awaiting its response, with retry bookkeeping.
+struct PendingMsg<M> {
+    client: usize,
+    msg: M,
+    last_enqueued_vr: u64,
+}
+
+/// Retransmits every pending message whose last enqueue is older than
+/// [`RETRY_ROUNDS`] (shared retry pass of the register/tracking
+/// adapters; idempotent messages only).
+fn retry_pending<VA: VirtualAutomaton>(
+    harness: &mut Harness<VA>,
+    pending: &mut BTreeMap<u64, PendingMsg<VA::Msg>>,
+) where
+    VA::Msg: Clone,
+{
+    let vr = harness.vr;
+    for (&id, p) in pending.iter_mut() {
+        if vr.saturating_sub(p.last_enqueued_vr) >= RETRY_ROUNDS {
+            harness.enqueue(p.client, id, p.msg.clone());
+            p.last_enqueued_vr = vr;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Register
+// ---------------------------------------------------------------------------
+
+/// The single-writer register under load: `Mutate` = tagged write
+/// (completes on the matching `Ack`), `Query` = nonce'd read
+/// (completes on the matching `Value`).
+pub struct RegisterService {
+    harness: Harness<RegisterVn>,
+    next_tag: u64,
+    next_nonce: u64,
+    /// `write tag → request id`.
+    write_index: BTreeMap<u64, u64>,
+    /// `read nonce → request id`.
+    read_index: BTreeMap<u64, u64>,
+    pending: BTreeMap<u64, PendingMsg<RegMsg>>,
+}
+
+impl RegisterService {
+    /// Builds the register deployment.
+    pub fn new(tw: TrafficWorld, clients: usize) -> Self {
+        RegisterService {
+            harness: Harness::new(RegisterVn, tw, clients),
+            next_tag: 0,
+            next_nonce: 0,
+            write_index: BTreeMap::new(),
+            read_index: BTreeMap::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+}
+
+impl Service for RegisterService {
+    fn app(&self) -> AppKind {
+        AppKind::Register
+    }
+
+    fn clients(&self) -> usize {
+        self.harness.ports.len()
+    }
+
+    fn submit(&mut self, client: usize, req: &Request) {
+        let msg = match req.class {
+            OpClass::Mutate => {
+                self.next_tag += 1;
+                self.write_index.insert(self.next_tag, req.id);
+                RegMsg::Write {
+                    tag: self.next_tag,
+                    value: req.id,
+                }
+            }
+            OpClass::Query => {
+                self.next_nonce += 1;
+                self.read_index.insert(self.next_nonce, req.id);
+                RegMsg::Read {
+                    nonce: self.next_nonce,
+                }
+            }
+        };
+        self.harness.enqueue(client, req.id, msg.clone());
+        self.pending.insert(
+            req.id,
+            PendingMsg {
+                client,
+                msg,
+                last_enqueued_vr: req.issued_vr,
+            },
+        );
+    }
+
+    fn step_round(&mut self) -> Vec<Completion> {
+        self.harness.step();
+        let mut done = Vec::new();
+        for i in 0..self.clients() {
+            for (heard_vr, msg) in self.harness.drain_rx(i) {
+                let id = msg
+                    .ack_tag()
+                    .and_then(|tag| self.write_index.remove(&tag))
+                    .or_else(|| {
+                        msg.value_nonce()
+                            .and_then(|nonce| self.read_index.remove(&nonce))
+                    });
+                if let Some(id) = id {
+                    if self.pending.remove(&id).is_some() {
+                        done.push(Completion {
+                            id,
+                            completed_vr: heard_vr,
+                        });
+                    }
+                }
+            }
+        }
+        retry_pending(&mut self.harness, &mut self.pending);
+        done
+    }
+
+    fn forget(&mut self, id: u64) {
+        if let Some(p) = self.pending.remove(&id) {
+            match p.msg {
+                RegMsg::Write { tag, .. } => {
+                    self.write_index.remove(&tag);
+                }
+                RegMsg::Read { nonce } => {
+                    self.read_index.remove(&nonce);
+                }
+                _ => {}
+            }
+            self.harness.purge(id);
+        }
+    }
+
+    fn virtual_round(&self) -> u64 {
+        self.harness.vr
+    }
+
+    fn stats(&self) -> ChannelStats {
+        *self.harness.world.stats()
+    }
+
+    fn world_totals(&self) -> WorldTotals {
+        self.harness.totals()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Per-client lock protocol state.
+enum LockPhase {
+    /// No request in flight.
+    Idle,
+    /// A `Request` is out; `Some(id)` if the measurement still counts
+    /// (a timed-out acquire keeps the phase but drops the id — the
+    /// grant, when it comes, is still released immediately).
+    WaitGrant(Option<u64>),
+}
+
+/// The FIFO lock server under load: every op is an acquire (completes
+/// when the grant is heard) followed by an immediate release. A client
+/// serializes its ops; each client keeps at most one `Request`
+/// outstanding at the virtual node.
+pub struct MutexService {
+    harness: Harness<LockVn>,
+    phases: Vec<LockPhase>,
+    /// Ops submitted but not yet started, per client.
+    backlog: Vec<VecDeque<u64>>,
+    /// Virtual round of each client's last `Request` enqueue.
+    last_request_vr: Vec<u64>,
+}
+
+impl MutexService {
+    /// Builds the lock deployment.
+    pub fn new(tw: TrafficWorld, clients: usize) -> Self {
+        let harness = Harness::new(LockVn, tw, clients);
+        let n = harness.ports.len();
+        MutexService {
+            harness,
+            phases: (0..n).map(|_| LockPhase::Idle).collect(),
+            backlog: (0..n).map(|_| VecDeque::new()).collect(),
+            last_request_vr: vec![0; n],
+        }
+    }
+
+    /// Starts the next backlogged op of `client`, if it is idle.
+    fn start_next(&mut self, client: usize, vr: u64) {
+        if matches!(self.phases[client], LockPhase::Idle) {
+            if let Some(id) = self.backlog[client].pop_front() {
+                self.harness.enqueue(
+                    client,
+                    id,
+                    LockMsg::Request {
+                        client: client as u32,
+                    },
+                );
+                self.phases[client] = LockPhase::WaitGrant(Some(id));
+                self.last_request_vr[client] = vr;
+            }
+        }
+    }
+}
+
+impl Service for MutexService {
+    fn app(&self) -> AppKind {
+        AppKind::Mutex
+    }
+
+    fn clients(&self) -> usize {
+        self.harness.ports.len()
+    }
+
+    fn submit(&mut self, client: usize, req: &Request) {
+        self.backlog[client].push_back(req.id);
+        self.start_next(client, req.issued_vr);
+    }
+
+    fn step_round(&mut self) -> Vec<Completion> {
+        self.harness.step();
+        let vr = self.harness.vr;
+        let mut done = Vec::new();
+        for i in 0..self.clients() {
+            let me = i as u32;
+            let granted = self
+                .harness
+                .drain_rx(i)
+                .into_iter()
+                .find_map(|(heard_vr, msg)| (msg.granted_client() == Some(me)).then_some(heard_vr));
+            if let Some(heard_vr) = granted {
+                if let LockPhase::WaitGrant(id) = self.phases[i] {
+                    if let Some(id) = id {
+                        done.push(Completion {
+                            id,
+                            completed_vr: heard_vr,
+                        });
+                    }
+                    // Release immediately; the grant id doubles as the
+                    // port entry id (measurement-neutral).
+                    self.harness.enqueue(
+                        i,
+                        id.unwrap_or(u64::MAX),
+                        LockMsg::Release { client: me },
+                    );
+                    self.phases[i] = LockPhase::Idle;
+                }
+            }
+            // Retry a lost Request (the server dedupes).
+            if let LockPhase::WaitGrant(id) = self.phases[i] {
+                if vr.saturating_sub(self.last_request_vr[i]) >= RETRY_ROUNDS {
+                    self.harness.enqueue(
+                        i,
+                        id.unwrap_or(u64::MAX),
+                        LockMsg::Request { client: me },
+                    );
+                    self.last_request_vr[i] = vr;
+                }
+            }
+            self.start_next(i, vr);
+        }
+        done
+    }
+
+    fn forget(&mut self, id: u64) {
+        for q in &mut self.backlog {
+            q.retain(|&e| e != id);
+        }
+        for ph in &mut self.phases {
+            if let LockPhase::WaitGrant(Some(e)) = ph {
+                if *e == id {
+                    // The request may already sit in the server queue:
+                    // keep waiting for the grant (to release it), but
+                    // stop measuring.
+                    *ph = LockPhase::WaitGrant(None);
+                }
+            }
+        }
+    }
+
+    fn virtual_round(&self) -> u64 {
+        self.harness.vr
+    }
+
+    fn stats(&self) -> ChannelStats {
+        *self.harness.world.stats()
+    }
+
+    fn world_totals(&self) -> WorldTotals {
+        self.harness.totals()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracking
+// ---------------------------------------------------------------------------
+
+/// The tracking service under load: `Mutate` = position report
+/// (completes the round it is actually broadcast), `Query` = lookup
+/// of another client's object (completes when the answer is heard;
+/// a broadcast answer completes every pending query for the object,
+/// mirroring the server's query dedup).
+pub struct TrackingService {
+    harness: Harness<TrackingVn>,
+    /// Round-robin target selector for queries.
+    next_target: u32,
+    /// Pending queries per queried object, FIFO.
+    query_index: BTreeMap<u32, Vec<u64>>,
+    /// Pending queries (for retries). Reports need no retry: they
+    /// complete on send.
+    pending: BTreeMap<u64, PendingMsg<TrackMsg>>,
+    /// Outstanding report ids (completion on send).
+    reports: BTreeMap<u64, ()>,
+}
+
+impl TrackingService {
+    /// Builds the tracking deployment.
+    pub fn new(tw: TrafficWorld, clients: usize) -> Self {
+        TrackingService {
+            harness: Harness::new(TrackingVn, tw, clients),
+            next_target: 0,
+            query_index: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            reports: BTreeMap::new(),
+        }
+    }
+}
+
+impl Service for TrackingService {
+    fn app(&self) -> AppKind {
+        AppKind::Tracking
+    }
+
+    fn clients(&self) -> usize {
+        self.harness.ports.len()
+    }
+
+    fn submit(&mut self, client: usize, req: &Request) {
+        match req.class {
+            OpClass::Mutate => {
+                let msg = TrackMsg::Report {
+                    object: client as u32,
+                    cell: cell_of(self.harness.pos(client), TRACK_CELL_SIZE),
+                };
+                self.harness.enqueue(client, req.id, msg);
+                self.reports.insert(req.id, ());
+            }
+            OpClass::Query => {
+                // Query the objects (other clients' reports) round-robin.
+                let object = self.next_target % self.clients() as u32;
+                self.next_target = self.next_target.wrapping_add(1);
+                let msg = TrackMsg::Query { object };
+                self.harness.enqueue(client, req.id, msg.clone());
+                self.query_index.entry(object).or_default().push(req.id);
+                self.pending.insert(
+                    req.id,
+                    PendingMsg {
+                        client,
+                        msg,
+                        last_enqueued_vr: req.issued_vr,
+                    },
+                );
+            }
+        }
+    }
+
+    fn step_round(&mut self) -> Vec<Completion> {
+        self.harness.step();
+        let mut done = Vec::new();
+        for i in 0..self.clients() {
+            // Reports complete the round they hit the channel.
+            for (id, sent_vr) in self.harness.drain_sent(i) {
+                if self.reports.remove(&id).is_some() {
+                    done.push(Completion {
+                        id,
+                        completed_vr: sent_vr,
+                    });
+                }
+            }
+            for (heard_vr, msg) in self.harness.drain_rx(i) {
+                if let Some(object) = msg.answered_object() {
+                    // The answer is a broadcast: every pending query
+                    // for this object is answered at once.
+                    for id in self.query_index.remove(&object).unwrap_or_default() {
+                        if self.pending.remove(&id).is_some() {
+                            done.push(Completion {
+                                id,
+                                completed_vr: heard_vr,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        retry_pending(&mut self.harness, &mut self.pending);
+        done
+    }
+
+    fn forget(&mut self, id: u64) {
+        self.reports.remove(&id);
+        if self.pending.remove(&id).is_some() {
+            for ids in self.query_index.values_mut() {
+                ids.retain(|&e| e != id);
+            }
+            self.query_index.retain(|_, ids| !ids.is_empty());
+            self.harness.purge(id);
+        }
+    }
+
+    fn virtual_round(&self) -> u64 {
+        self.harness.vr
+    }
+
+    fn stats(&self) -> ChannelStats {
+        *self.harness.world.stats()
+    }
+
+    fn world_totals(&self) -> WorldTotals {
+        self.harness.totals()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Georouting
+// ---------------------------------------------------------------------------
+
+/// Greedy georouting under load: every op injects a packet addressed
+/// to the virtual node nearest the client and completes when that
+/// node's (replicated, agreed) state records the delivery.
+pub struct GeoroutingService {
+    harness: Harness<GeoRouterVn>,
+    /// `payload → (request id, destination)`.
+    in_flight: BTreeMap<u32, (u64, VnId)>,
+    pending: BTreeMap<u64, PendingMsg<RouteMsg>>,
+    /// Per-VN cursor into the delivered list (the folded state only
+    /// appends; a reset shrinks it, losing the packets with it).
+    delivered_seen: Vec<usize>,
+}
+
+impl GeoroutingService {
+    /// Builds the routing deployment.
+    pub fn new(tw: TrafficWorld, clients: usize) -> Self {
+        let harness = Harness::new(GeoRouterVn, tw, clients);
+        let vns = harness.world.deployment().layout.len();
+        GeoroutingService {
+            harness,
+            in_flight: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            delivered_seen: vec![0; vns],
+        }
+    }
+
+    /// The virtual node nearest to `pos`.
+    fn nearest_vn(&self, pos: Point) -> (VnId, Point) {
+        self.harness
+            .world
+            .deployment()
+            .layout
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                pos.distance_sq(*a)
+                    .partial_cmp(&pos.distance_sq(*b))
+                    .expect("finite distances")
+            })
+            .expect("layouts are non-empty")
+    }
+}
+
+impl Service for GeoroutingService {
+    fn app(&self) -> AppKind {
+        AppKind::Georouting
+    }
+
+    fn clients(&self) -> usize {
+        self.harness.ports.len()
+    }
+
+    fn submit(&mut self, client: usize, req: &Request) {
+        let (vn, loc) = self.nearest_vn(self.harness.pos(client));
+        let payload = req.id as u32;
+        let msg = RouteMsg::inject(quantize(loc), payload);
+        self.harness.enqueue(client, req.id, msg.clone());
+        self.in_flight.insert(payload, (req.id, vn));
+        self.pending.insert(
+            req.id,
+            PendingMsg {
+                client,
+                msg,
+                last_enqueued_vr: req.issued_vr,
+            },
+        );
+    }
+
+    fn step_round(&mut self) -> Vec<Completion> {
+        self.harness.step();
+        let vr = self.harness.vr;
+        let mut done = Vec::new();
+        for vn in 0..self.delivered_seen.len() {
+            let Some((state, _)) = self.harness.world.vn_state(VnId(vn)) else {
+                continue;
+            };
+            let seen = &mut self.delivered_seen[vn];
+            if *seen > state.delivered.len() {
+                *seen = state.delivered.len(); // reset lost state
+            }
+            for &payload in &state.delivered[*seen..] {
+                if let Some((id, _)) = self.in_flight.remove(&payload) {
+                    if self.pending.remove(&id).is_some() {
+                        done.push(Completion {
+                            id,
+                            completed_vr: vr,
+                        });
+                    }
+                }
+            }
+            *seen = state.delivered.len();
+        }
+        retry_pending(&mut self.harness, &mut self.pending);
+        done
+    }
+
+    fn forget(&mut self, id: u64) {
+        if self.pending.remove(&id).is_some() {
+            self.in_flight.retain(|_, &mut (e, _)| e != id);
+            self.harness.purge(id);
+        }
+    }
+
+    fn virtual_round(&self) -> u64 {
+        self.harness.vr
+    }
+
+    fn stats(&self) -> ChannelStats {
+        *self.harness.world.stats()
+    }
+
+    fn world_totals(&self) -> WorldTotals {
+        self.harness.totals()
+    }
+}
+
+/// Builds the service adapter for `app` over `tw`.
+pub fn build_service(app: AppKind, tw: TrafficWorld, clients: usize) -> Box<dyn Service> {
+    match app {
+        AppKind::Register => Box::new(RegisterService::new(tw, clients)),
+        AppKind::Mutex => Box::new(MutexService::new(tw, clients)),
+        AppKind::Tracking => Box::new(TrackingService::new(tw, clients)),
+        AppKind::Georouting => Box::new(GeoroutingService::new(tw, clients)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vi_radio::mobility::Static;
+
+    /// One virtual node at (50, 50) with `n` static devices close by.
+    fn small_world(n: usize, seed: u64) -> TrafficWorld {
+        let vn = Point::new(50.0, 50.0);
+        let devices = (0..n)
+            .map(|i| {
+                let start = Point::new(49.4 + 0.4 * i as f64, 50.2);
+                DevicePlan {
+                    start,
+                    mobility: Box::new(Static::new(start)) as Box<dyn MobilityModel>,
+                    spawn_at: None,
+                    crash_at: None,
+                }
+            })
+            .collect();
+        TrafficWorld {
+            radio: RadioConfig::reliable(10.0, 20.0),
+            layout: VnLayout::new(vec![vn], 2.5),
+            seed,
+            adversary: AdversaryKind::None,
+            devices,
+        }
+    }
+
+    fn run_until<S: Service + ?Sized>(svc: &mut S, rounds: u64) -> Vec<Completion> {
+        let mut all = Vec::new();
+        for _ in 0..rounds {
+            all.extend(svc.step_round());
+        }
+        all
+    }
+
+    #[test]
+    fn register_write_and_read_complete() {
+        let mut svc = RegisterService::new(small_world(3, 5), 2);
+        svc.submit(
+            0,
+            &Request {
+                id: 1,
+                class: OpClass::Mutate,
+                issued_vr: 0,
+            },
+        );
+        svc.submit(
+            1,
+            &Request {
+                id: 2,
+                class: OpClass::Query,
+                issued_vr: 0,
+            },
+        );
+        let done = run_until(&mut svc, 20);
+        let ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        assert!(ids.contains(&1), "write acked: {done:?}");
+        assert!(ids.contains(&2), "read answered: {done:?}");
+        for c in &done {
+            assert!(c.completed_vr >= 1, "completions are round-stamped");
+        }
+    }
+
+    #[test]
+    fn mutex_cycles_complete_and_serialize() {
+        let mut svc = MutexService::new(small_world(3, 7), 2);
+        for (client, id) in [(0usize, 1u64), (1, 2), (0, 3)] {
+            svc.submit(
+                client,
+                &Request {
+                    id,
+                    class: OpClass::Mutate,
+                    issued_vr: 0,
+                },
+            );
+        }
+        let done = run_until(&mut svc, 60);
+        let mut ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3], "all lock cycles completed: {done:?}");
+    }
+
+    #[test]
+    fn tracking_reports_complete_on_send_and_queries_on_answer() {
+        let mut svc = TrackingService::new(small_world(3, 9), 2);
+        svc.submit(
+            0,
+            &Request {
+                id: 1,
+                class: OpClass::Mutate,
+                issued_vr: 0,
+            },
+        );
+        let done = run_until(&mut svc, 6);
+        assert!(
+            done.iter().any(|c| c.id == 1),
+            "report completes on send: {done:?}"
+        );
+        svc.submit(
+            1,
+            &Request {
+                id: 2,
+                class: OpClass::Query,
+                issued_vr: 6,
+            },
+        );
+        let done = run_until(&mut svc, 20);
+        assert!(done.iter().any(|c| c.id == 2), "query answered: {done:?}");
+    }
+
+    #[test]
+    fn georouting_packets_complete_on_delivery() {
+        let mut svc = GeoroutingService::new(small_world(3, 11), 1);
+        svc.submit(
+            0,
+            &Request {
+                id: 1,
+                class: OpClass::Mutate,
+                issued_vr: 0,
+            },
+        );
+        let done = run_until(&mut svc, 25);
+        assert_eq!(done.len(), 1, "packet delivered exactly once: {done:?}");
+        assert_eq!(done[0].id, 1);
+    }
+
+    #[test]
+    fn forget_cancels_measurement_but_not_protocol() {
+        let mut svc = MutexService::new(small_world(3, 13), 2);
+        svc.submit(
+            0,
+            &Request {
+                id: 1,
+                class: OpClass::Mutate,
+                issued_vr: 0,
+            },
+        );
+        svc.submit(
+            1,
+            &Request {
+                id: 2,
+                class: OpClass::Mutate,
+                issued_vr: 0,
+            },
+        );
+        svc.forget(1);
+        let done = run_until(&mut svc, 60);
+        let ids: Vec<u64> = done.iter().map(|c| c.id).collect();
+        assert!(!ids.contains(&1), "forgotten op not reported: {done:?}");
+        assert!(
+            ids.contains(&2),
+            "the other client still gets the lock (no wedge): {done:?}"
+        );
+    }
+
+    #[test]
+    fn services_are_deterministic_per_seed() {
+        let run = || {
+            let mut svc = RegisterService::new(small_world(4, 21), 3);
+            let mut id = 0u64;
+            let mut log = Vec::new();
+            for vr in 0..30u64 {
+                if vr.is_multiple_of(3) {
+                    id += 1;
+                    svc.submit(
+                        (id % 3) as usize,
+                        &Request {
+                            id,
+                            class: if id.is_multiple_of(2) {
+                                OpClass::Query
+                            } else {
+                                OpClass::Mutate
+                            },
+                            issued_vr: vr,
+                        },
+                    );
+                }
+                log.extend(svc.step_round());
+            }
+            log
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "identical runs must match completion-for-completion"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Client traffic against a virtual-node service, end to end: run the
+//! catalog's `mall_rush` scenario (a flash crowd hammering the
+//! register) and print the latency profile a service benchmark would
+//! report.
+//!
+//! ```sh
+//! cargo run --release --example traffic_demo
+//! ```
+
+use virtual_infra::scenario::catalog;
+
+fn main() {
+    let spec = catalog::scenario("mall_rush").expect("catalog scenario");
+    println!(
+        "scenario: {} ({} devices, open-loop burst against the register)",
+        spec.name,
+        spec.node_count()
+    );
+
+    let out = spec.run(1);
+    let t = out.traffic.as_ref().expect("traffic workload");
+    println!(
+        "\nissued {} requests, completed {}, timed out {}, {} still in flight",
+        t.issued, t.completed, t.timed_out, t.in_flight_at_end
+    );
+    println!(
+        "latency (virtual rounds): p50={} p95={} p99={} max={} mean={:.2}",
+        t.p50, t.p95, t.p99, t.max, t.mean
+    );
+    println!(
+        "throughput {:.2} completions/vr (peak {} in one round)",
+        t.throughput_per_round, t.peak_round_completions
+    );
+    println!(
+        "channel: {} broadcasts, {} deliveries, {} collision reports",
+        out.broadcasts, out.deliveries, out.collision_reports
+    );
+    println!(
+        "emulation: {:.0}% green virtual rounds, {} joins, {} resets",
+        out.decided_fraction * 100.0,
+        out.vn_joins,
+        out.vn_resets
+    );
+}

@@ -10,6 +10,7 @@
 //! * [`core`] — convergent history agreement + virtual infrastructure.
 //! * [`baselines`] — comparison protocols.
 //! * [`apps`] — applications on virtual infrastructure.
+//! * [`traffic`] — client load generation + latency metrics over the apps.
 //! * [`scenario`] — declarative scenario specs + parallel sweep runner.
 
 pub use vi_apps as apps;
@@ -18,3 +19,4 @@ pub use vi_contention as contention;
 pub use vi_core as core;
 pub use vi_radio as radio;
 pub use vi_scenario as scenario;
+pub use vi_traffic as traffic;

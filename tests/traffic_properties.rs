@@ -1,0 +1,138 @@
+//! Property-based tests for the traffic subsystem: workload specs are
+//! lossless data, and traffic metrics are sweep-worker invariant.
+
+use proptest::prelude::*;
+use virtual_infra::radio::geometry::{Point, Rect};
+use virtual_infra::radio::{AdversaryKind, RadioConfig};
+use virtual_infra::scenario::{
+    CmSpec, LayoutSpec, PlacementSpec, PopulationSpec, ScenarioSpec, SweepRunner, WorkloadSpec,
+};
+use virtual_infra::traffic::{AppKind, LoadMode, RatePhase, TrafficSpec};
+
+fn arb_app() -> impl Strategy<Value = AppKind> {
+    (0u8..4).prop_map(|i| AppKind::all()[i as usize])
+}
+
+fn arb_mode() -> impl Strategy<Value = LoadMode> {
+    (
+        any::<bool>(),
+        0.0f64..2.0,
+        proptest::collection::vec((1u64..40, 0.0f64..2.0), 0..3),
+        1usize..3,
+        0u64..5,
+    )
+        .prop_map(|(open, rate, mut phases, k, think)| {
+            if open {
+                phases.sort_by_key(|&(vr, _)| vr);
+                LoadMode::Open {
+                    rate_per_round: rate,
+                    phases: phases
+                        .into_iter()
+                        .map(|(from_vr, rate_per_round)| RatePhase {
+                            from_vr,
+                            rate_per_round,
+                        })
+                        .collect(),
+                }
+            } else {
+                LoadMode::Closed {
+                    outstanding_per_client: k,
+                    think_rounds: think,
+                }
+            }
+        })
+}
+
+fn arb_traffic() -> impl Strategy<Value = TrafficSpec> {
+    (arb_mode(), 1usize..4, 0.0f64..=1.0, 1u64..40, 1u64..30).prop_map(
+        |(mode, clients, query_fraction, timeout_rounds, virtual_rounds)| TrafficSpec {
+            clients,
+            mode,
+            query_fraction,
+            timeout_rounds,
+            virtual_rounds,
+        },
+    )
+}
+
+/// A minimal valid scenario wrapping the generated traffic workload.
+fn wrap(app: AppKind, traffic: TrafficSpec) -> ScenarioSpec {
+    let vn = Point::new(50.0, 50.0);
+    ScenarioSpec {
+        name: "prop_traffic".into(),
+        arena: Rect::square(100.0),
+        radio: RadioConfig::reliable(10.0, 20.0),
+        populations: vec![PopulationSpec::fixed(
+            traffic.clients.max(3),
+            PlacementSpec::Cluster {
+                center: vn,
+                radius: 0.5,
+            },
+        )],
+        adversary: AdversaryKind::None,
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::Traffic {
+            app,
+            layout: LayoutSpec::Explicit {
+                locations: vec![vn],
+                region_radius: 2.5,
+            },
+            traffic,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite requirement: the workload spec JSON round-trip is
+    /// lossless — bare and embedded in a full scenario spec.
+    #[test]
+    fn workload_spec_json_round_trip_is_lossless(
+        app in arb_app(),
+        traffic in arb_traffic(),
+    ) {
+        let json = serde_json::to_string(&traffic).expect("serialize");
+        let back: TrafficSpec = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &traffic);
+
+        let spec = wrap(app, traffic);
+        let json = serde_json::to_string(&spec.workload).expect("serialize workload");
+        let back: WorkloadSpec = serde_json::from_str(&json).expect("deserialize workload");
+        prop_assert_eq!(&back, &spec.workload);
+
+        let json = serde_json::to_string(&spec).expect("serialize scenario");
+        let back: ScenarioSpec = serde_json::from_str(&json).expect("deserialize scenario");
+        prop_assert_eq!(back, spec);
+    }
+}
+
+proptest! {
+    // Each case runs four full deployments; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite requirement: the same `(spec, seed)` yields
+    /// byte-identical metrics — histograms included — whether the
+    /// sweep runs on 1 worker or 4.
+    #[test]
+    fn histograms_are_byte_identical_across_worker_counts(
+        app in arb_app(),
+        seed in 0u64..1_000,
+    ) {
+        let traffic = TrafficSpec::open(2, 0.5, 12);
+        let spec = wrap(app, traffic);
+        spec.validate().expect("generated spec must be valid");
+        let jobs = vec![(spec.clone(), seed), (spec, seed.wrapping_add(1))];
+        let one = SweepRunner::new(1).run(&jobs);
+        let four = SweepRunner::new(4).run(&jobs);
+        prop_assert_eq!(
+            serde_json::to_string(&one).expect("serialize"),
+            serde_json::to_string(&four).expect("serialize"),
+            "worker count changed the metrics"
+        );
+        for o in &one {
+            let t = o.traffic.as_ref().expect("traffic summary");
+            prop_assert_eq!(t.latency.count(), t.completed);
+        }
+    }
+}
