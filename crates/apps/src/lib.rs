@@ -12,10 +12,12 @@
 //! * [`mutex`] — a FIFO lock server hosted on a virtual node (the
 //!   coordination primitive behind the robot motivation \[4, 27\]).
 //!
-//! Each app's message type exposes response matchers (`ack_tag`,
-//! `granted_client`, `answered_object`, …) — the hooks the
-//! `vi-traffic` service adapters key request completions on when the
-//! apps run under generated client load.
+//! Each app's message type is plain data the `vi-traffic` service
+//! adapters match on directly to extract request completions (and
+//! their semantic outcomes, for the `vi-audit` history checkers) when
+//! the apps run under generated client load; `LockMsg::granted_client`
+//! and `RouteMsg::inject` are the shared helpers that survive on the
+//! adapter path.
 
 pub mod georouting;
 pub mod mutex;

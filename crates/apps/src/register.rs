@@ -50,25 +50,6 @@ pub enum RegMsg {
     },
 }
 
-impl RegMsg {
-    /// The acknowledged write tag, if this is an `Ack` (the response
-    /// matcher load generators key completions on).
-    pub fn ack_tag(&self) -> Option<u64> {
-        match self {
-            RegMsg::Ack { tag } => Some(*tag),
-            _ => None,
-        }
-    }
-
-    /// The answered read nonce, if this is a `Value`.
-    pub fn value_nonce(&self) -> Option<u64> {
-        match self {
-            RegMsg::Value { nonce, .. } => Some(*nonce),
-            _ => None,
-        }
-    }
-}
-
 impl WireSized for RegMsg {
     fn wire_size(&self) -> usize {
         match self {

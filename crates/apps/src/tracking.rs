@@ -54,17 +54,6 @@ pub enum TrackMsg {
     },
 }
 
-impl TrackMsg {
-    /// The object an `Answer` resolves, if this is an answer (the
-    /// response matcher load generators key completions on).
-    pub fn answered_object(&self) -> Option<u32> {
-        match self {
-            TrackMsg::Answer { object, .. } => Some(*object),
-            _ => None,
-        }
-    }
-}
-
 impl WireSized for TrackMsg {
     fn wire_size(&self) -> usize {
         match self {

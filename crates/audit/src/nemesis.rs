@@ -1,0 +1,295 @@
+//! Declarative nemesis fault schedules.
+//!
+//! A [`NemesisSpec`] is the Jepsen-style "nemesis": a timed schedule
+//! of faults injected into a scenario *while its history is audited*.
+//! It is plain serializable data, embedded in a
+//! `vi_scenario::ScenarioSpec` next to the base adversary, and
+//! compiles onto the machinery the simulator already has:
+//!
+//! * [`NemesisFault::CrashBurst`] becomes per-device crash rounds
+//!   (the same `crash_at` churn path population specs use),
+//! * [`NemesisFault::Jam`] becomes a total-loss
+//!   [`AdversaryKind::Burst`] window, and
+//! * [`NemesisFault::DetectorChaos`] becomes an
+//!   [`AdversaryKind::WindowedRandom`] spurious-collision window —
+//!   partition-style detector corruption confined to its schedule,
+//!
+//! all composed over the scenario's own adversary with
+//! [`AdversaryKind::Compose`]. Rounds are *real* (slotted) rounds,
+//! matching `spawn_at`/`crash_at` semantics. Channel faults only bite
+//! before the radio's `rcf`/`racc` stabilization times — exactly the
+//! paper's model — so nemesis scenarios use a `stabilizing` radio
+//! whose horizon covers the fault schedule.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+use vi_radio::AdversaryKind;
+use vi_traffic::DevicePlan;
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum NemesisFault {
+    /// Crash `victims` devices at `at_round`. Victims are taken from
+    /// the **end** of the deployment order (deployment fronts host
+    /// the client ports), skipping devices already claimed by an
+    /// earlier crash burst; an existing scripted crash keeps whichever
+    /// round comes first.
+    CrashBurst {
+        /// Real round of the burst.
+        at_round: u64,
+        /// Number of devices to crash.
+        victims: usize,
+    },
+    /// Total message loss during `window` (a partition-style blackout;
+    /// collision indications fire everywhere, as in a burst).
+    Jam {
+        /// Real-round window (`start..end`).
+        window: Range<u64>,
+    },
+    /// Collision-detector corruption during `window`: spurious
+    /// indications with probability `spurious_p` per node per round.
+    DetectorChaos {
+        /// Real-round window (`start..end`).
+        window: Range<u64>,
+        /// Per-node-per-round spurious-collision probability.
+        spurious_p: f64,
+    },
+}
+
+/// A timed schedule of faults. The default (empty) schedule is a
+/// no-op: it compiles to the base adversary unchanged and crashes
+/// nobody.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NemesisSpec {
+    /// The scheduled faults.
+    pub faults: Vec<NemesisFault>,
+}
+
+impl NemesisSpec {
+    /// A schedule with no faults.
+    pub fn none() -> Self {
+        NemesisSpec::default()
+    }
+
+    /// `true` if the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// `true` if the schedule crashes devices.
+    pub fn crashes_devices(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, NemesisFault::CrashBurst { .. }))
+    }
+
+    /// Checks the schedule for parameters the compilers would panic
+    /// on or silently misread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        for f in &self.faults {
+            match f {
+                NemesisFault::CrashBurst { victims, .. } => {
+                    if *victims == 0 {
+                        return Err("crash burst with zero victims".into());
+                    }
+                }
+                NemesisFault::Jam { window } => {
+                    if window.start >= window.end {
+                        return Err(format!("empty jam window {}..{}", window.start, window.end));
+                    }
+                }
+                NemesisFault::DetectorChaos { window, spurious_p } => {
+                    if window.start >= window.end {
+                        return Err(format!(
+                            "empty detector-chaos window {}..{}",
+                            window.start, window.end
+                        ));
+                    }
+                    if !(0.0..=1.0).contains(spurious_p) {
+                        return Err(format!(
+                            "detector-chaos probability {spurious_p} outside [0, 1]"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total crash victims across all bursts.
+    pub fn total_victims(&self) -> usize {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                NemesisFault::CrashBurst { victims, .. } => *victims,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Compiles the channel faults onto `base`: the identity when the
+    /// schedule has none, otherwise a [`AdversaryKind::Compose`] of
+    /// the base with one member per channel fault.
+    pub fn compile_adversary(&self, base: &AdversaryKind) -> AdversaryKind {
+        let mut members = Vec::new();
+        let jams: Vec<Range<u64>> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                NemesisFault::Jam { window } => Some(window.clone()),
+                _ => None,
+            })
+            .collect();
+        if !jams.is_empty() {
+            members.push(AdversaryKind::Burst(jams));
+        }
+        for f in &self.faults {
+            if let NemesisFault::DetectorChaos { window, spurious_p } = f {
+                members.push(AdversaryKind::WindowedRandom {
+                    windows: Vec::from([window.clone()]),
+                    drop_p: 0.0,
+                    spurious_p: *spurious_p,
+                });
+            }
+        }
+        if members.is_empty() {
+            return base.clone();
+        }
+        members.insert(0, base.clone());
+        AdversaryKind::Compose(members)
+    }
+
+    /// The crash schedule over `n` deployed devices: `(device index,
+    /// crash round)` pairs, victims taken from the end of the
+    /// deployment, never touching indices below `protected` (the
+    /// client ports). Called directly, a burst that runs out of
+    /// eligible devices crashes every eligible device and no more;
+    /// `vi-scenario`'s spec validation rejects schedules that ask for
+    /// more victims than the deployment can supply, so sweeps never
+    /// silently under-crash.
+    pub fn crash_schedule(&self, n: usize, protected: usize) -> Vec<(usize, u64)> {
+        let mut taken = vec![false; n];
+        let mut schedule = Vec::new();
+        for f in &self.faults {
+            let NemesisFault::CrashBurst { at_round, victims } = f else {
+                continue;
+            };
+            let mut left = *victims;
+            for i in (protected..n).rev() {
+                if left == 0 {
+                    break;
+                }
+                if !taken[i] {
+                    taken[i] = true;
+                    schedule.push((i, *at_round));
+                    left -= 1;
+                }
+            }
+        }
+        schedule.sort_unstable();
+        schedule
+    }
+
+    /// Applies the crash schedule to a built device list (the traffic
+    /// compile path), min-merging with scripted crash rounds.
+    pub fn apply_crashes(&self, devices: &mut [DevicePlan], protected: usize) {
+        for (i, round) in self.crash_schedule(devices.len(), protected) {
+            let d = &mut devices[i];
+            d.crash_at = Some(d.crash_at.map_or(round, |c| c.min(round)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> NemesisSpec {
+        NemesisSpec {
+            faults: vec![
+                NemesisFault::CrashBurst {
+                    at_round: 100,
+                    victims: 2,
+                },
+                NemesisFault::Jam { window: 40..80 },
+                NemesisFault::DetectorChaos {
+                    window: 120..160,
+                    spurious_p: 0.5,
+                },
+                NemesisFault::CrashBurst {
+                    at_round: 200,
+                    victims: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_and_validates() {
+        let s = schedule();
+        s.validate().expect("valid schedule");
+        let round: NemesisSpec =
+            serde::Deserialize::from_value(&serde::Serialize::to_value(&s)).unwrap();
+        assert_eq!(round, s);
+        assert!(!s.is_empty());
+        assert!(s.crashes_devices());
+        assert_eq!(s.total_victims(), 3);
+        assert!(NemesisSpec::none().is_empty());
+        assert!(NemesisSpec::none().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_faults() {
+        let zero = NemesisSpec {
+            faults: vec![NemesisFault::CrashBurst {
+                at_round: 5,
+                victims: 0,
+            }],
+        };
+        assert!(zero.validate().unwrap_err().contains("zero victims"));
+        let empty_window = NemesisSpec {
+            faults: vec![NemesisFault::Jam { window: 9..9 }],
+        };
+        assert!(empty_window.validate().unwrap_err().contains("empty jam"));
+        let bad_p = NemesisSpec {
+            faults: vec![NemesisFault::DetectorChaos {
+                window: 0..5,
+                spurious_p: 1.5,
+            }],
+        };
+        assert!(bad_p.validate().unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn empty_schedule_compiles_to_the_base_adversary() {
+        let base = AdversaryKind::Random(0.3, 0.1);
+        assert_eq!(NemesisSpec::none().compile_adversary(&base), base);
+    }
+
+    #[test]
+    fn channel_faults_compose_over_the_base() {
+        let base = AdversaryKind::Random(0.2, 0.0);
+        let AdversaryKind::Compose(members) = schedule().compile_adversary(&base) else {
+            panic!("channel faults must compose");
+        };
+        assert_eq!(members[0], base, "base adversary survives first");
+        assert!(matches!(members[1], AdversaryKind::Burst(_)));
+        assert!(matches!(members[2], AdversaryKind::WindowedRandom { .. }));
+        assert_eq!(members.len(), 3);
+    }
+
+    #[test]
+    fn crash_schedule_takes_victims_from_the_end_and_protects_clients() {
+        let s = schedule();
+        // 6 devices, first 2 protected: burst 1 takes 5 and 4, burst 2
+        // takes 3.
+        assert_eq!(s.crash_schedule(6, 2), vec![(3, 200), (4, 100), (5, 100)]);
+        // Too few eligible devices: crash what's there.
+        assert_eq!(s.crash_schedule(3, 2), vec![(2, 100)]);
+        assert_eq!(s.crash_schedule(2, 2), vec![]);
+    }
+}

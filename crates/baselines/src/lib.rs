@@ -16,11 +16,19 @@
 //!   "inspired by", used in the recovery-behaviour ablation (E12): on
 //!   a coordinator failure mid-protocol, plain 3PC *blocks*, while
 //!   CHAP converges by resolving instances to ⊥.
+//! * [`majority_register`] — a majority-acked register with
+//!   quorum-free **local reads**: the deliberately broken baseline the
+//!   `vi-audit` linearizability checker catches red-handed under a
+//!   partition (see `examples/audit_demo.rs`).
 
 pub mod full_history;
 pub mod majority;
+pub mod majority_register;
 pub mod three_phase_commit;
 
 pub use full_history::{FullHistoryMessage, FullHistoryNode};
 pub use majority::{MajorityConsensus, MajorityMessage};
+pub use majority_register::{
+    collect_register_ops, MajRegMessage, MajorityRegister, ReadRecord, WriteRecord,
+};
 pub use three_phase_commit::{ThreePhaseCommit, TpcDecision, TpcMessage};

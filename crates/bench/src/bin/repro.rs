@@ -17,15 +17,17 @@ use vi_bench::Table;
 
 /// The JSON artifact written for experiment `id`.
 ///
-/// `radio_scale`, `scenario_matrix`, and `traffic_profile` keep the
-/// artifact names CI uploads (`BENCH_radio.json`,
-/// `BENCH_scenarios.json`, `BENCH_traffic.json`); every other
-/// experiment uses `BENCH_<id>.json`.
+/// `radio_scale`, `scenario_matrix`, `traffic_profile`, and
+/// `consistency_audit` keep the artifact names CI uploads
+/// (`BENCH_radio.json`, `BENCH_scenarios.json`, `BENCH_traffic.json`,
+/// `BENCH_audit.json`); every other experiment uses
+/// `BENCH_<id>.json`.
 fn artifact_name(id: &str) -> String {
     match id {
         "radio_scale" => "BENCH_radio.json".to_string(),
         "scenario_matrix" => "BENCH_scenarios.json".to_string(),
         "traffic_profile" => "BENCH_traffic.json".to_string(),
+        "consistency_audit" => "BENCH_audit.json".to_string(),
         _ => format!("BENCH_{id}.json"),
     }
 }

@@ -149,6 +149,7 @@ pub fn detector_necessity() -> Table {
             drop_p: 0.35,
             miss_p,
         },
+        nemesis: vi_scenario::NemesisSpec::none(),
         cm: CmSpec::Oracle {
             stabilize_at: u64::MAX,
             pre: vi_contention::PreStability::Random(0.5),

@@ -1,0 +1,173 @@
+//! Experiment E17 (`consistency_audit`): every vi-app *audited* under
+//! every nemesis fault schedule.
+//!
+//! For each of the four apps and each nemesis catalog scenario
+//! (`blackout_market`: mid-run radio blackout + replica crash burst;
+//! `quake_drill`: detector-corruption window + crash burst), the
+//! experiment rebases the scenario onto the app — same layout, same
+//! traffic discipline, same fault schedule, `audit: true` — and sweeps
+//! all seeds through the deterministic parallel [`SweepRunner`], twice
+//! (1 worker vs N) to assert the outcome tables, audit reports
+//! included, are byte-identical. Rows report per-run op counts,
+//! timeouts (`:info` ops), and the verdict of every consistency
+//! checker; the experiment **panics if any checker reports a
+//! violation**, printing the minimized witness — the audit is the
+//! acceptance gate, not just a measurement. The artifact is
+//! `BENCH_audit.json`.
+
+use crate::table::Table;
+use vi_scenario::catalog::scenario;
+use vi_scenario::{AppKind, ScenarioOutcome, ScenarioSpec, SweepRunner, WorkloadSpec};
+
+/// The audited nemesis scenarios (catalog names).
+pub const NEMESIS_SCENARIOS: [&str; 2] = ["blackout_market", "quake_drill"];
+
+/// Seeds every `(scenario, app)` pair is audited under.
+pub const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Rebases a nemesis catalog scenario onto `app`: same deployment,
+/// layout, traffic discipline, and fault schedule; only the driven
+/// app changes (audit stays on).
+pub fn audit_variant(base: &ScenarioSpec, app: AppKind) -> ScenarioSpec {
+    let mut spec = base.clone();
+    spec.name = format!("{}/{}", base.name, app.name());
+    let WorkloadSpec::Traffic { app: a, audit, .. } = &mut spec.workload else {
+        panic!("{}: nemesis scenario must drive traffic", base.name)
+    };
+    *a = app;
+    *audit = true;
+    spec
+}
+
+/// The full E17 job list: nemesis scenarios × apps × seeds.
+pub fn audit_jobs() -> Vec<(ScenarioSpec, u64)> {
+    let mut jobs = Vec::new();
+    for name in NEMESIS_SCENARIOS {
+        let base = scenario(name).expect("nemesis catalog scenario");
+        for app in AppKind::all() {
+            for seed in SEEDS {
+                jobs.push((audit_variant(&base, app), seed));
+            }
+        }
+    }
+    jobs
+}
+
+/// Runs `jobs` with 1 worker and with a multi-worker pool, asserting
+/// the outcome tables — audit reports included — are byte-identical.
+///
+/// # Panics
+///
+/// Panics if the sweeps disagree: that would be a determinism bug in
+/// the recorder, a checker, or the runner.
+pub fn paired_audit_sweep(jobs: &[(ScenarioSpec, u64)], workers: usize) -> Vec<ScenarioOutcome> {
+    let sequential = SweepRunner::new(1).run(jobs);
+    let parallel = SweepRunner::new(workers.max(2)).run(jobs);
+    assert_eq!(
+        serde_json::to_string(&sequential).expect("serializable outcomes"),
+        serde_json::to_string(&parallel).expect("serializable outcomes"),
+        "audit verdicts must not depend on the worker count"
+    );
+    parallel
+}
+
+/// E17 — the consistency-audit table.
+///
+/// # Panics
+///
+/// Panics if any audited run violates a consistency checker (with the
+/// minimized witness in the message) — passing audits are this
+/// experiment's acceptance criterion.
+pub fn consistency_audit() -> Table {
+    let jobs = audit_jobs();
+    let outcomes = paired_audit_sweep(&jobs, SweepRunner::auto().workers());
+
+    let mut t = Table::new(
+        "E17 / consistency audit: apps × nemesis schedules × seeds (history checkers)",
+        &[
+            "scenario", "app", "seed", "ops", "done", "t/o", "checks", "verdicts",
+        ],
+    );
+    for o in &outcomes {
+        let s = o.traffic.as_ref().expect("traffic outcome");
+        let report = o.audit.as_ref().expect("audited outcome");
+        if let Some(bad) = report.violations().first() {
+            panic!(
+                "{} seed {}: {} {} — {}",
+                o.scenario,
+                o.seed,
+                bad.name,
+                bad.verdict.label(),
+                bad.witness.as_deref().unwrap_or("(no witness)")
+            );
+        }
+        let base = o.scenario.split('/').next().unwrap_or(&o.scenario);
+        t.row(&[
+            base.to_string(),
+            report.app.clone(),
+            o.seed.to_string(),
+            report.ops.to_string(),
+            s.completed.to_string(),
+            report.timeouts.to_string(),
+            report.checks.len().to_string(),
+            report.verdict_summary(),
+        ]);
+    }
+    t.note(
+        "every row passed linearizability/exclusion/freshness/delivery checks under its nemesis",
+    );
+    t.note("timeouts are Jepsen :info ops (maybe-applied, concurrent-forever for the checkers)");
+    t.note("1-worker vs N-worker sweeps asserted byte-identical, audit reports included");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Acceptance slice: all four apps audit clean under both nemesis
+    /// schedules (one seed here for test runtime; the release smoke
+    /// runs the full seed matrix) and verdicts are worker-invariant.
+    #[test]
+    fn all_apps_audit_clean_under_both_nemeses() {
+        let jobs: Vec<_> = audit_jobs()
+            .into_iter()
+            .filter(|(_, seed)| *seed == SEEDS[0])
+            .collect();
+        assert_eq!(jobs.len(), 8, "2 schedules × 4 apps");
+        let outcomes = paired_audit_sweep(&jobs, 4);
+        for o in &outcomes {
+            let report = o.audit.as_ref().expect("audited outcome");
+            assert!(
+                report.ok(),
+                "{} seed {}: {:?}",
+                o.scenario,
+                o.seed,
+                report.violations()
+            );
+            assert!(report.ops > 0, "{}: drove traffic", o.scenario);
+            assert!(
+                report.checks.len() >= 2,
+                "{}: well-formed + semantic checks",
+                o.scenario
+            );
+            let t = o.traffic.as_ref().expect("traffic summary");
+            assert_eq!(
+                t.completed + t.timed_out + t.in_flight_at_end,
+                t.issued,
+                "{}: accounting closes",
+                o.scenario
+            );
+        }
+    }
+
+    #[test]
+    fn audit_variants_validate_and_round_trip() {
+        for (spec, _) in audit_jobs() {
+            spec.validate().expect("audit variant must validate");
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{} round-trips", spec.name);
+        }
+    }
+}

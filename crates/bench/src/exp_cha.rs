@@ -268,6 +268,7 @@ pub fn safety() -> Table {
             radio: RadioConfig::stabilizing(10.0, 20.0, 120),
             populations,
             adversary: AdversaryKind::Random(loss, spur),
+            nemesis: vi_scenario::NemesisSpec::none(),
             cm: CmSpec::Oracle {
                 stabilize_at: 120,
                 pre: PreStability::Random(0.3),

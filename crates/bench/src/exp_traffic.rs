@@ -88,6 +88,7 @@ fn traffic_variant(base: &ScenarioSpec, app: AppKind, traffic: TrafficSpec) -> S
         app,
         layout,
         traffic,
+        audit: false,
     };
     spec
 }

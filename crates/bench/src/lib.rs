@@ -1,15 +1,16 @@
 //! # vi-bench
 //!
 //! Experiment harness reproducing every figure and quantitative claim
-//! of the paper. Each experiment (E1–E16) is a function returning a
+//! of the paper. Each experiment (E1–E17) is a function returning a
 //! [`Table`], callable from the `repro` binary (which prints
 //! paper-shaped tables and writes a `BENCH_<id>.json` artifact per
 //! experiment) and exercised by unit tests that assert the claimed
 //! *shape* (who wins, what stays constant, what grows). Seed sweeps
-//! (E6, E13, E15, E16) fan across cores through
+//! (E6, E13, E15, E16, E17) fan across cores through
 //! [`vi_scenario::SweepRunner`].
 
 pub mod exp_ablation;
+pub mod exp_audit;
 pub mod exp_cha;
 pub mod exp_emulation;
 pub mod exp_radio;
@@ -81,6 +82,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "traffic_profile",
             "Client traffic: apps × scenarios × open/closed loop",
             exp_traffic::traffic_profile,
+        ),
+        (
+            "consistency_audit",
+            "History checkers: apps × nemesis fault schedules",
+            exp_audit::consistency_audit,
         ),
     ]
 }

@@ -74,6 +74,26 @@ pub enum AdversaryKind {
         /// Per-(node, round) detection-suppression probability.
         miss_p: f64,
     },
+    /// Random loss scoped to round windows ([`WindowedRandomLoss`]):
+    /// outside every window the channel behaves perfectly (and draws
+    /// no randomness). The building block nemesis fault schedules
+    /// compile detector-corruption windows into.
+    WindowedRandom {
+        /// Rounds during which the loss probabilities apply.
+        windows: Vec<Range<u64>>,
+        /// Per-delivery drop probability inside a window.
+        drop_p: f64,
+        /// Per-node-per-round spurious collision probability inside a
+        /// window.
+        spurious_p: f64,
+    },
+    /// The union of several adversaries ([`ComposeAdversary`]): a
+    /// delivery is destroyed if *any* member drops it, and a node sees
+    /// a spurious indication if *any* member injects one. Every member
+    /// is always consulted, so the RNG stream is independent of the
+    /// individual verdicts. Nemesis fault schedules compile to a
+    /// composition over the scenario's base adversary.
+    Compose(Vec<AdversaryKind>),
 }
 
 impl AdversaryKind {
@@ -91,6 +111,18 @@ impl AdversaryKind {
             AdversaryKind::BrokenDetector { drop_p, miss_p } => {
                 Box::new(FaultyDetector::new(RandomLoss::new(*drop_p, 0.0), *miss_p))
             }
+            AdversaryKind::WindowedRandom {
+                windows,
+                drop_p,
+                spurious_p,
+            } => Box::new(WindowedRandomLoss::new(
+                windows.clone(),
+                *drop_p,
+                *spurious_p,
+            )),
+            AdversaryKind::Compose(members) => Box::new(ComposeAdversary::new(
+                members.iter().map(AdversaryKind::build).collect(),
+            )),
         }
     }
 }
@@ -211,6 +243,86 @@ impl Adversary for BurstLoss {
 
     fn spurious_collision(&mut self, round: u64, _node: NodeId, _rng: &mut StdRng) -> bool {
         self.active(round)
+    }
+}
+
+/// [`RandomLoss`] scoped to round windows: outside every window the
+/// channel is perfect and no randomness is drawn, so prefixing a quiet
+/// run with an empty schedule never perturbs it.
+#[derive(Clone, Debug)]
+pub struct WindowedRandomLoss {
+    windows: Vec<Range<u64>>,
+    loss: RandomLoss,
+}
+
+impl WindowedRandomLoss {
+    /// Creates a windowed random-loss adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(windows: Vec<Range<u64>>, drop_p: f64, spurious_p: f64) -> Self {
+        WindowedRandomLoss {
+            windows,
+            loss: RandomLoss::new(drop_p, spurious_p),
+        }
+    }
+
+    /// Returns `true` if `round` falls inside a window.
+    pub fn active(&self, round: u64) -> bool {
+        self.windows.iter().any(|w| w.contains(&round))
+    }
+}
+
+impl Adversary for WindowedRandomLoss {
+    fn drop_message(&mut self, round: u64, src: NodeId, dst: NodeId, rng: &mut StdRng) -> bool {
+        self.active(round) && self.loss.drop_message(round, src, dst, rng)
+    }
+
+    fn spurious_collision(&mut self, round: u64, node: NodeId, rng: &mut StdRng) -> bool {
+        self.active(round) && self.loss.spurious_collision(round, node, rng)
+    }
+}
+
+/// The union of several adversaries: drops a delivery if any member
+/// does, injects a spurious indication if any member does. Members are
+/// *always all consulted* (no short-circuiting), so each member's RNG
+/// consumption — and therefore the whole run — stays deterministic
+/// regardless of the other members' verdicts.
+pub struct ComposeAdversary {
+    members: Vec<Box<dyn Adversary>>,
+}
+
+impl ComposeAdversary {
+    /// Composes `members` (empty behaves like [`NoAdversary`]).
+    pub fn new(members: Vec<Box<dyn Adversary>>) -> Self {
+        ComposeAdversary { members }
+    }
+}
+
+impl Adversary for ComposeAdversary {
+    fn drop_message(&mut self, round: u64, src: NodeId, dst: NodeId, rng: &mut StdRng) -> bool {
+        let mut any = false;
+        for m in &mut self.members {
+            any |= m.drop_message(round, src, dst, rng);
+        }
+        any
+    }
+
+    fn spurious_collision(&mut self, round: u64, node: NodeId, rng: &mut StdRng) -> bool {
+        let mut any = false;
+        for m in &mut self.members {
+            any |= m.spurious_collision(round, node, rng);
+        }
+        any
+    }
+
+    fn suppress_detection(&mut self, round: u64, node: NodeId, rng: &mut StdRng) -> bool {
+        let mut any = false;
+        for m in &mut self.members {
+            any |= m.suppress_detection(round, node, rng);
+        }
+        any
     }
 }
 
@@ -355,6 +467,64 @@ mod tests {
         assert!(suppressed > 0);
         let mut benign = kinds[0].build();
         assert!(!benign.suppress_detection(0, NodeId::from(0), &mut rng));
+    }
+
+    #[test]
+    fn windowed_random_is_quiet_outside_windows() {
+        let mut a = WindowedRandomLoss::new(vec![10..20, 30..31], 1.0, 1.0);
+        let mut rng = rng();
+        let src = NodeId::from(0);
+        let dst = NodeId::from(1);
+        assert!(!a.drop_message(9, src, dst, &mut rng));
+        assert!(a.drop_message(10, src, dst, &mut rng));
+        assert!(a.drop_message(19, src, dst, &mut rng));
+        assert!(!a.drop_message(20, src, dst, &mut rng));
+        assert!(a.spurious_collision(15, src, &mut rng));
+        assert!(!a.spurious_collision(25, src, &mut rng));
+    }
+
+    #[test]
+    fn compose_is_the_union_of_its_members() {
+        let kind = AdversaryKind::Compose(vec![
+            AdversaryKind::Burst(vec![3..5, 40..41]),
+            AdversaryKind::WindowedRandom {
+                windows: vec![8..9, 50..51],
+                drop_p: 1.0,
+                spurious_p: 0.0,
+            },
+        ]);
+        let mut a = kind.build();
+        let mut rng = rng();
+        let src = NodeId::from(0);
+        let dst = NodeId::from(1);
+        assert!(a.drop_message(3, src, dst, &mut rng), "first member");
+        assert!(a.drop_message(8, src, dst, &mut rng), "second member");
+        assert!(!a.drop_message(6, src, dst, &mut rng), "neither member");
+        assert!(a.spurious_collision(4, src, &mut rng), "burst injects");
+        assert!(!a.spurious_collision(8, src, &mut rng), "window drop-only");
+        // Empty composition is benign.
+        let mut none = AdversaryKind::Compose(vec![]).build();
+        assert!(!none.drop_message(0, src, dst, &mut rng));
+        assert!(!none.suppress_detection(0, src, &mut rng));
+    }
+
+    #[test]
+    fn new_kinds_round_trip_through_serde() {
+        let kinds = vec![
+            AdversaryKind::WindowedRandom {
+                windows: vec![5..10, 30..31],
+                drop_p: 0.4,
+                spurious_p: 0.2,
+            },
+            AdversaryKind::Compose(vec![
+                AdversaryKind::None,
+                AdversaryKind::Burst(vec![1..2, 7..8]),
+                AdversaryKind::Compose(vec![AdversaryKind::Random(0.1, 0.0)]),
+            ]),
+        ];
+        let round: Vec<AdversaryKind> =
+            Deserialize::from_value(&Serialize::to_value(&kinds)).unwrap();
+        assert_eq!(round, kinds);
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub mod mobility;
 pub mod trace;
 
 pub use adversary::{
-    Adversary, AdversaryKind, BurstLoss, FaultyDetector, NoAdversary, RandomLoss, ScriptedAdversary,
+    Adversary, AdversaryKind, BurstLoss, ComposeAdversary, FaultyDetector, NoAdversary, RandomLoss,
+    ScriptedAdversary, WindowedRandomLoss,
 };
 pub use audit::{audit_trace, ChannelViolation};
 pub use channel::{

@@ -9,6 +9,7 @@
 use crate::spec::{
     CmSpec, LayoutSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, WorkloadSpec,
 };
+use vi_audit::{NemesisFault, NemesisSpec};
 use vi_contention::PreStability;
 use vi_radio::geometry::{Point, Rect};
 use vi_radio::{AdversaryKind, RadioConfig};
@@ -48,6 +49,7 @@ fn clique() -> ScenarioSpec {
         radio: RadioConfig::reliable(R1, R2),
         populations: vec![line(5)],
         adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::perfect(),
         workload: WorkloadSpec::ChaClique { instances: 30 },
     }
@@ -71,6 +73,7 @@ fn sparse_grid() -> ScenarioSpec {
         radio: RadioConfig::reliable(R1, R2),
         populations: locations.iter().map(|&loc| cluster(3, loc)).collect(),
         adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::perfect(),
         workload: WorkloadSpec::ViCounter {
             layout: LayoutSpec::Grid {
@@ -105,6 +108,7 @@ fn flash_crowd() -> ScenarioSpec {
             .spawning(30, 6),
         ],
         adversary: AdversaryKind::Random(0.3, 0.1),
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::Oracle {
             stabilize_at: 60,
             pre: PreStability::Random(0.5),
@@ -123,6 +127,7 @@ fn partition_heal() -> ScenarioSpec {
         radio: RadioConfig::stabilizing(R1, R2, 120),
         populations: vec![line(5)],
         adversary: AdversaryKind::Burst(vec![30..60, 90..120]),
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::perfect(),
         workload: WorkloadSpec::ChaClique { instances: 50 },
     }
@@ -148,6 +153,7 @@ fn robot_patrol() -> ScenarioSpec {
             ),
         ],
         adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::perfect(),
         workload: WorkloadSpec::ViCounter {
             layout: LayoutSpec::Explicit {
@@ -178,6 +184,7 @@ fn commuter_wave() -> ScenarioSpec {
         radio: RadioConfig::reliable(R1, R2),
         populations: vec![cluster(2, vn), commuters(40), commuters(80)],
         adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::perfect(),
         workload: WorkloadSpec::ViCounter {
             layout: LayoutSpec::Explicit {
@@ -202,6 +209,7 @@ fn broken_detector() -> ScenarioSpec {
             drop_p: 0.35,
             miss_p: 0.7,
         },
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::Oracle {
             stabilize_at: u64::MAX,
             pre: PreStability::Random(0.5),
@@ -225,6 +233,7 @@ fn city_scale() -> ScenarioSpec {
                 .with_mobility(MobilitySpec::Waypoint { speed: 0.5 }),
         ],
         adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::perfect(),
         workload: WorkloadSpec::ChaClique { instances: 4 },
     }
@@ -257,6 +266,7 @@ fn mall_rush() -> ScenarioSpec {
             .spawning(200, 40),
         ],
         adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::perfect(),
         workload: WorkloadSpec::Traffic {
             app: AppKind::Register,
@@ -283,6 +293,7 @@ fn mall_rush() -> ScenarioSpec {
                 timeout_rounds: 30,
                 virtual_rounds: 60,
             },
+            audit: false,
         },
     }
 }
@@ -312,6 +323,7 @@ fn courier_fleet() -> ScenarioSpec {
             cluster(2, b),
         ],
         adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
         cm: CmSpec::perfect(),
         workload: WorkloadSpec::Traffic {
             app: AppKind::Tracking,
@@ -329,6 +341,126 @@ fn courier_fleet() -> ScenarioSpec {
                 timeout_rounds: 25,
                 virtual_rounds: 50,
             },
+            audit: false,
+        },
+    }
+}
+
+/// `blackout_market` — the register **audited** through a Jepsen-style
+/// nemesis schedule: a mid-run total radio blackout (requests retry or
+/// time out; timed-out ops are `:info`, maybe-applied), then a replica
+/// crash burst after the channel heals. The linearizability checker
+/// certifies that whatever completed is an atomic register — the
+/// blackout may cost liveness, never consistency. (Traffic runs ~13
+/// real rounds per virtual round: the jam covers ≈ vr 20–30 of the
+/// 40-round admission window, inside the radio's `rcf = 400`.)
+fn blackout_market() -> ScenarioSpec {
+    let vn = Point::new(50.0, 50.0);
+    ScenarioSpec {
+        name: "blackout_market".into(),
+        arena: Rect::square(100.0),
+        radio: RadioConfig::stabilizing(R1, R2, 400),
+        populations: vec![
+            // Clients first: deployment order assigns the ports (and
+            // shields them from the crash burst, which takes victims
+            // from the deployment tail).
+            cluster(3, vn),
+            // Replica anchors — the crash burst's victims.
+            cluster(4, vn),
+        ],
+        adversary: AdversaryKind::None,
+        nemesis: NemesisSpec {
+            faults: vec![
+                NemesisFault::Jam { window: 260..390 },
+                NemesisFault::CrashBurst {
+                    at_round: 520,
+                    victims: 2,
+                },
+            ],
+        },
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::Traffic {
+            app: AppKind::Register,
+            layout: LayoutSpec::Explicit {
+                locations: vec![vn],
+                region_radius: REGION,
+            },
+            traffic: TrafficSpec {
+                clients: 3,
+                mode: LoadMode::Open {
+                    rate_per_round: 0.3,
+                    phases: vec![],
+                },
+                query_fraction: 0.5,
+                timeout_rounds: 30,
+                virtual_rounds: 40,
+            },
+            audit: true,
+        },
+    }
+}
+
+/// `quake_drill` — the tracking service **audited** under detector
+/// corruption and infrastructure loss: collision detectors lie for a
+/// third of the run (partition-style corruption window), then half the
+/// anchor replicas crash, while patrol clients keep streaming position
+/// reports and lookups. The monotone-freshness checker certifies that
+/// lookups never travel back in time through an object's report
+/// sequence.
+fn quake_drill() -> ScenarioSpec {
+    let vn = Point::new(25.0, 25.0);
+    ScenarioSpec {
+        name: "quake_drill".into(),
+        arena: Rect::square(50.0),
+        radio: RadioConfig::stabilizing(R1, R2, 400),
+        populations: vec![
+            // Patrol clients circle the virtual node, crossing
+            // tracking cells while staying in broadcast range.
+            PopulationSpec::fixed(3, PlacementSpec::Uniform).with_mobility(
+                MobilitySpec::PatrolRoute {
+                    route: vec![
+                        Point::new(25.0, 20.0),
+                        Point::new(30.0, 25.0),
+                        Point::new(25.0, 30.0),
+                        Point::new(20.0, 25.0),
+                    ],
+                    speed: 0.5,
+                },
+            ),
+            // Anchor replicas — two fall to the crash burst.
+            cluster(4, vn),
+        ],
+        adversary: AdversaryKind::None,
+        nemesis: NemesisSpec {
+            faults: vec![
+                NemesisFault::DetectorChaos {
+                    window: 130..390,
+                    spurious_p: 0.25,
+                },
+                NemesisFault::CrashBurst {
+                    at_round: 390,
+                    victims: 2,
+                },
+            ],
+        },
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::Traffic {
+            app: AppKind::Tracking,
+            layout: LayoutSpec::Explicit {
+                locations: vec![vn],
+                region_radius: REGION,
+            },
+            traffic: TrafficSpec {
+                clients: 3,
+                mode: LoadMode::Closed {
+                    outstanding_per_client: 1,
+                    think_rounds: 2,
+                },
+                query_fraction: 0.4,
+                timeout_rounds: 25,
+                virtual_rounds: 40,
+            },
+            audit: true,
         },
     }
 }
@@ -346,6 +478,8 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         city_scale(),
         mall_rush(),
         courier_fleet(),
+        blackout_market(),
+        quake_drill(),
     ]
 }
 
@@ -361,7 +495,7 @@ mod tests {
     #[test]
     fn every_catalog_scenario_validates_and_round_trips() {
         let all = catalog();
-        assert!(all.len() >= 10, "catalog must stay ≥ 10 scenarios");
+        assert!(all.len() >= 12, "catalog must stay ≥ 12 scenarios");
         for spec in &all {
             spec.validate().expect("catalog scenario must be valid");
             let json = serde_json::to_string(spec).unwrap();
@@ -405,6 +539,31 @@ mod tests {
         assert_eq!(t.app, "tracking");
         assert_eq!(t.mode, "closed");
         assert!(t.completed > 10, "couriers stream updates: {t:?}");
+    }
+
+    #[test]
+    fn blackout_market_audits_clean_and_jam_hurts() {
+        let out = scenario("blackout_market").unwrap().run(1);
+        let report = out.audit.as_ref().expect("audited scenario");
+        assert!(report.ok(), "{:?}", report.violations());
+        assert_eq!(report.app, "register");
+        let t = out.traffic.as_ref().expect("traffic summary");
+        assert!(t.completed > 0, "service recovers after the jam: {t:?}");
+        assert!(
+            t.timed_out > 0 || t.p99 > t.p50,
+            "the blackout must show up in timeouts or tail latency: {t:?}"
+        );
+    }
+
+    #[test]
+    fn quake_drill_audits_clean_under_chaos() {
+        let out = scenario("quake_drill").unwrap().run(2);
+        let report = out.audit.as_ref().expect("audited scenario");
+        assert!(report.ok(), "{:?}", report.violations());
+        assert_eq!(report.app, "tracking");
+        assert!(report.ops > 0);
+        let t = out.traffic.as_ref().expect("traffic summary");
+        assert!(t.completed > 0, "{t:?}");
     }
 
     #[test]

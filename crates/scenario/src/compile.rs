@@ -12,6 +12,7 @@ use crate::spec::{ScenarioSpec, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use vi_audit::{audit, AuditReport, HistoryRecorder};
 use vi_core::cha::{ChaMessage, ChaNode, ChaSpecChecker, TaggedProposer};
 use vi_core::vi::{CounterAutomaton, VnId, World, WorldConfig};
 use vi_radio::trace::ChannelStats;
@@ -63,6 +64,8 @@ pub struct ScenarioOutcome {
     pub vn_resets: u64,
     /// Client-traffic metrics (traffic workloads only).
     pub traffic: Option<TrafficSummary>,
+    /// Consistency-audit verdicts (audited traffic workloads only).
+    pub audit: Option<AuditReport>,
 }
 
 impl ScenarioOutcome {
@@ -90,7 +93,8 @@ impl ScenarioSpec {
                 app,
                 layout,
                 traffic,
-            } => self.run_traffic(seed, *app, layout, traffic),
+                audit,
+            } => self.run_traffic(seed, *app, layout, traffic, *audit),
         }
     }
 
@@ -101,7 +105,7 @@ impl ScenarioSpec {
             seed,
             record_trace: false,
         });
-        engine.set_adversary(self.adversary.build());
+        engine.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let cm = self.cm.build(seed);
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
 
@@ -214,18 +218,31 @@ impl ScenarioSpec {
             seed,
             record_trace: false,
         });
-        world.set_adversary(self.adversary.build());
+        world.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
+        let nemesis_crashes: std::collections::BTreeMap<usize, u64> = self
+            .nemesis
+            .crash_schedule(self.node_count(), 0)
+            .into_iter()
+            .collect();
+        let mut device = 0usize;
         for pop in &self.populations {
             for j in 0..pop.count {
                 let start = pop.placement.position(j, self.arena, &mut place_rng);
                 let spawn = pop.spawn_at + j as u64 * pop.spawn_stride;
+                let crash = match (pop.crash_at, nemesis_crashes.get(&device)) {
+                    (Some(c), Some(&n)) => Some(c.min(n)),
+                    (Some(c), None) => Some(c),
+                    (None, Some(&n)) => Some(n),
+                    (None, None) => None,
+                };
                 world.add_device_spec(
                     pop.mobility.build(start, self.arena),
                     None,
                     (spawn > 0).then_some(spawn),
-                    pop.crash_at,
+                    crash,
                 );
+                device += 1;
             }
         }
 
@@ -260,13 +277,16 @@ impl ScenarioSpec {
 
     /// Runs a client-traffic workload: populations emulate the app's
     /// virtual nodes; the first `traffic.clients` devices also run
-    /// request ports driven by the vi-traffic generator.
+    /// request ports driven by the vi-traffic generator. With
+    /// `audited`, the run's operation history feeds the `vi-audit`
+    /// checkers and the outcome carries their verdicts.
     fn run_traffic(
         &self,
         seed: u64,
         app: AppKind,
         layout: &crate::spec::LayoutSpec,
         traffic: &TrafficSpec,
+        audited: bool,
     ) -> ScenarioOutcome {
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
         let mut devices = Vec::with_capacity(self.node_count());
@@ -282,18 +302,27 @@ impl ScenarioSpec {
                 });
             }
         }
+        // Nemesis: crash bursts fold into the device churn (client
+        // ports at the deployment front are protected), channel
+        // faults compose over the base adversary.
+        self.nemesis.apply_crashes(&mut devices, traffic.clients);
         let tw = TrafficWorld {
             radio: self.radio,
             layout: layout.build(),
             seed,
-            adversary: self.adversary.clone(),
+            adversary: self.nemesis.compile_adversary(&self.adversary),
             devices,
         };
-        let out = vi_traffic::run_traffic(app, tw, traffic);
+        let (out, report) = if audited {
+            let (out, history) = HistoryRecorder::record(app, tw, traffic);
+            (out, Some(audit(&history)))
+        } else {
+            (vi_traffic::run_traffic(app, tw, traffic), None)
+        };
         let decided_fraction =
             out.vn_decided as f64 / (out.vn_decided + out.vn_bottom).max(1) as f64;
         let checker = ChaSpecChecker::<u64>::new();
-        self.outcome(
+        let mut outcome = self.outcome(
             seed,
             out.stats.rounds,
             &out.stats,
@@ -303,7 +332,9 @@ impl ScenarioSpec {
             out.vn_joins,
             out.vn_resets,
             Some(out.summary),
-        )
+        );
+        outcome.audit = report;
+        outcome
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -337,6 +368,7 @@ impl ScenarioSpec {
             vn_joins,
             vn_resets,
             traffic,
+            audit: None,
         }
     }
 }
@@ -362,6 +394,7 @@ mod tests {
                 },
             )],
             adversary: AdversaryKind::None,
+            nemesis: vi_audit::NemesisSpec::none(),
             cm: CmSpec::perfect(),
             workload: WorkloadSpec::ChaClique { instances },
         }
@@ -400,6 +433,7 @@ mod tests {
                 },
             )],
             adversary: AdversaryKind::None,
+            nemesis: vi_audit::NemesisSpec::none(),
             cm: CmSpec::perfect(),
             workload: WorkloadSpec::Traffic {
                 app: vi_traffic::AppKind::Register,
@@ -408,6 +442,7 @@ mod tests {
                     region_radius: 2.5,
                 },
                 traffic: vi_traffic::TrafficSpec::open(2, 0.25, 30),
+                audit: false,
             },
         };
         spec.validate().expect("traffic spec validates");
@@ -416,6 +451,7 @@ mod tests {
         assert!(t.issued > 0);
         assert!(t.completed > 0, "{t:?}");
         assert!(t.p50 >= 1 && t.p50 <= t.p99, "{t:?}");
+        assert!(out.audit.is_none(), "unaudited run carries no report");
         assert_eq!(out, spec.run(5), "traffic runs are deterministic");
         // Too many clients for the deployment must fail validation.
         let mut bad = spec.clone();
@@ -423,6 +459,59 @@ mod tests {
             traffic.clients = 99;
         }
         assert!(bad.validate().unwrap_err().contains("clients"));
+    }
+
+    #[test]
+    fn audited_traffic_scenario_carries_verdicts_and_nemesis_bites() {
+        use vi_audit::{NemesisFault, NemesisSpec};
+        let mut spec = ScenarioSpec {
+            name: "test-audited".into(),
+            arena: Rect::square(100.0),
+            radio: RadioConfig::reliable(10.0, 20.0),
+            populations: vec![PopulationSpec::fixed(
+                5,
+                PlacementSpec::Cluster {
+                    center: Point::new(50.0, 50.0),
+                    radius: 0.4,
+                },
+            )],
+            adversary: AdversaryKind::None,
+            nemesis: NemesisSpec {
+                faults: vec![NemesisFault::CrashBurst {
+                    at_round: 60,
+                    victims: 2,
+                }],
+            },
+            cm: CmSpec::perfect(),
+            workload: WorkloadSpec::Traffic {
+                app: vi_traffic::AppKind::Register,
+                layout: LayoutSpec::Explicit {
+                    locations: vec![Point::new(50.0, 50.0)],
+                    region_radius: 2.5,
+                },
+                traffic: vi_traffic::TrafficSpec::open(2, 0.3, 30),
+                audit: true,
+            },
+        };
+        spec.validate().expect("audited spec validates");
+        let out = spec.run(3);
+        let report = out.audit.as_ref().expect("audited run carries a report");
+        assert!(report.ok(), "{:?}", report.violations());
+        assert_eq!(report.app, "register");
+        assert!(report.ops > 0);
+        assert_eq!(out, spec.run(3), "audited runs are deterministic");
+        // The same deployment without the nemesis behaves differently:
+        // two crashed replicas receive nothing, so the crash burst
+        // must show up as lost deliveries.
+        let with_nemesis = out;
+        spec.nemesis = NemesisSpec::none();
+        let without = spec.run(3);
+        assert!(
+            with_nemesis.deliveries < without.deliveries,
+            "crash burst must cost deliveries ({} vs {})",
+            with_nemesis.deliveries,
+            without.deliveries
+        );
     }
 
     #[test]
@@ -439,6 +528,7 @@ mod tests {
                 },
             )],
             adversary: AdversaryKind::None,
+            nemesis: vi_audit::NemesisSpec::none(),
             cm: CmSpec::perfect(),
             workload: WorkloadSpec::ViCounter {
                 layout: LayoutSpec::Explicit {

@@ -50,4 +50,5 @@ pub use runner::SweepRunner;
 pub use spec::{
     CmSpec, LayoutSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, WorkloadSpec,
 };
+pub use vi_audit::{AuditReport, NemesisFault, NemesisSpec};
 pub use vi_traffic::{AppKind, LoadMode, RatePhase, TrafficSpec, TrafficSummary};

@@ -125,6 +125,7 @@ mod tests {
                 },
             )],
             adversary: AdversaryKind::None,
+            nemesis: vi_audit::NemesisSpec::none(),
             cm: CmSpec::perfect(),
             workload: WorkloadSpec::ChaClique { instances: 15 },
         };

@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use vi_audit::NemesisSpec;
 use vi_contention::{BackoffCm, BackoffConfig, OracleCm, PreStability, SharedCm};
 use vi_core::vi::VnLayout;
 use vi_radio::geometry::{Point, Rect};
@@ -305,6 +306,10 @@ pub enum WorkloadSpec {
         layout: LayoutSpec,
         /// Arrival discipline, op mix, timeout, and window.
         traffic: TrafficSpec,
+        /// Record the operation history and run the `vi-audit`
+        /// consistency checkers; the outcome then carries an
+        /// [`vi_audit::AuditReport`].
+        audit: bool,
     },
 }
 
@@ -321,6 +326,9 @@ pub struct ScenarioSpec {
     pub populations: Vec<PopulationSpec>,
     /// Channel adversary active before stabilization.
     pub adversary: AdversaryKind,
+    /// Timed fault schedule injected on top of the adversary and the
+    /// population churn (see [`vi_audit::NemesisSpec`]; empty = none).
+    pub nemesis: NemesisSpec,
     /// Contention manager (CHA workload only).
     pub cm: CmSpec,
     /// The workload to execute.
@@ -373,24 +381,35 @@ impl ScenarioSpec {
                 ));
             }
         }
-        let prob = |p: f64| (0.0..=1.0).contains(&p);
-        match &self.adversary {
-            AdversaryKind::Random(d, s) if !prob(*d) || !prob(*s) => {
+        validate_adversary(&self.adversary).map_err(|e| format!("{}: {e}", self.name))?;
+        self.nemesis
+            .validate()
+            .map_err(|e| format!("{}: nemesis {e}", self.name))?;
+        if self.nemesis.crashes_devices() {
+            if matches!(self.workload, WorkloadSpec::ChaClique { .. }) {
                 return Err(format!(
-                    "{}: adversary probability outside [0, 1]",
+                    "{}: nemesis crash bursts need a device workload (ViCounter or Traffic)",
                     self.name
                 ));
             }
-            AdversaryKind::BrokenDetector { drop_p, miss_p }
-                if !prob(*drop_p) || !prob(*miss_p) =>
-            {
+            // Victims come from the deployment tail; client ports at
+            // the front are protected. A schedule asking for more than
+            // the deployment can supply would silently under-crash.
+            let protected = match &self.workload {
+                WorkloadSpec::Traffic { traffic, .. } => traffic.clients,
+                _ => 0,
+            };
+            let eligible = self.node_count().saturating_sub(protected);
+            let victims = self.nemesis.total_victims();
+            if victims > eligible {
                 return Err(format!(
-                    "{}: adversary probability outside [0, 1]",
+                    "{}: nemesis crash bursts claim {victims} victims but only {eligible} \
+                     devices are eligible (client ports are protected)",
                     self.name
                 ));
             }
-            _ => {}
         }
+        let prob = |p: f64| (0.0..=1.0).contains(&p);
         if let CmSpec::Oracle {
             pre: PreStability::Random(p),
             ..
@@ -445,6 +464,28 @@ impl ScenarioSpec {
     }
 }
 
+/// Probability sanity over the (possibly composed) adversary
+/// description — deserialized specs bypass the constructors' asserts,
+/// so a hand-edited JSON adversary must be caught here, recursively.
+fn validate_adversary(kind: &AdversaryKind) -> Result<(), String> {
+    let prob = |p: f64| (0.0..=1.0).contains(&p);
+    match kind {
+        AdversaryKind::Random(d, s) if !prob(*d) || !prob(*s) => {
+            Err("adversary probability outside [0, 1]".into())
+        }
+        AdversaryKind::BrokenDetector { drop_p, miss_p } if !prob(*drop_p) || !prob(*miss_p) => {
+            Err("adversary probability outside [0, 1]".into())
+        }
+        AdversaryKind::WindowedRandom {
+            drop_p, spurious_p, ..
+        } if !prob(*drop_p) || !prob(*spurious_p) => {
+            Err("adversary probability outside [0, 1]".into())
+        }
+        AdversaryKind::Compose(members) => members.iter().try_for_each(validate_adversary),
+        _ => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +505,7 @@ mod tests {
                 },
             )],
             adversary: AdversaryKind::None,
+            nemesis: NemesisSpec::none(),
             cm: CmSpec::perfect(),
             workload: WorkloadSpec::ChaClique { instances: 5 },
         }
@@ -486,6 +528,74 @@ mod tests {
         s.populations.clear();
         assert!(s.validate().unwrap_err().contains("no nodes"));
         assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_checks_nemesis_and_composed_adversaries() {
+        use vi_audit::NemesisFault;
+        // Crash bursts on a CHA workload are rejected (the CHA spec
+        // checker quantifies over a fixed participant set).
+        let mut s = spec();
+        s.nemesis = NemesisSpec {
+            faults: vec![NemesisFault::CrashBurst {
+                at_round: 10,
+                victims: 1,
+            }],
+        };
+        assert!(s.validate().unwrap_err().contains("device workload"));
+        // Over-subscribed crash bursts are rejected up front.
+        let mut s = spec();
+        s.workload = WorkloadSpec::ViCounter {
+            layout: LayoutSpec::Explicit {
+                locations: vec![Point::new(5.0, 5.0)],
+                region_radius: 2.5,
+            },
+            virtual_rounds: 4,
+        };
+        s.nemesis = NemesisSpec {
+            faults: vec![NemesisFault::CrashBurst {
+                at_round: 10,
+                victims: 99,
+            }],
+        };
+        assert!(s.validate().unwrap_err().contains("eligible"));
+        // Channel-only nemesis on CHA is fine.
+        let mut s = spec();
+        s.nemesis = NemesisSpec {
+            faults: vec![NemesisFault::Jam { window: 5..10 }],
+        };
+        s.validate().expect("channel faults apply to any workload");
+        // Degenerate nemesis windows are caught.
+        let mut s = spec();
+        s.nemesis = NemesisSpec {
+            faults: vec![NemesisFault::Jam { window: 9..9 }],
+        };
+        assert!(s.validate().unwrap_err().contains("nemesis"));
+        // Probability checks recurse into composed adversaries.
+        let mut s = spec();
+        s.adversary = AdversaryKind::Compose(vec![
+            AdversaryKind::None,
+            AdversaryKind::WindowedRandom {
+                windows: vec![2..5, 9..12],
+                drop_p: 2.0,
+                spurious_p: 0.0,
+            },
+        ]);
+        assert!(s.validate().unwrap_err().contains("probability"));
+        // A spec with a nemesis round-trips losslessly.
+        let mut s = spec();
+        s.nemesis = NemesisSpec {
+            faults: vec![
+                NemesisFault::Jam { window: 5..10 },
+                NemesisFault::DetectorChaos {
+                    window: 12..20,
+                    spurious_p: 0.25,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 
     type SpecEdit = Box<dyn Fn(&mut ScenarioSpec)>;

@@ -12,10 +12,14 @@
 //! them.
 
 use crate::metrics::{LatencyHistogram, TrafficSummary};
-use crate::service::{build_service, Completion, OpClass, Request, Service, TrafficWorld};
+use crate::service::{
+    build_service, AuditRecord, Completion, OpClass, OpDesc, OpOutcome, Request, Service,
+    TrafficWorld,
+};
 use crate::workload::{AppKind, LoadMode, TrafficSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vi_radio::trace::ChannelStats;
 
@@ -41,6 +45,57 @@ pub struct TrafficOutcome {
     pub vn_resets: u64,
 }
 
+/// One entry of the operation history a traffic run leaves behind.
+///
+/// Events are appended in driver order — admission before the round's
+/// step, completions in service order, timeouts last — which is a
+/// deterministic function of `(spec, seed)`. Every admitted request
+/// resolves exactly once: a `Complete`, or a `Timeout` (the Jepsen
+/// `:info` case — the operation may or may not have taken effect, and
+/// consistency checkers must treat it as concurrent with everything
+/// after its invocation). A completion arriving *after* the timeout
+/// sweep already resolved its request is not recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficEvent {
+    /// A request entered the system.
+    Invoke {
+        /// The request id.
+        id: u64,
+        /// The issuing client.
+        client: u32,
+        /// Virtual round of admission.
+        vr: u64,
+        /// The concrete operation the adapter issued.
+        op: OpDesc,
+    },
+    /// A request completed with a response.
+    Complete {
+        /// The request id.
+        id: u64,
+        /// The issuing client.
+        client: u32,
+        /// Virtual round the response was heard.
+        vr: u64,
+        /// What the response said.
+        outcome: OpOutcome,
+    },
+    /// A request was dropped unresolved after its timeout.
+    Timeout {
+        /// The request id.
+        id: u64,
+        /// The issuing client.
+        client: u32,
+        /// Virtual round of the timeout sweep.
+        vr: u64,
+    },
+    /// A protocol-level service observation (grants, releases, raw
+    /// deliveries).
+    Protocol {
+        /// The observation.
+        record: AuditRecord,
+    },
+}
+
 /// A closed-loop request slot.
 enum Slot {
     /// Waiting for the in-flight request with this id.
@@ -56,24 +111,59 @@ enum Slot {
 /// Panics if the spec is invalid (callers validate up front) or the
 /// deployment has fewer devices than `spec.clients`.
 pub fn run_traffic(app: AppKind, tw: TrafficWorld, spec: &TrafficSpec) -> TrafficOutcome {
+    run_traffic_recorded(app, tw, spec).0
+}
+
+/// Like [`run_traffic`], but additionally returns the complete
+/// operation history of the run — the input of the `vi-audit`
+/// consistency checkers.
+pub fn run_traffic_recorded(
+    app: AppKind,
+    tw: TrafficWorld,
+    spec: &TrafficSpec,
+) -> (TrafficOutcome, Vec<TrafficEvent>) {
     spec.validate().expect("invalid traffic spec");
     let seed = tw.seed;
     let mut service = build_service(app, tw, spec.clients);
-    let summary = drive(service.as_mut(), spec, seed);
+    let (summary, events) = drive_recorded(service.as_mut(), spec, seed);
     let totals = service.world_totals();
-    TrafficOutcome {
-        summary,
-        stats: service.stats(),
-        vn_decided: totals.decided,
-        vn_bottom: totals.bottom,
-        vn_joins: totals.joins,
-        vn_resets: totals.resets,
-    }
+    (
+        TrafficOutcome {
+            summary,
+            stats: service.stats(),
+            vn_decided: totals.decided,
+            vn_bottom: totals.bottom,
+            vn_joins: totals.joins,
+            vn_resets: totals.resets,
+        },
+        events,
+    )
 }
 
 /// Drives `service` under `spec`, measuring completions. Exposed so
-/// tests and benches can drive hand-built services.
+/// tests and benches can drive hand-built services. Records nothing:
+/// the unaudited hot path stays free of per-request event pushes.
 pub fn drive(service: &mut dyn Service, spec: &TrafficSpec, seed: u64) -> TrafficSummary {
+    drive_inner(service, spec, seed, None)
+}
+
+/// [`drive`], additionally recording the complete operation history.
+pub fn drive_recorded(
+    service: &mut dyn Service,
+    spec: &TrafficSpec,
+    seed: u64,
+) -> (TrafficSummary, Vec<TrafficEvent>) {
+    let mut events = Vec::new();
+    let summary = drive_inner(service, spec, seed, Some(&mut events));
+    (summary, events)
+}
+
+fn drive_inner(
+    service: &mut dyn Service,
+    spec: &TrafficSpec,
+    seed: u64,
+    mut events: Option<&mut Vec<TrafficEvent>>,
+) -> TrafficSummary {
     let mut rng = StdRng::seed_from_u64(seed ^ TRAFFIC_SALT);
     let clients = spec.clients;
     let has_reads = matches!(service.app(), AppKind::Register | AppKind::Tracking);
@@ -121,7 +211,14 @@ pub fn drive(service: &mut dyn Service, spec: &TrafficSpec, seed: u64) -> Traffi
                         acc -= 1.0;
                         let client = rr_client % clients;
                         rr_client += 1;
-                        gen.issue(service, &mut rng, &mut outstanding, client, vr);
+                        gen.issue(
+                            service,
+                            &mut rng,
+                            &mut outstanding,
+                            events.as_deref_mut(),
+                            client,
+                            vr,
+                        );
                     }
                 }
                 LoadMode::Closed { .. } => {
@@ -129,8 +226,14 @@ pub fn drive(service: &mut dyn Service, spec: &TrafficSpec, seed: u64) -> Traffi
                         for slot in client_slots.iter_mut() {
                             if let Slot::ThinkUntil(at) = *slot {
                                 if vr >= at {
-                                    let id =
-                                        gen.issue(service, &mut rng, &mut outstanding, client, vr);
+                                    let id = gen.issue(
+                                        service,
+                                        &mut rng,
+                                        &mut outstanding,
+                                        events.as_deref_mut(),
+                                        client,
+                                        vr,
+                                    );
                                     *slot = Slot::InFlight(id);
                                 }
                             }
@@ -146,12 +249,29 @@ pub fn drive(service: &mut dyn Service, spec: &TrafficSpec, seed: u64) -> Traffi
             let Some((issued_vr, client)) = outstanding.remove(&c.id) else {
                 continue; // late completion of a timed-out request
             };
+            if let Some(ev) = events.as_deref_mut() {
+                ev.push(TrafficEvent::Complete {
+                    id: c.id,
+                    client: client as u32,
+                    vr: c.completed_vr,
+                    outcome: c.outcome,
+                });
+            }
             hist.record(c.completed_vr.saturating_sub(issued_vr));
             completed += 1;
             this_round += 1;
             free_slot(&mut slots, client, c.id, vr, &spec.mode);
         }
         peak = peak.max(this_round);
+        // Drain the service's audit records every round — they would
+        // accumulate for the whole run otherwise — but record them
+        // only when a history is wanted.
+        let records = service.drain_audit();
+        if let Some(ev) = events.as_deref_mut() {
+            for record in records {
+                ev.push(TrafficEvent::Protocol { record });
+            }
+        }
 
         // Timeout sweep.
         let dead: Vec<u64> = outstanding
@@ -161,6 +281,13 @@ pub fn drive(service: &mut dyn Service, spec: &TrafficSpec, seed: u64) -> Traffi
             .collect();
         for id in dead {
             let (_, client) = outstanding.remove(&id).expect("just listed");
+            if let Some(ev) = events.as_deref_mut() {
+                ev.push(TrafficEvent::Timeout {
+                    id,
+                    client: client as u32,
+                    vr,
+                });
+            }
             timed_out += 1;
             service.forget(id);
             free_slot(&mut slots, client, id, vr, &spec.mode);
@@ -198,6 +325,7 @@ impl Admission {
         service: &mut dyn Service,
         rng: &mut StdRng,
         outstanding: &mut BTreeMap<u64, (u64, usize)>,
+        events: Option<&mut Vec<TrafficEvent>>,
         client: usize,
         vr: u64,
     ) -> u64 {
@@ -213,7 +341,15 @@ impl Admission {
             issued_vr: vr,
         };
         outstanding.insert(req.id, (vr, client));
-        service.submit(client, &req);
+        let op = service.submit(client, &req);
+        if let Some(ev) = events {
+            ev.push(TrafficEvent::Invoke {
+                id: req.id,
+                client: client as u32,
+                vr,
+                op,
+            });
+        }
         self.next_id
     }
 }
@@ -345,6 +481,57 @@ mod tests {
             "every request must resolve to a timeout within the drain tail"
         );
         assert_eq!(jammed.summary.in_flight_at_end, 0);
+    }
+
+    #[test]
+    fn recorded_history_resolves_every_request_exactly_once() {
+        // A jammed channel forces timeouts; the history must surface
+        // them as `Timeout` events, one per unresolved request.
+        let mut spec = TrafficSpec::open(2, 0.5, 20);
+        spec.timeout_rounds = 8;
+        let mut world = small_world(3, 2);
+        world.radio = RadioConfig::stabilizing(10.0, 20.0, u64::MAX);
+        world.adversary = vi_radio::AdversaryKind::Burst(vec![0..5_000, 5_000..10_000]);
+        let (out, events) = run_traffic_recorded(AppKind::Register, world, &spec);
+        let s = &out.summary;
+        assert!(s.timed_out > 0, "jam must time requests out: {s:?}");
+        use std::collections::BTreeMap;
+        let mut resolved: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut invoked: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in &events {
+            match e {
+                TrafficEvent::Invoke { id, vr, .. } => {
+                    assert!(invoked.insert(*id, *vr).is_none(), "double invoke of {id}");
+                }
+                TrafficEvent::Complete { id, vr, .. } | TrafficEvent::Timeout { id, vr, .. } => {
+                    assert!(
+                        invoked.get(id).is_some_and(|inv| inv <= vr),
+                        "resolution of {id} precedes its invocation"
+                    );
+                    *resolved.entry(*id).or_default() += 1;
+                }
+                TrafficEvent::Protocol { .. } => {}
+            }
+        }
+        assert_eq!(invoked.len() as u64, s.issued);
+        assert!(resolved.values().all(|&n| n == 1), "one resolution per id");
+        let timeouts = events
+            .iter()
+            .filter(|e| matches!(e, TrafficEvent::Timeout { .. }))
+            .count() as u64;
+        assert_eq!(timeouts, s.timed_out, "timeouts surface as events");
+    }
+
+    #[test]
+    fn recorded_history_is_deterministic() {
+        let spec = TrafficSpec::open(2, 0.4, 25);
+        let (_, a) = run_traffic_recorded(AppKind::Mutex, small_world(3, 6), &spec);
+        let (_, b) = run_traffic_recorded(AppKind::Mutex, small_world(3, 6), &spec);
+        assert_eq!(a, b, "identical (spec, seed) must replay the history");
+        assert!(
+            a.iter().any(|e| matches!(e, TrafficEvent::Protocol { .. })),
+            "mutex histories carry grant/release protocol events"
+        );
     }
 
     #[test]

@@ -31,13 +31,23 @@
 //!   service over a [`TrafficWorld`], replays the admission schedule,
 //!   sweeps timeouts, and emits a [`TrafficSummary`]
 //!   (p50/p95/p99/max, throughput, drop accounting).
+//!   [`run_traffic_recorded`] additionally returns the run's complete
+//!   operation history as [`TrafficEvent`]s — invocations with
+//!   concrete [`OpDesc`]s, responses with semantic [`OpOutcome`]s,
+//!   timeouts, and protocol-level [`AuditRecord`]s — the input of the
+//!   `vi-audit` consistency checkers.
 
 pub mod driver;
 pub mod metrics;
 pub mod service;
 pub mod workload;
 
-pub use driver::{drive, run_traffic, TrafficOutcome};
+pub use driver::{
+    drive, drive_recorded, run_traffic, run_traffic_recorded, TrafficEvent, TrafficOutcome,
+};
 pub use metrics::{LatencyHistogram, TrafficSummary};
-pub use service::{build_service, Completion, DevicePlan, OpClass, Request, Service, TrafficWorld};
+pub use service::{
+    build_service, AuditRecord, Completion, DevicePlan, OpClass, OpDesc, OpOutcome, Request,
+    Service, TrafficWorld,
+};
 pub use workload::{AppKind, LoadMode, RatePhase, TrafficSpec};

@@ -17,6 +17,7 @@
 //! like the stagger the mutex app's reference client uses.
 
 use crate::workload::AppKind;
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
@@ -61,6 +62,105 @@ pub struct Request {
     pub issued_vr: u64,
 }
 
+/// What a request concretely did at the service — the invocation side
+/// of an audit history. Adapters return it from [`Service::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpDesc {
+    /// Register write of `value` (unique per run: the request id).
+    Write {
+        /// The written value.
+        value: u64,
+    },
+    /// Register read.
+    Read,
+    /// Mutex acquire (the adapter releases immediately on grant).
+    Acquire,
+    /// Tracking position report for `object` (the reporting client).
+    Report {
+        /// The reported object (the client's own id).
+        object: u32,
+        /// The reported cell.
+        cell: (u32, u32),
+    },
+    /// Tracking lookup of `object`.
+    Lookup {
+        /// The queried object.
+        object: u32,
+    },
+    /// Georouting packet send addressed to virtual node `vn`.
+    Send {
+        /// Destination virtual-node index.
+        vn: usize,
+        /// The packet payload (the request id, truncated).
+        payload: u32,
+    },
+}
+
+/// The observed result of a completed request — the response side of
+/// an audit history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpOutcome {
+    /// Write acknowledged by the virtual node.
+    Acked,
+    /// Read answered with the register contents.
+    ReadValue {
+        /// Tag of the returned value (0 = never written).
+        tag: u64,
+        /// The returned value.
+        value: u64,
+    },
+    /// Lock granted (and immediately released by the adapter).
+    Granted,
+    /// Report broadcast (reports complete on send).
+    Reported,
+    /// Lookup answered with the object's last known cell.
+    Answered {
+        /// The answered cell (`None` = object unknown to the node).
+        cell: Option<(u32, u32)>,
+    },
+    /// Packet recorded as delivered at its destination virtual node.
+    Delivered,
+}
+
+/// A protocol-level observation outside the request lifecycle,
+/// drained via [`Service::drain_audit`]. These carry the facts the
+/// consistency checkers need that completions alone cannot: grants to
+/// requests that already timed out, release broadcast rounds, and raw
+/// per-virtual-node delivery state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditRecord {
+    /// A lock grant naming `client` was heard (measured or not).
+    Granted {
+        /// The granted client.
+        client: u32,
+        /// Virtual round the grant was heard.
+        vr: u64,
+    },
+    /// `client` broadcast its lock release.
+    Released {
+        /// The releasing client.
+        client: u32,
+        /// Virtual round the release hit the channel.
+        vr: u64,
+    },
+    /// `payload` appeared in virtual node `vn`'s delivered state.
+    Delivered {
+        /// The delivering virtual node.
+        vn: usize,
+        /// The delivered payload.
+        payload: u32,
+        /// Virtual round the delivery was observed.
+        vr: u64,
+    },
+    /// Virtual node `vn`'s delivered state shrank: a reset lost state.
+    VnReset {
+        /// The reset virtual node.
+        vn: usize,
+        /// Virtual round the shrink was observed.
+        vr: u64,
+    },
+}
+
 /// A completed request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Completion {
@@ -68,6 +168,8 @@ pub struct Completion {
     pub id: u64,
     /// Virtual round the response was heard (or the op took effect).
     pub completed_vr: u64,
+    /// What the response said.
+    pub outcome: OpOutcome,
 }
 
 /// Aggregated virtual-node emulation counters for a traffic run.
@@ -89,11 +191,17 @@ pub trait Service {
     fn app(&self) -> AppKind;
     /// Number of client endpoints.
     fn clients(&self) -> usize;
-    /// Queues `req` for issuance by client `client`.
-    fn submit(&mut self, client: usize, req: &Request);
+    /// Queues `req` for issuance by client `client` and describes the
+    /// concrete operation it became.
+    fn submit(&mut self, client: usize, req: &Request) -> OpDesc;
     /// Runs one virtual round and returns the completions observed in
     /// it, in deterministic (client-index, arrival) order.
     fn step_round(&mut self) -> Vec<Completion>;
+    /// Drains protocol-level audit observations accumulated since the
+    /// last drain (empty for apps whose completions say everything).
+    fn drain_audit(&mut self) -> Vec<AuditRecord> {
+        Vec::new()
+    }
     /// Drops the measurement state of a timed-out request. Protocol
     /// obligations (e.g. releasing a lock that is granted late)
     /// survive; only completion matching is cancelled.
@@ -351,22 +459,28 @@ impl Service for RegisterService {
         self.harness.ports.len()
     }
 
-    fn submit(&mut self, client: usize, req: &Request) {
-        let msg = match req.class {
+    fn submit(&mut self, client: usize, req: &Request) -> OpDesc {
+        let (msg, op) = match req.class {
             OpClass::Mutate => {
                 self.next_tag += 1;
                 self.write_index.insert(self.next_tag, req.id);
-                RegMsg::Write {
-                    tag: self.next_tag,
-                    value: req.id,
-                }
+                (
+                    RegMsg::Write {
+                        tag: self.next_tag,
+                        value: req.id,
+                    },
+                    OpDesc::Write { value: req.id },
+                )
             }
             OpClass::Query => {
                 self.next_nonce += 1;
                 self.read_index.insert(self.next_nonce, req.id);
-                RegMsg::Read {
-                    nonce: self.next_nonce,
-                }
+                (
+                    RegMsg::Read {
+                        nonce: self.next_nonce,
+                    },
+                    OpDesc::Read,
+                )
             }
         };
         self.harness.enqueue(client, req.id, msg.clone());
@@ -378,6 +492,7 @@ impl Service for RegisterService {
                 last_enqueued_vr: req.issued_vr,
             },
         );
+        op
     }
 
     fn step_round(&mut self) -> Vec<Completion> {
@@ -385,18 +500,30 @@ impl Service for RegisterService {
         let mut done = Vec::new();
         for i in 0..self.clients() {
             for (heard_vr, msg) in self.harness.drain_rx(i) {
-                let id = msg
-                    .ack_tag()
-                    .and_then(|tag| self.write_index.remove(&tag))
-                    .or_else(|| {
-                        msg.value_nonce()
-                            .and_then(|nonce| self.read_index.remove(&nonce))
-                    });
-                if let Some(id) = id {
+                let hit = match &msg {
+                    RegMsg::Ack { tag } => self
+                        .write_index
+                        .remove(tag)
+                        .map(|id| (id, OpOutcome::Acked)),
+                    RegMsg::Value { nonce, tag, value } => {
+                        self.read_index.remove(nonce).map(|id| {
+                            (
+                                id,
+                                OpOutcome::ReadValue {
+                                    tag: *tag,
+                                    value: *value,
+                                },
+                            )
+                        })
+                    }
+                    _ => None,
+                };
+                if let Some((id, outcome)) = hit {
                     if self.pending.remove(&id).is_some() {
                         done.push(Completion {
                             id,
                             completed_vr: heard_vr,
+                            outcome,
                         });
                     }
                 }
@@ -459,7 +586,18 @@ pub struct MutexService {
     backlog: Vec<VecDeque<u64>>,
     /// Virtual round of each client's last `Request` enqueue.
     last_request_vr: Vec<u64>,
+    /// Port-entry ids of queued releases (`id → releasing client`):
+    /// a namespace disjoint from request ids, so release broadcasts
+    /// can be recognized in the port send log and survive purges.
+    release_ids: BTreeMap<u64, u32>,
+    next_release_id: u64,
+    /// Grant/release observations awaiting [`Service::drain_audit`].
+    audit: Vec<AuditRecord>,
 }
+
+/// First port-entry id of the release namespace (request ids count up
+/// from 1 and never reach it).
+const RELEASE_ID_BASE: u64 = 1 << 63;
 
 impl MutexService {
     /// Builds the lock deployment.
@@ -471,6 +609,9 @@ impl MutexService {
             phases: (0..n).map(|_| LockPhase::Idle).collect(),
             backlog: (0..n).map(|_| VecDeque::new()).collect(),
             last_request_vr: vec![0; n],
+            release_ids: BTreeMap::new(),
+            next_release_id: RELEASE_ID_BASE,
+            audit: Vec::new(),
         }
     }
 
@@ -501,9 +642,10 @@ impl Service for MutexService {
         self.harness.ports.len()
     }
 
-    fn submit(&mut self, client: usize, req: &Request) {
+    fn submit(&mut self, client: usize, req: &Request) -> OpDesc {
         self.backlog[client].push_back(req.id);
         self.start_next(client, req.issued_vr);
+        OpDesc::Acquire
     }
 
     fn step_round(&mut self) -> Vec<Completion> {
@@ -512,26 +654,44 @@ impl Service for MutexService {
         let mut done = Vec::new();
         for i in 0..self.clients() {
             let me = i as u32;
-            let granted = self
-                .harness
-                .drain_rx(i)
-                .into_iter()
-                .find_map(|(heard_vr, msg)| (msg.granted_client() == Some(me)).then_some(heard_vr));
+            // Release broadcasts since the last round (request send
+            // events share the log; only release-namespace ids count).
+            for (id, sent_vr) in self.harness.drain_sent(i) {
+                if let Some(client) = self.release_ids.remove(&id) {
+                    self.audit.push(AuditRecord::Released {
+                        client,
+                        vr: sent_vr,
+                    });
+                }
+            }
+            let mut granted = None;
+            for (heard_vr, msg) in self.harness.drain_rx(i) {
+                if msg.granted_client() == Some(me) {
+                    self.audit.push(AuditRecord::Granted {
+                        client: me,
+                        vr: heard_vr,
+                    });
+                    if granted.is_none() {
+                        granted = Some(heard_vr);
+                    }
+                }
+            }
             if let Some(heard_vr) = granted {
                 if let LockPhase::WaitGrant(id) = self.phases[i] {
                     if let Some(id) = id {
                         done.push(Completion {
                             id,
                             completed_vr: heard_vr,
+                            outcome: OpOutcome::Granted,
                         });
                     }
-                    // Release immediately; the grant id doubles as the
-                    // port entry id (measurement-neutral).
-                    self.harness.enqueue(
-                        i,
-                        id.unwrap_or(u64::MAX),
-                        LockMsg::Release { client: me },
-                    );
+                    // Release immediately, under a release-namespace
+                    // port id (measurement-neutral).
+                    let rid = self.next_release_id;
+                    self.next_release_id += 1;
+                    self.release_ids.insert(rid, me);
+                    self.harness
+                        .enqueue(i, rid, LockMsg::Release { client: me });
                     self.phases[i] = LockPhase::Idle;
                 }
             }
@@ -549,6 +709,10 @@ impl Service for MutexService {
             self.start_next(i, vr);
         }
         done
+    }
+
+    fn drain_audit(&mut self) -> Vec<AuditRecord> {
+        std::mem::take(&mut self.audit)
     }
 
     fn forget(&mut self, id: u64) {
@@ -624,15 +788,15 @@ impl Service for TrackingService {
         self.harness.ports.len()
     }
 
-    fn submit(&mut self, client: usize, req: &Request) {
+    fn submit(&mut self, client: usize, req: &Request) -> OpDesc {
         match req.class {
             OpClass::Mutate => {
-                let msg = TrackMsg::Report {
-                    object: client as u32,
-                    cell: cell_of(self.harness.pos(client), TRACK_CELL_SIZE),
-                };
+                let object = client as u32;
+                let cell = cell_of(self.harness.pos(client), TRACK_CELL_SIZE);
+                let msg = TrackMsg::Report { object, cell };
                 self.harness.enqueue(client, req.id, msg);
                 self.reports.insert(req.id, ());
+                OpDesc::Report { object, cell }
             }
             OpClass::Query => {
                 // Query the objects (other clients' reports) round-robin.
@@ -649,6 +813,7 @@ impl Service for TrackingService {
                         last_enqueued_vr: req.issued_vr,
                     },
                 );
+                OpDesc::Lookup { object }
             }
         }
     }
@@ -663,11 +828,12 @@ impl Service for TrackingService {
                     done.push(Completion {
                         id,
                         completed_vr: sent_vr,
+                        outcome: OpOutcome::Reported,
                     });
                 }
             }
             for (heard_vr, msg) in self.harness.drain_rx(i) {
-                if let Some(object) = msg.answered_object() {
+                if let TrackMsg::Answer { object, cell } = msg {
                     // The answer is a broadcast: every pending query
                     // for this object is answered at once.
                     for id in self.query_index.remove(&object).unwrap_or_default() {
@@ -675,6 +841,7 @@ impl Service for TrackingService {
                             done.push(Completion {
                                 id,
                                 completed_vr: heard_vr,
+                                outcome: OpOutcome::Answered { cell },
                             });
                         }
                     }
@@ -724,6 +891,9 @@ pub struct GeoroutingService {
     /// Per-VN cursor into the delivered list (the folded state only
     /// appends; a reset shrinks it, losing the packets with it).
     delivered_seen: Vec<usize>,
+    /// Raw delivery/reset observations awaiting
+    /// [`Service::drain_audit`].
+    audit: Vec<AuditRecord>,
 }
 
 impl GeoroutingService {
@@ -736,6 +906,7 @@ impl GeoroutingService {
             in_flight: BTreeMap::new(),
             pending: BTreeMap::new(),
             delivered_seen: vec![0; vns],
+            audit: Vec::new(),
         }
     }
 
@@ -764,7 +935,7 @@ impl Service for GeoroutingService {
         self.harness.ports.len()
     }
 
-    fn submit(&mut self, client: usize, req: &Request) {
+    fn submit(&mut self, client: usize, req: &Request) -> OpDesc {
         let (vn, loc) = self.nearest_vn(self.harness.pos(client));
         let payload = req.id as u32;
         let msg = RouteMsg::inject(quantize(loc), payload);
@@ -778,6 +949,7 @@ impl Service for GeoroutingService {
                 last_enqueued_vr: req.issued_vr,
             },
         );
+        OpDesc::Send { vn: vn.0, payload }
     }
 
     fn step_round(&mut self) -> Vec<Completion> {
@@ -791,13 +963,16 @@ impl Service for GeoroutingService {
             let seen = &mut self.delivered_seen[vn];
             if *seen > state.delivered.len() {
                 *seen = state.delivered.len(); // reset lost state
+                self.audit.push(AuditRecord::VnReset { vn, vr });
             }
             for &payload in &state.delivered[*seen..] {
+                self.audit.push(AuditRecord::Delivered { vn, payload, vr });
                 if let Some((id, _)) = self.in_flight.remove(&payload) {
                     if self.pending.remove(&id).is_some() {
                         done.push(Completion {
                             id,
                             completed_vr: vr,
+                            outcome: OpOutcome::Delivered,
                         });
                     }
                 }
@@ -806,6 +981,10 @@ impl Service for GeoroutingService {
         }
         retry_pending(&mut self.harness, &mut self.pending);
         done
+    }
+
+    fn drain_audit(&mut self) -> Vec<AuditRecord> {
+        std::mem::take(&mut self.audit)
     }
 
     fn forget(&mut self, id: u64) {
@@ -991,6 +1170,118 @@ mod tests {
         assert!(
             ids.contains(&2),
             "the other client still gets the lock (no wedge): {done:?}"
+        );
+    }
+
+    #[test]
+    fn register_outcomes_are_semantic() {
+        let mut svc = RegisterService::new(small_world(3, 5), 2);
+        let op = svc.submit(
+            0,
+            &Request {
+                id: 1,
+                class: OpClass::Mutate,
+                issued_vr: 0,
+            },
+        );
+        assert_eq!(op, OpDesc::Write { value: 1 });
+        let mut done = run_until(&mut svc, 20);
+        let op = svc.submit(
+            1,
+            &Request {
+                id: 2,
+                class: OpClass::Query,
+                issued_vr: 20,
+            },
+        );
+        assert_eq!(op, OpDesc::Read);
+        done.extend(run_until(&mut svc, 20));
+        let write = done.iter().find(|c| c.id == 1).expect("write done");
+        assert_eq!(write.outcome, OpOutcome::Acked);
+        let read = done.iter().find(|c| c.id == 2).expect("read done");
+        assert_eq!(
+            read.outcome,
+            OpOutcome::ReadValue { tag: 1, value: 1 },
+            "the read issued after the ack sees the write"
+        );
+    }
+
+    #[test]
+    fn mutex_audit_records_alternating_grants_and_releases() {
+        let mut svc = MutexService::new(small_world(3, 7), 2);
+        for (client, id) in [(0usize, 1u64), (1, 2)] {
+            svc.submit(
+                client,
+                &Request {
+                    id,
+                    class: OpClass::Mutate,
+                    issued_vr: 0,
+                },
+            );
+        }
+        let mut audit = Vec::new();
+        for _ in 0..60 {
+            let done = svc.step_round();
+            for c in &done {
+                assert_eq!(c.outcome, OpOutcome::Granted);
+            }
+            audit.extend(svc.drain_audit());
+        }
+        let grants = audit
+            .iter()
+            .filter(|r| matches!(r, AuditRecord::Granted { .. }))
+            .count();
+        let releases = audit
+            .iter()
+            .filter(|r| matches!(r, AuditRecord::Released { .. }))
+            .count();
+        assert_eq!(grants, 2, "one grant per acquire: {audit:?}");
+        assert_eq!(releases, 2, "every grant is released: {audit:?}");
+        // Per client: the grant precedes the release.
+        for me in 0..2u32 {
+            let g = audit.iter().find_map(|r| match r {
+                AuditRecord::Granted { client, vr } if *client == me => Some(*vr),
+                _ => None,
+            });
+            let rel = audit.iter().find_map(|r| match r {
+                AuditRecord::Released { client, vr } if *client == me => Some(*vr),
+                _ => None,
+            });
+            assert!(
+                g.unwrap() <= rel.unwrap(),
+                "grant before release: {audit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn georouting_audit_records_raw_deliveries() {
+        let mut svc = GeoroutingService::new(small_world(3, 11), 1);
+        let op = svc.submit(
+            0,
+            &Request {
+                id: 1,
+                class: OpClass::Mutate,
+                issued_vr: 0,
+            },
+        );
+        assert_eq!(op, OpDesc::Send { vn: 0, payload: 1 });
+        let mut audit = Vec::new();
+        let mut done = Vec::new();
+        for _ in 0..25 {
+            done.extend(svc.step_round());
+            audit.extend(svc.drain_audit());
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].outcome, OpOutcome::Delivered);
+        assert_eq!(
+            audit,
+            vec![AuditRecord::Delivered {
+                vn: 0,
+                payload: 1,
+                vr: done[0].completed_vr,
+            }],
+            "exactly one raw delivery, same round as the completion"
         );
     }
 

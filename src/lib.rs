@@ -11,9 +11,11 @@
 //! * [`baselines`] — comparison protocols.
 //! * [`apps`] — applications on virtual infrastructure.
 //! * [`traffic`] — client load generation + latency metrics over the apps.
+//! * [`audit`] — operation-history capture + consistency checkers.
 //! * [`scenario`] — declarative scenario specs + parallel sweep runner.
 
 pub use vi_apps as apps;
+pub use vi_audit as audit;
 pub use vi_baselines as baselines;
 pub use vi_contention as contention;
 pub use vi_core as core;

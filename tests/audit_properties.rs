@@ -1,0 +1,120 @@
+//! Property tests for the audit subsystem: recorded-legal histories
+//! are accepted by every checker, seeded mutations (drop an
+//! invocation / swap invocation-response rounds / forge a response)
+//! are rejected, and dropping a *response* — which merely turns the
+//! op into a Jepsen `:info` maybe-op — keeps the history legal.
+
+use proptest::prelude::*;
+use virtual_infra::audit::{audit, drop_response, mutate, HistoryRecorder, Mutation};
+use virtual_infra::core::vi::VnLayout;
+use virtual_infra::radio::geometry::Point;
+use virtual_infra::radio::mobility::{MobilityModel, Static};
+use virtual_infra::radio::{AdversaryKind, RadioConfig};
+use virtual_infra::traffic::{AppKind, DevicePlan, TrafficSpec, TrafficWorld};
+
+fn arb_app() -> impl Strategy<Value = AppKind> {
+    (0u8..4).prop_map(|i| AppKind::all()[i as usize])
+}
+
+/// One virtual node at (50, 50) with `n` static devices close by.
+fn small_world(n: usize, seed: u64) -> TrafficWorld {
+    let vn = Point::new(50.0, 50.0);
+    let devices = (0..n)
+        .map(|i| {
+            let start = Point::new(49.4 + 0.4 * i as f64, 50.2);
+            DevicePlan {
+                start,
+                mobility: Box::new(Static::new(start)) as Box<dyn MobilityModel>,
+                spawn_at: None,
+                crash_at: None,
+            }
+        })
+        .collect();
+    TrafficWorld {
+        radio: RadioConfig::reliable(10.0, 20.0),
+        layout: VnLayout::new(vec![vn], 2.5),
+        seed,
+        adversary: AdversaryKind::None,
+        devices,
+    }
+}
+
+proptest! {
+    // Every case runs a full deployment plus up to five audits; keep
+    // the count modest.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Satellite requirement: each checker accepts the history its
+    /// app actually recorded and rejects every applicable seeded
+    /// mutation of it.
+    #[test]
+    fn checkers_accept_recorded_histories_and_reject_mutations(
+        app in arb_app(),
+        seed in 0u64..1_000,
+        mutation_seed in 0u64..1_000,
+    ) {
+        let spec = TrafficSpec::open(2, 0.4, 25).with_query_fraction(0.5);
+        let (out, history) = HistoryRecorder::record(app, small_world(3, seed), &spec);
+        prop_assert!(out.summary.issued > 0);
+        let report = audit(&history);
+        prop_assert!(
+            report.ok(),
+            "{}: recorded history must pass: {:?}",
+            app.name(),
+            report.violations()
+        );
+
+        let mut applied = 0;
+        for m in Mutation::all() {
+            if let Some(broken) = mutate(&history, m, mutation_seed) {
+                applied += 1;
+                let verdict = audit(&broken);
+                prop_assert!(
+                    !verdict.ok(),
+                    "{}: {m:?} mutation must be rejected",
+                    app.name()
+                );
+            }
+        }
+        // Histories with any completion always admit Drop and Swap.
+        if out.summary.completed > 0 {
+            prop_assert!(applied >= 2, "{}: mutations must apply", app.name());
+        }
+
+        // Removing a response is NOT a corruption: the op becomes
+        // concurrent-forever and the history stays legal.
+        if let Some(looser) = drop_response(&history, mutation_seed) {
+            let verdict = audit(&looser);
+            prop_assert!(
+                verdict.ok(),
+                "{}: dropping a response must stay legal: {:?}",
+                app.name(),
+                verdict.violations()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The WGL checker passes every synthetic legal history and
+    /// catches a planted stale read in any of them.
+    #[test]
+    fn wgl_accepts_legal_and_catches_planted_staleness(
+        len in 10usize..200,
+        seed in 0u64..1_000,
+    ) {
+        use virtual_infra::audit::{check_register, synthetic_history, LinResult, RegOp, RegOpKind};
+        let mut ops = synthetic_history(len, seed);
+        prop_assert_eq!(check_register(&ops), LinResult::Ok);
+        // Plant a write + stale read after the end of the history.
+        let t = ops.last().map(|o| o.inv + 10).unwrap_or(0);
+        ops.push(RegOp { id: 900_000, kind: RegOpKind::Write { value: 77 }, inv: t, ret: t + 1 });
+        ops.push(RegOp { id: 900_001, kind: RegOpKind::Read { returned: 0 }, inv: t + 3, ret: t + 4 });
+        prop_assert!(matches!(
+            check_register(&ops),
+            LinResult::Violation { .. }
+        ));
+    }
+}

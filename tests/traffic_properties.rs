@@ -70,6 +70,7 @@ fn wrap(app: AppKind, traffic: TrafficSpec) -> ScenarioSpec {
             },
         )],
         adversary: AdversaryKind::None,
+        nemesis: virtual_infra::audit::NemesisSpec::none(),
         cm: CmSpec::perfect(),
         workload: WorkloadSpec::Traffic {
             app,
@@ -78,6 +79,7 @@ fn wrap(app: AppKind, traffic: TrafficSpec) -> ScenarioSpec {
                 region_radius: 2.5,
             },
             traffic,
+            audit: false,
         },
     }
 }
