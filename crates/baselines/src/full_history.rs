@@ -94,7 +94,7 @@ impl<V: Clone + Ord + WireSized + 'static> Process<FullHistoryMessage<V>> for Fu
         Some(msg)
     }
 
-    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<FullHistoryMessage<V>>) {
+    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<'_, FullHistoryMessage<V>>) {
         let feedback = if self.was_active {
             if rx.collision {
                 ChannelFeedback::TxCollided

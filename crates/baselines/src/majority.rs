@@ -112,12 +112,12 @@ impl<V: Clone + WireSized + 'static> Process<MajorityMessage<V>> for MajorityCon
             .then_some(MajorityMessage::Ack)
     }
 
-    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<MajorityMessage<V>>) {
+    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<'_, MajorityMessage<V>>) {
         let slot = self.slot(ctx.round);
         if rx.collision {
             self.lost = true;
         }
-        for m in &rx.messages {
+        for m in rx.messages {
             match m {
                 MajorityMessage::Propose(v) => self.got_proposal = Some(v.clone()),
                 MajorityMessage::Ack => self.acks_seen += 1,

@@ -146,8 +146,8 @@ impl Process<MajRegMessage> for MajorityRegister {
             .then_some(MajRegMessage::Ack { tag: self.tag })
     }
 
-    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<MajRegMessage>) {
-        for m in &rx.messages {
+    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<'_, MajRegMessage>) {
+        for m in rx.messages {
             match m {
                 MajRegMessage::Write { tag, value } => {
                     if *tag > self.tag {

@@ -142,10 +142,10 @@ impl<V: Clone + WireSized + 'static> Process<TpcMessage<V>> for ThreePhaseCommit
         }
     }
 
-    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<TpcMessage<V>>) {
+    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<'_, TpcMessage<V>>) {
         let w = Self::window(self.n);
         let slot = ctx.round % w;
-        for msg in &rx.messages {
+        for msg in rx.messages {
             match msg {
                 TpcMessage::CanCommit(v) => self.proposal = Some(v.clone()),
                 TpcMessage::VoteYes => self.votes += 1,

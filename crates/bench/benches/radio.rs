@@ -19,7 +19,7 @@ impl Process<u64> for Chatty {
             .is_multiple_of(3)
             .then_some(ctx.round)
     }
-    fn deliver(&mut self, _ctx: &RoundCtx, _rx: RoundReception<u64>) {}
+    fn deliver(&mut self, _ctx: &RoundCtx, _rx: RoundReception<'_, u64>) {}
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -1,18 +1,19 @@
 //! # vi-bench
 //!
 //! Experiment harness reproducing every figure and quantitative claim
-//! of the paper. Each experiment (E1–E17) is a function returning a
+//! of the paper. Each experiment (E1–E18) is a function returning a
 //! [`Table`], callable from the `repro` binary (which prints
 //! paper-shaped tables and writes a `BENCH_<id>.json` artifact per
 //! experiment) and exercised by unit tests that assert the claimed
 //! *shape* (who wins, what stays constant, what grows). Seed sweeps
-//! (E6, E13, E15, E16, E17) fan across cores through
+//! (E6, E13, E15, E16, E17, E18) fan across cores through
 //! [`vi_scenario::SweepRunner`].
 
 pub mod exp_ablation;
 pub mod exp_audit;
 pub mod exp_cha;
 pub mod exp_emulation;
+pub mod exp_metropolis;
 pub mod exp_radio;
 pub mod exp_scenarios;
 pub mod exp_traffic;
@@ -87,6 +88,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "consistency_audit",
             "History checkers: apps × nemesis fault schedules",
             exp_audit::consistency_audit,
+        ),
+        (
+            "metropolis",
+            "Engine hot path at city scale: old vs overhauled round path",
+            exp_metropolis::metropolis,
         ),
     ]
 }

@@ -166,7 +166,7 @@ impl<V: Clone + Ord + vi_radio::WireSized + 'static> Process<ChaMessage<V>> for 
         }
     }
 
-    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<ChaMessage<V>>) {
+    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<'_, ChaMessage<V>>) {
         if !self.synced {
             return;
         }

@@ -459,12 +459,12 @@ impl<VA: VirtualAutomaton> Process<Wire<VA::Msg>> for Device<VA> {
         }
     }
 
-    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<Wire<VA::Msg>>) {
+    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<'_, Wire<VA::Msg>>) {
         let (vr, phase) = self.dep.plan.phase(ctx.round);
         let dep = Rc::clone(&self.dep);
         match phase {
             VirtualPhase::Client => {
-                for m in &rx.messages {
+                for m in rx.messages {
                     if let Wire::Client(a) = m {
                         self.client_rx.messages.push(a.clone());
                         if let Some(e) = self.emulator.as_mut() {
@@ -478,7 +478,7 @@ impl<VA: VirtualAutomaton> Process<Wire<VA::Msg>> for Device<VA> {
                 }
             }
             VirtualPhase::Vn => {
-                for m in &rx.messages {
+                for m in rx.messages {
                     if let Wire::VnMsg { payload, .. } = m {
                         self.client_rx.messages.push(payload.clone());
                         if let Some(e) = self.emulator.as_mut() {
@@ -547,7 +547,7 @@ impl<VA: VirtualAutomaton> Process<Wire<VA::Msg>> for Device<VA> {
                         e.join_activity |= rx.collision;
                     }
                 } else if matches!(e.mode, Mode::Joining { requested: true }) {
-                    for m in &rx.messages {
+                    for m in rx.messages {
                         if let Wire::JoinAck { vn, transfer } = m {
                             if *vn == e.vn && e.adopt_transfer(transfer) {
                                 break;
@@ -613,7 +613,7 @@ fn ballot_phase_is_mine<VA: VirtualAutomaton>(
     }
 }
 
-fn heard_veto<A>(rx: &RoundReception<Wire<A>>, vn: VnId) -> bool {
+fn heard_veto<A>(rx: &RoundReception<'_, Wire<A>>, vn: VnId) -> bool {
     rx.messages
         .iter()
         .any(|m| matches!(m, Wire::Veto { vn: v } if *v == vn))

@@ -130,6 +130,14 @@ impl<VA: VirtualAutomaton> World<VA> {
         self.engine.set_adversary(adversary);
     }
 
+    /// Routes the underlying engine through the pre-overhaul round
+    /// path (see [`vi_radio::Engine::set_legacy_round_path`]);
+    /// executions are byte-identical, only slower. Benchmarking and
+    /// differential testing only.
+    pub fn set_legacy_round_path(&mut self, legacy: bool) {
+        self.engine.set_legacy_round_path(legacy);
+    }
+
     /// Runs `n` complete virtual rounds.
     pub fn run_virtual_rounds(&mut self, n: u64) {
         self.engine.run(n * self.dep.plan.rounds_per_vr());

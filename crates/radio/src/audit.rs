@@ -199,7 +199,7 @@ mod tests {
         fn transmit(&mut self, ctx: &RoundCtx) -> Option<u64> {
             ctx.round.is_multiple_of(2).then_some(1)
         }
-        fn deliver(&mut self, _ctx: &RoundCtx, _rx: RoundReception<u64>) {}
+        fn deliver(&mut self, _ctx: &RoundCtx, _rx: RoundReception<'_, u64>) {}
         fn as_any(&self) -> &dyn Any {
             self
         }
@@ -213,7 +213,7 @@ mod tests {
         fn transmit(&mut self, _ctx: &RoundCtx) -> Option<u64> {
             None
         }
-        fn deliver(&mut self, _ctx: &RoundCtx, _rx: RoundReception<u64>) {}
+        fn deliver(&mut self, _ctx: &RoundCtx, _rx: RoundReception<'_, u64>) {}
         fn as_any(&self) -> &dyn Any {
             self
         }

@@ -39,18 +39,22 @@ pub struct TxIntent<M> {
 
 /// What one node observes at the end of a round: the received messages
 /// plus the collision-detector output.
-#[derive(Clone, Debug, Default)]
-pub struct RoundReception<M> {
+///
+/// A borrowed view into engine-owned round storage (see
+/// [`ReceptionBuffer`]), so delivering outcomes allocates nothing;
+/// protocols copy out whatever they keep beyond the round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundReception<'a, M> {
     /// Messages received this round, in deterministic (sender) order.
     /// Senders are anonymous: the model gives nodes no unique
     /// identifiers, so payloads arrive unattributed.
-    pub messages: Vec<M>,
+    pub messages: &'a [M],
     /// Collision-detector output: `true` means the detector delivered
     /// the `±` indication to this node.
     pub collision: bool,
 }
 
-impl<M> RoundReception<M> {
+impl<M> RoundReception<'_, M> {
     /// `true` if nothing was received and no collision was indicated
     /// (the paper's "silent round" from this node's perspective).
     pub fn is_silent(&self) -> bool {
@@ -76,14 +80,151 @@ impl<M> AttributedReception<M> {
     pub fn is_silent(&self) -> bool {
         self.messages.is_empty() && !self.collision
     }
+}
 
-    /// Strips sender attribution, producing what the protocol sees.
-    pub fn into_anonymous(self) -> RoundReception<M> {
-        RoundReception {
-            messages: self.messages.into_iter().map(|(_, m)| m).collect(),
-            collision: self.collision,
+/// Reusable SoA storage for one round of receptions: one entry per
+/// intent, with all senders/payloads in two flat arrays sliced by
+/// per-entry offsets.
+///
+/// This is the zero-allocation counterpart of
+/// `Vec<AttributedReception<M>>`: clearing drops no per-entry `Vec`s,
+/// and refilling reuses the flat buffers, so steady-state rounds make
+/// no heap allocations once capacities have grown to the working-set
+/// size.
+#[derive(Clone, Debug)]
+pub struct ReceptionBuffer<M> {
+    nodes: Vec<NodeId>,
+    collisions: Vec<bool>,
+    /// `starts[k]..starts[k + 1]` slices `senders`/`messages` for
+    /// entry `k` (always one more offset than entries).
+    starts: Vec<u32>,
+    senders: Vec<NodeId>,
+    messages: Vec<M>,
+}
+
+impl<M> Default for ReceptionBuffer<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> ReceptionBuffer<M> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        ReceptionBuffer {
+            nodes: Vec::new(),
+            collisions: Vec::new(),
+            starts: vec![0],
+            senders: Vec::new(),
+            messages: Vec::new(),
         }
     }
+
+    /// Drops all entries, keeping every capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.collisions.clear();
+        self.senders.clear();
+        self.messages.clear();
+        self.starts.clear();
+        self.starts.push(0);
+    }
+
+    /// Number of complete entries.
+    pub fn len(&self) -> usize {
+        self.collisions.len()
+    }
+
+    /// `true` if the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.collisions.is_empty()
+    }
+
+    /// Opens the next entry. Must be balanced by
+    /// [`ReceptionBuffer::finish`] after the entry's messages are
+    /// pushed.
+    pub fn begin(&mut self, node: NodeId) {
+        debug_assert_eq!(self.nodes.len(), self.collisions.len(), "unbalanced begin");
+        self.nodes.push(node);
+    }
+
+    /// Appends one received message to the open entry.
+    pub fn push_message(&mut self, sender: NodeId, payload: M) {
+        self.senders.push(sender);
+        self.messages.push(payload);
+    }
+
+    /// Closes the open entry with the detector output.
+    pub fn finish(&mut self, collision: bool) {
+        self.collisions.push(collision);
+        self.starts.push(self.messages.len() as u32);
+    }
+
+    /// The receiving node of entry `k`.
+    pub fn node(&self, k: usize) -> NodeId {
+        self.nodes[k]
+    }
+
+    /// The detector output of entry `k`.
+    pub fn collision(&self, k: usize) -> bool {
+        self.collisions[k]
+    }
+
+    fn range(&self, k: usize) -> std::ops::Range<usize> {
+        self.starts[k] as usize..self.starts[k + 1] as usize
+    }
+
+    /// The senders of entry `k`'s messages, in message order.
+    pub fn senders(&self, k: usize) -> &[NodeId] {
+        &self.senders[self.range(k)]
+    }
+
+    /// The payloads of entry `k`, in sender order.
+    pub fn messages(&self, k: usize) -> &[M] {
+        &self.messages[self.range(k)]
+    }
+
+    /// Entry `k` as the anonymous view a protocol receives.
+    pub fn reception(&self, k: usize) -> RoundReception<'_, M> {
+        RoundReception {
+            messages: self.messages(k),
+            collision: self.collisions[k],
+        }
+    }
+
+    /// Expands the buffer into owned per-entry receptions (tests and
+    /// differential comparisons; allocates freely).
+    pub fn to_attributed(&self) -> Vec<AttributedReception<M>>
+    where
+        M: Clone,
+    {
+        (0..self.len())
+            .map(|k| AttributedReception {
+                node: self.nodes[k],
+                messages: self
+                    .senders(k)
+                    .iter()
+                    .copied()
+                    .zip(self.messages(k).iter().cloned())
+                    .collect(),
+                collision: self.collisions[k],
+            })
+            .collect()
+    }
+}
+
+/// What happened to the node topology since the previous
+/// [`Medium::resolve_round_cached`] call, as tracked by the caller
+/// (the engine's dirty-set of movers plus its live-set comparison).
+#[derive(Clone, Copy, Debug)]
+pub enum TopologyDelta<'a> {
+    /// The participant set changed, or the caller lost track: drop all
+    /// cached neighborhoods and re-anchor the index.
+    Rebuild,
+    /// Same participants, every position unchanged.
+    Unchanged,
+    /// Same participants; exactly these intent slots changed position.
+    Moved(&'a [u32]),
 }
 
 /// The shared broadcast medium: resolves rounds through a spatial
@@ -118,9 +259,43 @@ pub struct Medium {
     candidates: Vec<u32>,
     /// Scratch: in-`R2` broadcaster intent indices, sorted ascending.
     neighbors: Vec<usize>,
+    // --- cached-topology resolver state (resolve_round_cached) ---
+    /// Whether `grid` + `nbr` currently describe a full node topology
+    /// (as opposed to the legacy per-round broadcaster index).
+    cache_ready: bool,
+    /// Number of intent slots the cache covers.
+    cached_n: usize,
+    /// Scratch: all intent positions, for re-anchoring rebuilds.
+    all_pos: Vec<Point>,
+    /// Per-slot neighborhood: every other slot within `R2`, with its
+    /// squared distance, ascending by slot.
+    nbr: Vec<Vec<(u32, f64)>>,
+    /// Scratch: which slots are moving this round (surgical updates).
+    is_mover: Vec<bool>,
+    /// Which slots broadcast this round (refreshed every round).
+    is_tx: Vec<bool>,
+    /// Scratch: a freshly queried neighborhood.
+    fresh: Vec<(u32, f64)>,
+    /// Scratch: the broadcasting subset of one receiver's neighborhood.
+    txn: Vec<(u32, f64)>,
+    /// Scratch: `(receiver << 32 | broadcaster, d²)` events for the
+    /// sparse-broadcast scatter resolution.
+    events: Vec<(u64, f64)>,
 }
 
 impl Medium {
+    /// Movers-per-round threshold of the cached resolver: when more
+    /// than one slot in `MOVER_REBUILD_NUM` moved, surgical
+    /// neighborhood updates cost more than re-anchoring, so the round
+    /// falls back to a full rebuild.
+    const MOVER_REBUILD_NUM: usize = 4;
+
+    /// Broadcaster-sparsity threshold of the scatter resolution: with
+    /// fewer than one broadcaster per `SCATTER_MAX_TX_NUM` slots, the
+    /// round is resolved by scattering from the broadcasters' cached
+    /// neighborhoods instead of scanning every receiver's.
+    const SCATTER_MAX_TX_NUM: usize = 8;
+
     /// Creates a medium for the given radio parameters.
     ///
     /// # Panics
@@ -136,6 +311,15 @@ impl Medium {
             broadcaster_pos: Vec::new(),
             candidates: Vec::new(),
             neighbors: Vec::new(),
+            cache_ready: false,
+            cached_n: 0,
+            all_pos: Vec::new(),
+            nbr: Vec::new(),
+            is_mover: Vec::new(),
+            is_tx: Vec::new(),
+            fresh: Vec::new(),
+            txn: Vec::new(),
+            events: Vec::new(),
         }
     }
 
@@ -164,6 +348,9 @@ impl Medium {
         out: &mut Vec<AttributedReception<M>>,
     ) {
         out.clear();
+        // This path re-anchors the grid over the round's broadcasters,
+        // so any full-topology cache is stale from here on.
+        self.cache_ready = false;
         let cfg = &self.cfg;
         self.broadcasters.clear();
         self.broadcaster_pos.clear();
@@ -266,6 +453,383 @@ impl Medium {
         self.resolve_into(round, intents, adversary, rng, &mut out);
         out
     }
+
+    /// The hot-path resolver: resolves one round through *persistent*
+    /// per-node neighborhoods instead of a per-round index rebuild.
+    ///
+    /// The medium keeps, for every intent slot, the sorted list of
+    /// slots within `R2` together with their squared distances. The
+    /// caller reports how the topology changed via `delta`:
+    ///
+    /// * [`TopologyDelta::Unchanged`] — nothing to maintain; the round
+    ///   is resolved by scanning cached neighborhoods (zero distance
+    ///   computations, zero heap allocations in steady state).
+    /// * [`TopologyDelta::Moved`] — the few movers' neighborhoods are
+    ///   refreshed with one grid query each and their peers' lists are
+    ///   patched surgically; everything else stays cached.
+    /// * [`TopologyDelta::Rebuild`] or movers beyond a churn threshold
+    ///   — the round falls back to a per-round index over the
+    ///   broadcasters (the legacy algorithm, minus its allocations)
+    ///   and the cache is invalidated: topology that churns every
+    ///   round never pays for a cache it cannot reuse. The first
+    ///   stable round afterwards re-anchors the full-topology cache
+    ///   (as do few-mover rounds whose cache went stale or whose
+    ///   movers left the anchored bounding box).
+    ///
+    /// Observational equivalence with [`resolve_round_reference`] is
+    /// load-bearing exactly as for [`Medium::resolve_into`]: same
+    /// receptions, same adversary consultation order, same RNG stream
+    /// (asserted by differential proptests) — **provided** `delta` is
+    /// truthful. Reporting a moved slot as unchanged silently corrupts
+    /// the cached distances.
+    ///
+    /// `out` is cleared first and holds one entry per intent, in
+    /// intent order.
+    pub fn resolve_round_cached<M: Clone>(
+        &mut self,
+        round: u64,
+        intents: &[TxIntent<M>],
+        delta: TopologyDelta<'_>,
+        adversary: &mut dyn Adversary,
+        rng: &mut StdRng,
+        out: &mut ReceptionBuffer<M>,
+    ) {
+        out.clear();
+        let n = intents.len();
+        let r2 = self.cfg.r2;
+
+        // Pick the round's maintenance mode. Participant churn and
+        // mass movement go through the per-round broadcaster index
+        // (the cache would be rebuilt only to be thrown away again
+        // next round); an intact cache takes the surgical or steady
+        // path; everything else (first stable round after churn)
+        // re-anchors the full-topology cache.
+        let stale = !self.cache_ready || self.cached_n != n;
+        let (churn, movers): (bool, &[u32]) = match delta {
+            TopologyDelta::Rebuild => (true, &[]),
+            TopologyDelta::Unchanged => (false, &[]),
+            TopologyDelta::Moved(slots) => {
+                if slots.len() * Self::MOVER_REBUILD_NUM > n {
+                    (true, &[])
+                } else if stale
+                    || slots
+                        .iter()
+                        .any(|&s| !self.grid.covers(intents[s as usize].pos))
+                {
+                    // Few movers but no usable cache (or drift past the
+                    // anchor): re-anchor now — the next rounds reuse it.
+                    (false, &[])
+                } else {
+                    (false, slots)
+                }
+            }
+        };
+        if churn {
+            self.resolve_churn_round(round, intents, adversary, rng, out);
+            return;
+        }
+
+        let rebuild = stale || (movers.is_empty() && !matches!(delta, TopologyDelta::Unchanged));
+        if rebuild {
+            self.all_pos.clear();
+            self.all_pos.extend(intents.iter().map(|i| i.pos));
+            self.grid.rebuild(&self.all_pos);
+            for list in &mut self.nbr {
+                list.clear();
+            }
+            if self.nbr.len() < n {
+                self.nbr.resize_with(n, Vec::new);
+            }
+            self.is_mover.clear();
+            self.is_mover.resize(n, false);
+            self.cached_n = n;
+            self.cache_ready = true;
+        } else if !movers.is_empty() {
+            // Phase A: land every move in the grid first, so each
+            // refreshed neighborhood below sees this round's true
+            // positions (mover–mover pairs included).
+            for &m in movers {
+                self.grid.move_point(m, intents[m as usize].pos);
+                self.is_mover[m as usize] = true;
+            }
+            // Phase B: refresh each mover's own neighborhood and patch
+            // its non-moving peers' lists. Fellow movers are skipped —
+            // their own refresh rewrites their list wholesale.
+            for &m in movers {
+                let mu = m as usize;
+                self.fresh.clear();
+                self.grid
+                    .query_within_d2(intents[mu].pos, r2, &mut self.fresh);
+                if let Ok(at) = self.fresh.binary_search_by_key(&m, |&(i, _)| i) {
+                    self.fresh.remove(at);
+                }
+                let mut old = std::mem::take(&mut self.nbr[mu]);
+                let (mut a, mut b) = (0, 0);
+                while a < old.len() || b < self.fresh.len() {
+                    let ka = old.get(a).map(|&(i, _)| i);
+                    let kb = self.fresh.get(b).map(|&(i, _)| i);
+                    match (ka, kb) {
+                        (Some(x), Some(y)) if x == y => {
+                            if !self.is_mover[x as usize] {
+                                list_update(&mut self.nbr[x as usize], m, self.fresh[b].1);
+                            }
+                            a += 1;
+                            b += 1;
+                        }
+                        (Some(x), Some(y)) if x < y => {
+                            if !self.is_mover[x as usize] {
+                                list_remove(&mut self.nbr[x as usize], m);
+                            }
+                            a += 1;
+                        }
+                        (Some(x), None) => {
+                            if !self.is_mover[x as usize] {
+                                list_remove(&mut self.nbr[x as usize], m);
+                            }
+                            a += 1;
+                        }
+                        (_, Some(y)) => {
+                            if !self.is_mover[y as usize] {
+                                list_insert(&mut self.nbr[y as usize], m, self.fresh[b].1);
+                            }
+                            b += 1;
+                        }
+                        (None, None) => unreachable!("loop condition"),
+                    }
+                }
+                // Install the fresh list and recycle the old buffer as
+                // the next query scratch (steady-state zero-alloc).
+                old.clear();
+                std::mem::swap(&mut self.fresh, &mut old);
+                self.nbr[mu] = old;
+            }
+            for &m in movers {
+                self.is_mover[m as usize] = false;
+            }
+        }
+
+        self.is_tx.clear();
+        self.is_tx
+            .extend(intents.iter().map(|i| i.payload.is_some()));
+        let broadcasters = self.is_tx.iter().filter(|&&tx| tx).count();
+
+        let cfg = self.cfg;
+        // Sparse-broadcast scatter: with few broadcasters it is far
+        // cheaper to walk *their* cached neighborhoods (symmetric by
+        // construction) and sort the resulting `(receiver,
+        // broadcaster)` events than to probe every receiver's list.
+        // Needs every list valid, so re-anchor rounds stay on the
+        // scan path. Either path yields the identical per-receiver
+        // broadcaster subset in ascending order.
+        let scatter = !rebuild && broadcasters * Self::SCATTER_MAX_TX_NUM < n;
+        if scatter {
+            self.events.clear();
+            for (i, intent) in intents.iter().enumerate() {
+                if intent.payload.is_some() {
+                    for &(j, d2) in &self.nbr[i] {
+                        self.events.push((u64::from(j) << 32 | i as u64, d2));
+                    }
+                }
+            }
+            self.events.sort_unstable_by_key(|&(key, _)| key);
+            let mut cursor = 0usize;
+            for (j, rx_intent) in intents.iter().enumerate() {
+                self.txn.clear();
+                while let Some(&(key, d2)) = self.events.get(cursor) {
+                    if (key >> 32) != j as u64 {
+                        break;
+                    }
+                    self.txn.push((key as u32, d2));
+                    cursor += 1;
+                }
+                resolve_receiver(
+                    &cfg,
+                    round,
+                    rx_intent,
+                    self.is_tx[j],
+                    &self.txn,
+                    intents,
+                    adversary,
+                    rng,
+                    out,
+                );
+            }
+            return;
+        }
+
+        for (j, rx_intent) in intents.iter().enumerate() {
+            if rebuild {
+                // Re-anchored this round: recompute the neighborhood.
+                self.fresh.clear();
+                self.grid
+                    .query_within_d2(rx_intent.pos, cfg.r2, &mut self.fresh);
+                if let Ok(at) = self.fresh.binary_search_by_key(&(j as u32), |&(i, _)| i) {
+                    self.fresh.remove(at);
+                }
+                self.nbr[j].clear();
+                self.nbr[j].extend_from_slice(&self.fresh);
+            }
+            // The broadcasting subset, ascending — the adversary
+            // consultation order of the reference resolver.
+            self.txn.clear();
+            self.txn.extend(
+                self.nbr[j]
+                    .iter()
+                    .copied()
+                    .filter(|&(i, _)| self.is_tx[i as usize]),
+            );
+            resolve_receiver(
+                &cfg,
+                round,
+                rx_intent,
+                self.is_tx[j],
+                &self.txn,
+                intents,
+                adversary,
+                rng,
+                out,
+            );
+        }
+    }
+
+    /// One round resolved through a per-round index over the round's
+    /// broadcasters — the churn fallback of
+    /// [`Medium::resolve_round_cached`]. Same algorithm as the legacy
+    /// [`Medium::resolve_into`], but writing SoA output and allocating
+    /// nothing in steady state. Invalidates the full-topology cache.
+    fn resolve_churn_round<M: Clone>(
+        &mut self,
+        round: u64,
+        intents: &[TxIntent<M>],
+        adversary: &mut dyn Adversary,
+        rng: &mut StdRng,
+        out: &mut ReceptionBuffer<M>,
+    ) {
+        self.cache_ready = false;
+        self.broadcasters.clear();
+        self.broadcaster_pos.clear();
+        for (i, intent) in intents.iter().enumerate() {
+            if intent.payload.is_some() {
+                self.broadcasters.push(i);
+                self.broadcaster_pos.push(intent.pos);
+            }
+        }
+        self.grid.rebuild(&self.broadcaster_pos);
+
+        let cfg = self.cfg;
+        for (j, rx_intent) in intents.iter().enumerate() {
+            self.fresh.clear();
+            self.grid
+                .query_within_d2(rx_intent.pos, cfg.r2, &mut self.fresh);
+            // Broadcaster slots are in ascending intent order, so the
+            // slot-sorted query maps to ascending intent indices.
+            self.txn.clear();
+            self.txn.extend(
+                self.fresh
+                    .iter()
+                    .map(|&(slot, d2)| (self.broadcasters[slot as usize] as u32, d2))
+                    .filter(|&(i, _)| i as usize != j),
+            );
+            resolve_receiver(
+                &cfg,
+                round,
+                rx_intent,
+                rx_intent.payload.is_some(),
+                &self.txn,
+                intents,
+                adversary,
+                rng,
+                out,
+            );
+        }
+    }
+}
+
+/// Updates the cached squared distance of `key` in `list`.
+fn list_update(list: &mut [(u32, f64)], key: u32, d2: f64) {
+    let at = list
+        .binary_search_by_key(&key, |&(i, _)| i)
+        .expect("cached neighborhood must contain the mover");
+    list[at].1 = d2;
+}
+
+/// Removes `key` from a sorted neighborhood list.
+fn list_remove(list: &mut Vec<(u32, f64)>, key: u32) {
+    let at = list
+        .binary_search_by_key(&key, |&(i, _)| i)
+        .expect("cached neighborhood must contain the departing mover");
+    list.remove(at);
+}
+
+/// Inserts `(key, d2)` into a sorted neighborhood list.
+fn list_insert(list: &mut Vec<(u32, f64)>, key: u32, d2: f64) {
+    let at = list
+        .binary_search_by_key(&key, |&(i, _)| i)
+        .expect_err("cached neighborhood already contains the arriving mover");
+    list.insert(at, (key, d2));
+}
+
+/// Resolves one receiver given the broadcasting subset of its `R2`
+/// neighborhood (`txn`, ascending intent slots with exact squared
+/// distances), appending the entry to `out`.
+///
+/// This is the delivery rule of [`resolve_round_reference`] verbatim —
+/// including the short-circuit order of adversary consultations, which
+/// the differential tests pin down.
+#[allow(clippy::too_many_arguments)]
+fn resolve_receiver<M: Clone>(
+    cfg: &RadioConfig,
+    round: u64,
+    rx_intent: &TxIntent<M>,
+    j_broadcasting: bool,
+    txn: &[(u32, f64)],
+    intents: &[TxIntent<M>],
+    adversary: &mut dyn Adversary,
+    rng: &mut StdRng,
+    out: &mut ReceptionBuffer<M>,
+) {
+    out.begin(rx_intent.node);
+    // The sender observes its own payload (it knows what it sent).
+    if let Some(own) = &rx_intent.payload {
+        out.push_message(rx_intent.node, own.clone());
+    }
+    // `interfered` for any specific in-R2 sender i means "some
+    // broadcaster k != i, k != j within R2 of j" — with the in-R2
+    // broadcaster count in hand that is simply `count >= 2`.
+    let interfered = txn.len() >= 2;
+    let mut lost_within_r1 = false;
+    let mut lost_within_r2 = false;
+    for &(i, d2) in txn {
+        let tx = &intents[i as usize];
+        let in_r1 = d2 <= cfg.r1 * cfg.r1;
+        let physically_ok = !j_broadcasting && in_r1 && !interfered;
+        let delivered = physically_ok
+            && !(round < cfg.rcf && adversary.drop_message(round, tx.node, rx_intent.node, rng));
+        if delivered {
+            out.push_message(tx.node, tx.payload.as_ref().expect("broadcaster").clone());
+        } else {
+            if in_r1 {
+                lost_within_r1 = true;
+            }
+            lost_within_r2 = true;
+        }
+    }
+    // Collision detector output: Property 1 (completeness) forces a
+    // report on any R1 loss; Property 2 (eventual accuracy) applies
+    // from racc onwards; before racc the adversary may inject false
+    // positives; the E13 necessity ablation may suppress reports.
+    let accurate_report = if cfg.ring_reports {
+        lost_within_r2
+    } else {
+        lost_within_r1
+    };
+    let mut collision = lost_within_r1
+        || accurate_report
+        || (round < cfg.racc && adversary.spurious_collision(round, rx_intent.node, rng));
+    if collision && adversary.suppress_detection(round, rx_intent.node, rng) {
+        collision = false;
+    }
+    out.finish(collision);
 }
 
 /// Resolves one slotted round of the channel through a fresh

@@ -13,7 +13,9 @@
 //! again; not-yet-spawned nodes are invisible to the channel.
 
 use crate::adversary::{Adversary, NoAdversary};
-use crate::channel::{AttributedReception, Medium, RoundReception, TxIntent};
+use crate::channel::{
+    AttributedReception, Medium, ReceptionBuffer, RoundReception, TopologyDelta, TxIntent,
+};
 use crate::config::RadioConfig;
 use crate::geometry::Point;
 use crate::mobility::MobilityModel;
@@ -77,8 +79,9 @@ pub trait Process<M>: 'static {
     fn transmit(&mut self, ctx: &RoundCtx) -> Option<M>;
 
     /// Receives the end-of-round outcome: messages plus the collision
-    /// detector's output.
-    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<M>);
+    /// detector's output. The reception borrows engine-owned round
+    /// storage — copy out whatever must outlive the call.
+    fn deliver(&mut self, ctx: &RoundCtx, rx: RoundReception<'_, M>);
 
     /// Upcast for typed extraction; implement as `self`.
     fn as_any(&self) -> &dyn Any;
@@ -151,6 +154,9 @@ struct NodeEntry<M> {
     crash_at: Option<u64>,
     pos: Point,
     placed: bool,
+    /// Cached [`MobilityModel::is_settled`] from the last `advance`;
+    /// once `true` (and placed) the engine stops calling `advance`.
+    settled: bool,
 }
 
 impl<M> NodeEntry<M> {
@@ -178,7 +184,24 @@ pub struct Engine<M> {
     /// steady-state loop does not allocate.
     intents: Vec<TxIntent<M>>,
     live: Vec<usize>,
-    receptions: Vec<AttributedReception<M>>,
+    /// Intent slots whose position changed this round (the dirty-set
+    /// handed to the cached resolver).
+    moved: Vec<u32>,
+    /// Last round's live set, for detecting participant churn.
+    prev_live: Vec<usize>,
+    /// SoA reception storage for the fast round path.
+    receptions: ReceptionBuffer<M>,
+    /// Owned receptions for the legacy round path.
+    legacy_receptions: Vec<AttributedReception<M>>,
+    /// Scratch for materializing a legacy reception's anonymous view.
+    legacy_messages: Vec<M>,
+    /// Pooled trace record: built in place each traced round, then
+    /// stored as an exact-size clone (no per-round growth churn).
+    trace_scratch: RoundRecord,
+    /// Route rounds through the pre-overhaul path (per-round index
+    /// rebuild + per-receiver allocation). Byte-identical outputs;
+    /// kept as the benchmarking baseline and differential oracle.
+    legacy_round_path: bool,
 }
 
 impl<M: Clone + WireSized + 'static> Engine<M> {
@@ -202,13 +225,34 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             medium,
             intents: Vec::new(),
             live: Vec::new(),
-            receptions: Vec::new(),
+            moved: Vec::new(),
+            prev_live: Vec::new(),
+            receptions: ReceptionBuffer::new(),
+            legacy_receptions: Vec::new(),
+            legacy_messages: Vec::new(),
+            trace_scratch: RoundRecord {
+                round: 0,
+                positions: Vec::new(),
+                broadcasts: Vec::new(),
+                deliveries: Vec::new(),
+                collisions: Vec::new(),
+            },
+            legacy_round_path: false,
         }
     }
 
     /// The broadcast medium driving channel resolution.
     pub fn medium(&self) -> &Medium {
         &self.medium
+    }
+
+    /// Routes all subsequent rounds through the pre-overhaul path
+    /// (per-round spatial-index rebuild, per-receiver allocation, no
+    /// static-node fast path). Executions are byte-for-byte identical
+    /// either way — this exists as the benchmarking baseline for the
+    /// hot-path overhaul and as the oracle of its differential tests.
+    pub fn set_legacy_round_path(&mut self, legacy: bool) {
+        self.legacy_round_path = legacy;
     }
 
     /// Installs an adversary (replacing the current one).
@@ -229,6 +273,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             crash_at: spec.crash_at,
             pos: Point::ORIGIN,
             placed: false,
+            settled: false,
         });
         id
     }
@@ -297,46 +342,170 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         self.nodes.len()
     }
 
-    /// Executes one slotted round: advance mobility, collect intents,
-    /// resolve the channel through the [`Medium`], deliver outcomes.
-    /// All round buffers are engine-owned and reused.
+    /// Executes one slotted round: advance mobility (skipping settled
+    /// nodes), collect intents, resolve the channel through the
+    /// [`Medium`]'s cached-topology path, deliver outcomes. All round
+    /// buffers are engine-owned and reused, so steady-state rounds
+    /// (static topology, non-allocating processes, tracing off) make
+    /// zero heap allocations — see `tests/zero_alloc.rs`.
     pub fn step(&mut self) {
+        if self.legacy_round_path {
+            self.step_legacy();
+        } else {
+            self.step_fast();
+        }
+    }
+
+    /// Mobility + transmission collection shared by both round paths.
+    ///
+    /// `skip_settled` is the fast path's static-node shortcut: placed,
+    /// settled nodes keep their position without an `advance` call
+    /// (the settled contract guarantees the call would return the same
+    /// position and draw nothing, so the RNG stream is unchanged).
+    /// Fills `intents`/`live`, and the `moved` dirty-set of intent
+    /// slots whose position changed.
+    fn collect_intents(&mut self, skip_settled: bool) {
         let round = self.round;
         self.intents.clear();
         self.live.clear();
+        self.moved.clear();
 
         for idx in 0..self.nodes.len() {
             if !self.nodes[idx].participates(round) {
                 continue;
             }
-            let pos = self.nodes[idx].mobility.advance(round, &mut self.rng);
-            if self.nodes[idx].placed {
-                let moved = self.nodes[idx].pos.distance(pos);
-                let vmax = self.nodes[idx].mobility.vmax();
-                debug_assert!(
-                    moved <= vmax + 1e-9,
-                    "node {} moved {moved} > vmax {vmax} in round {round}",
-                    self.nodes[idx].id
-                );
+            let slot = self.intents.len() as u32;
+            let entry = &mut self.nodes[idx];
+            if !(skip_settled && entry.placed && entry.settled) {
+                let pos = entry.mobility.advance(round, &mut self.rng);
+                if entry.placed {
+                    let moved = entry.pos.distance(pos);
+                    let vmax = entry.mobility.vmax();
+                    debug_assert!(
+                        moved <= vmax + 1e-9,
+                        "node {} moved {moved} > vmax {vmax} in round {round}",
+                        entry.id
+                    );
+                }
+                if !entry.placed || entry.pos != pos {
+                    self.moved.push(slot);
+                }
+                entry.pos = pos;
+                entry.placed = true;
+                entry.settled = entry.mobility.is_settled();
             }
-            self.nodes[idx].pos = pos;
-            self.nodes[idx].placed = true;
-            let ctx = RoundCtx { round, pos };
+            let ctx = RoundCtx {
+                round,
+                pos: self.nodes[idx].pos,
+            };
             let payload = self.nodes[idx].process.transmit(&ctx);
             self.intents.push(TxIntent {
                 node: self.nodes[idx].id,
-                pos,
+                pos: self.nodes[idx].pos,
                 payload,
             });
             self.live.push(idx);
         }
+    }
+
+    /// The overhauled round path: cached-topology resolution into SoA
+    /// reception storage, zero allocations in steady state.
+    fn step_fast(&mut self) {
+        let round = self.round;
+        self.collect_intents(true);
+
+        // Topology delta for the cached resolver: participant churn
+        // forces a rebuild; otherwise only the movers are dirty.
+        let delta = if self.live != self.prev_live {
+            self.prev_live.clone_from(&self.live);
+            TopologyDelta::Rebuild
+        } else if self.moved.is_empty() {
+            TopologyDelta::Unchanged
+        } else {
+            TopologyDelta::Moved(&self.moved)
+        };
+        self.medium.resolve_round_cached(
+            round,
+            &self.intents,
+            delta,
+            self.adversary.as_mut(),
+            &mut self.rng,
+            &mut self.receptions,
+        );
+
+        // Statistics and trace (pooled record, cloned exact-size).
+        self.stats.rounds += 1;
+        let record = self.config.record_trace;
+        if record {
+            self.trace_scratch.round = round;
+            self.trace_scratch.positions.clear();
+            self.trace_scratch
+                .positions
+                .extend(self.intents.iter().map(|i| (i.node, i.pos)));
+            self.trace_scratch.broadcasts.clear();
+            self.trace_scratch.deliveries.clear();
+            self.trace_scratch.collisions.clear();
+        }
+        for intent in &self.intents {
+            if let Some(payload) = &intent.payload {
+                let size = payload.wire_size();
+                self.stats.broadcasts += 1;
+                self.stats.total_bytes += size as u64;
+                self.stats.max_message_bytes = self.stats.max_message_bytes.max(size);
+                if record {
+                    self.trace_scratch.broadcasts.push((intent.node, size));
+                }
+            }
+        }
+        for k in 0..self.receptions.len() {
+            let node = self.receptions.node(k);
+            for &src in self.receptions.senders(k) {
+                if src != node {
+                    self.stats.deliveries += 1;
+                    if record {
+                        self.trace_scratch.deliveries.push((src, node));
+                    }
+                }
+            }
+            if self.receptions.collision(k) {
+                self.stats.collision_reports += 1;
+                if record {
+                    self.trace_scratch.collisions.push(node);
+                }
+            }
+        }
+        if record {
+            self.trace.rounds.push(self.trace_scratch.clone());
+        }
+
+        // Deliver outcomes as borrowed views into the SoA buffer.
+        for k in 0..self.receptions.len() {
+            let idx = self.live[k];
+            let ctx = RoundCtx {
+                round,
+                pos: self.nodes[idx].pos,
+            };
+            let rx = self.receptions.reception(k);
+            self.nodes[idx].process.deliver(&ctx, rx);
+        }
+
+        self.round += 1;
+    }
+
+    /// The pre-overhaul round path, kept verbatim as the baseline:
+    /// every participant's mobility advances, the medium re-anchors
+    /// its index over the round's broadcasters, and each reception is
+    /// an owned allocation.
+    fn step_legacy(&mut self) {
+        let round = self.round;
+        self.collect_intents(false);
 
         self.medium.resolve_into(
             round,
             &self.intents,
             self.adversary.as_mut(),
             &mut self.rng,
-            &mut self.receptions,
+            &mut self.legacy_receptions,
         );
 
         // Statistics and trace.
@@ -359,7 +528,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
                 }
             }
         }
-        for rx in &self.receptions {
+        for rx in &self.legacy_receptions {
             for &(src, _) in rx.messages.iter().filter(|(src, _)| *src != rx.node) {
                 self.stats.deliveries += 1;
                 if let Some(rec) = record.as_mut() {
@@ -378,14 +547,24 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         }
 
         // Deliver outcomes (draining keeps the buffer's capacity).
-        for (k, rx) in self.receptions.drain(..).enumerate() {
+        let mut k = 0;
+        while k < self.legacy_receptions.len() {
             let idx = self.live[k];
             let ctx = RoundCtx {
                 round,
                 pos: self.nodes[idx].pos,
             };
-            self.nodes[idx].process.deliver(&ctx, rx.into_anonymous());
+            self.legacy_messages.clear();
+            self.legacy_messages
+                .extend(self.legacy_receptions[k].messages.drain(..).map(|(_, m)| m));
+            let rx = RoundReception {
+                messages: &self.legacy_messages,
+                collision: self.legacy_receptions[k].collision,
+            };
+            self.nodes[idx].process.deliver(&ctx, rx);
+            k += 1;
         }
+        self.legacy_receptions.clear();
 
         self.round += 1;
     }
@@ -439,9 +618,9 @@ mod tests {
         fn transmit(&mut self, _ctx: &RoundCtx) -> Option<u64> {
             self.chatty.then_some(self.value)
         }
-        fn deliver(&mut self, _ctx: &RoundCtx, rx: RoundReception<u64>) {
+        fn deliver(&mut self, _ctx: &RoundCtx, rx: RoundReception<'_, u64>) {
             self.rounds_seen += 1;
-            self.heard.extend(rx.messages);
+            self.heard.extend_from_slice(rx.messages);
             if rx.collision {
                 self.collisions += 1;
             }

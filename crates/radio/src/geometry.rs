@@ -153,20 +153,33 @@ impl fmt::Display for Rect {
     }
 }
 
-/// A uniform-grid spatial index over a set of points, rebuilt cheaply
-/// every round and queried for "all points within `radius` of here".
+/// A uniform-grid spatial index over a set of points, queried for "all
+/// points within `radius` of here".
 ///
-/// The channel [`Medium`](crate::channel::Medium) rebuilds one of these
-/// per round over the broadcasting nodes: with cell size `R2`, a range
-/// query for an interference radius touches at most a 3×3 block of
-/// cells, turning the naive all-pairs scan into a near-linear sweep.
+/// The channel [`Medium`](crate::channel::Medium) keeps one of these
+/// over node positions: with cell size `R2`, a range query for an
+/// interference radius touches at most a 3×3 block of cells, turning
+/// the naive all-pairs scan into a near-linear sweep.
 ///
-/// Internally a counting-sort CSR layout: `starts[c]..starts[c + 1]`
-/// indexes `items` for cell `c`. Rebuilding reuses all buffers, so the
-/// steady-state allocation cost is zero once capacities have grown to
-/// the working-set size. Insertion order is preserved within a cell,
-/// but query results interleave cells — callers needing a canonical
-/// order must sort.
+/// Internally a bucket per cell (each bucket sorted by point index).
+/// The grid supports two maintenance regimes:
+///
+/// * [`SpatialGrid::rebuild`] reindexes a whole point set, recomputing
+///   the geometry (origin, cell size, dimensions) from the data. All
+///   buffers are reused, so steady-state rebuilds allocate nothing
+///   once capacities have grown to the working-set size.
+/// * [`SpatialGrid::move_point`] / [`SpatialGrid::insert`] /
+///   [`SpatialGrid::remove`] update the index incrementally under the
+///   geometry *anchored* by the last rebuild. Points that drift outside
+///   the anchored bounding box are clamped into edge cells — queries
+///   stay **correct** (every candidate is distance-filtered), only the
+///   edge buckets grow; callers can consult [`SpatialGrid::covers`]
+///   and trigger a rebuild when drift degrades the anchor.
+///
+/// Queries return indices in **ascending index order** regardless of
+/// maintenance history, so an incrementally-updated grid is
+/// query-for-query byte-identical to one rebuilt from scratch over the
+/// same points (a property the grid proptests assert).
 #[derive(Clone, Debug, Default)]
 pub struct SpatialGrid {
     /// Nominal cell size requested at construction.
@@ -175,14 +188,13 @@ pub struct SpatialGrid {
     /// possibly coarsened to respect [`Self::MAX_CELLS_PER_AXIS`]).
     effective_cell: f64,
     origin: Point,
+    /// Maximum corner of the anchored bounding box (see
+    /// [`SpatialGrid::covers`]).
+    anchor_max: Point,
     cols: usize,
     rows: usize,
-    /// CSR cell offsets (`cells + 1` entries).
-    starts: Vec<u32>,
-    /// Point indices bucketed by cell.
-    items: Vec<u32>,
-    /// Cursor scratch for the counting-sort scatter.
-    cursors: Vec<u32>,
+    /// Point indices bucketed by cell, each bucket sorted ascending.
+    cells: Vec<Vec<u32>>,
     /// Copy of the indexed positions (for distance filtering).
     positions: Vec<Point>,
 }
@@ -219,15 +231,40 @@ impl SpatialGrid {
         self.positions.is_empty()
     }
 
-    /// Reindexes `points`, reusing all internal buffers.
+    /// The current position of point `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn position(&self, idx: u32) -> Point {
+        self.positions[idx as usize]
+    }
+
+    /// `true` if `p` lies inside the bounding box the geometry was
+    /// anchored to at the last rebuild. Points outside are still
+    /// indexed correctly (clamped into edge cells); this is purely a
+    /// performance hint for deciding when to re-anchor.
+    pub fn covers(&self, p: Point) -> bool {
+        self.cols > 0
+            && p.x >= self.origin.x
+            && p.y >= self.origin.y
+            && p.x <= self.anchor_max.x
+            && p.y <= self.anchor_max.y
+    }
+
+    /// Reindexes `points`, recomputing the anchored geometry and
+    /// reusing all internal buffers.
     pub fn rebuild(&mut self, points: &[Point]) {
         self.positions.clear();
         self.positions.extend_from_slice(points);
-        self.items.clear();
-        if points.is_empty() {
+        self.reindex();
+    }
+
+    /// Recomputes geometry and buckets from `self.positions`.
+    fn reindex(&mut self) {
+        if self.positions.is_empty() {
             self.cols = 0;
             self.rows = 0;
-            self.starts.clear();
             return;
         }
 
@@ -237,48 +274,110 @@ impl SpatialGrid {
             f64::NEG_INFINITY,
             f64::NEG_INFINITY,
         );
-        for p in points {
+        for p in &self.positions {
             min_x = min_x.min(p.x);
             min_y = min_y.min(p.y);
             max_x = max_x.max(p.x);
             max_y = max_y.max(p.y);
         }
         self.origin = Point::new(min_x, min_y);
+        self.anchor_max = Point::new(max_x, max_y);
         let span_x = (max_x - min_x).max(0.0);
         let span_y = (max_y - min_y).max(0.0);
         let max_axis = Self::MAX_CELLS_PER_AXIS as f64;
         let mut effective_cell = self.cell.max(span_x / max_axis).max(span_y / max_axis);
         // Rebuild cost is O(cells), so also cap the cell count relative
         // to the population: a few far-flung points must not make every
-        // round re-zero a huge, almost-empty grid.
-        let cell_budget = (16 * points.len().max(16)) as f64;
+        // round re-clear a huge, almost-empty grid.
+        let cell_budget = (16 * self.positions.len().max(16)) as f64;
         let cells_at = |cell: f64| ((span_x / cell) + 1.0) * ((span_y / cell) + 1.0);
         if cells_at(effective_cell) > cell_budget {
             effective_cell *= (cells_at(effective_cell) / cell_budget).sqrt();
         }
         self.cols = (span_x / effective_cell) as usize + 1;
         self.rows = (span_y / effective_cell) as usize + 1;
+        self.effective_cell = effective_cell;
         let cells = self.cols * self.rows;
 
-        // Counting sort into CSR: count, prefix-sum, scatter.
-        self.starts.clear();
-        self.starts.resize(cells + 1, 0);
-        for p in points {
-            let c = self.cell_of(*p, effective_cell);
-            self.starts[c + 1] += 1;
+        if self.cells.len() < cells {
+            self.cells.resize_with(cells, Vec::new);
         }
-        for c in 0..cells {
-            self.starts[c + 1] += self.starts[c];
+        // Clear the whole active range (stale buckets from an earlier,
+        // larger geometry must never leak into queries).
+        for bucket in &mut self.cells[..cells] {
+            bucket.clear();
         }
-        self.cursors.clear();
-        self.cursors.extend_from_slice(&self.starts[..cells]);
-        self.items.resize(points.len(), 0);
-        for (i, p) in points.iter().enumerate() {
-            let c = self.cell_of(*p, effective_cell);
-            self.items[self.cursors[c] as usize] = i as u32;
-            self.cursors[c] += 1;
+        for i in 0..self.positions.len() {
+            let c = self.cell_of(self.positions[i], effective_cell);
+            // Indices arrive ascending, so pushing keeps buckets sorted.
+            self.cells[c].push(i as u32);
         }
-        self.effective_cell = effective_cell;
+    }
+
+    /// Moves point `idx` to `to`, updating only the affected buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn move_point(&mut self, idx: u32, to: Point) {
+        let from = self.positions[idx as usize];
+        self.positions[idx as usize] = to;
+        let cf = self.cell_of(from, self.effective_cell);
+        let ct = self.cell_of(to, self.effective_cell);
+        if cf != ct {
+            Self::bucket_remove(&mut self.cells[cf], idx);
+            Self::bucket_insert(&mut self.cells[ct], idx);
+        }
+    }
+
+    /// Appends a new point under the current anchored geometry and
+    /// returns its index (`len - 1`). The first insert into an empty
+    /// grid anchors the geometry to the point.
+    pub fn insert(&mut self, p: Point) -> u32 {
+        let idx = self.positions.len() as u32;
+        self.positions.push(p);
+        if self.cols == 0 {
+            self.reindex();
+        } else {
+            let c = self.cell_of(p, self.effective_cell);
+            // `idx` is the largest index, so a push keeps the bucket
+            // sorted.
+            self.cells[c].push(idx);
+        }
+        idx
+    }
+
+    /// Removes point `idx` with swap-remove semantics: the point with
+    /// the largest index takes over index `idx` (mirror bookkeeping in
+    /// callers must do the same relabeling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn remove(&mut self, idx: u32) {
+        let last = (self.positions.len() - 1) as u32;
+        let c = self.cell_of(self.positions[idx as usize], self.effective_cell);
+        Self::bucket_remove(&mut self.cells[c], idx);
+        if idx != last {
+            let cl = self.cell_of(self.positions[last as usize], self.effective_cell);
+            Self::bucket_remove(&mut self.cells[cl], last);
+            Self::bucket_insert(&mut self.cells[cl], idx);
+        }
+        self.positions.swap_remove(idx as usize);
+    }
+
+    fn bucket_remove(bucket: &mut Vec<u32>, idx: u32) {
+        let at = bucket
+            .binary_search(&idx)
+            .expect("grid bucket must contain the point");
+        bucket.remove(at);
+    }
+
+    fn bucket_insert(bucket: &mut Vec<u32>, idx: u32) {
+        let at = bucket
+            .binary_search(&idx)
+            .expect_err("grid bucket already contains the point");
+        bucket.insert(at, idx);
     }
 
     fn cell_of(&self, p: Point, cell: f64) -> usize {
@@ -288,9 +387,26 @@ impl SpatialGrid {
     }
 
     /// Appends to `out` the index of every point within `radius` of
-    /// `center` (inclusive, matching [`Point::within`]). Results are in
-    /// cell order, **not** index order.
+    /// `center` (inclusive, matching [`Point::within`]), in **ascending
+    /// index order** — the canonical order, independent of how the grid
+    /// was maintained.
     pub fn query_within(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        let base = out.len();
+        self.for_each_candidate(center, radius, |idx, _| out.push(idx));
+        out[base..].sort_unstable();
+    }
+
+    /// Like [`SpatialGrid::query_within`], but also reports the squared
+    /// distance from `center` to each hit (ascending index order).
+    pub fn query_within_d2(&self, center: Point, radius: f64, out: &mut Vec<(u32, f64)>) {
+        let base = out.len();
+        self.for_each_candidate(center, radius, |idx, d2| out.push((idx, d2)));
+        out[base..].sort_unstable_by_key(|&(idx, _)| idx);
+    }
+
+    /// Visits every in-radius point as `(index, squared distance)`, in
+    /// cell order.
+    fn for_each_candidate(&self, center: Point, radius: f64, mut visit: impl FnMut(u32, f64)) {
         if self.positions.is_empty() {
             return;
         }
@@ -305,11 +421,10 @@ impl SpatialGrid {
         let (cy0, cy1) = (clamp(lo_y, self.rows), clamp(hi_y, self.rows));
         for cy in cy0..=cy1 {
             for cx in cx0..=cx1 {
-                let c = cy * self.cols + cx;
-                let (s, e) = (self.starts[c] as usize, self.starts[c + 1] as usize);
-                for &idx in &self.items[s..e] {
-                    if self.positions[idx as usize].distance_sq(center) <= r_sq {
-                        out.push(idx);
+                for &idx in &self.cells[cy * self.cols + cx] {
+                    let d2 = self.positions[idx as usize].distance_sq(center);
+                    if d2 <= r_sq {
+                        visit(idx, d2);
                     }
                 }
             }
@@ -465,5 +580,57 @@ mod tests {
     #[should_panic(expected = "grid cell size")]
     fn grid_rejects_bad_cell() {
         let _ = SpatialGrid::new(0.0);
+    }
+
+    #[test]
+    fn grid_queries_are_in_ascending_index_order() {
+        // Points scattered so cell order differs from index order.
+        let points = vec![
+            Point::new(90.0, 90.0),
+            Point::new(1.0, 1.0),
+            Point::new(50.0, 50.0),
+            Point::new(2.0, 2.0),
+        ];
+        let mut grid = SpatialGrid::new(10.0);
+        grid.rebuild(&points);
+        let mut out = Vec::new();
+        grid.query_within(Point::new(45.0, 45.0), 100.0, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3], "canonical ascending order");
+        let mut d2 = Vec::new();
+        grid.query_within_d2(Point::new(1.0, 1.0), 2.0, &mut d2);
+        assert_eq!(d2.len(), 2);
+        assert_eq!((d2[0].0, d2[1].0), (1, 3));
+        assert_eq!(d2[0].1, 0.0);
+    }
+
+    #[test]
+    fn grid_incremental_ops_track_positions() {
+        let mut grid = SpatialGrid::new(5.0);
+        grid.rebuild(&[Point::new(0.0, 0.0), Point::new(20.0, 0.0)]);
+        assert!(grid.covers(Point::new(10.0, 0.0)));
+        assert!(!grid.covers(Point::new(30.0, 5.0)));
+
+        // Move point 0 across cells; queries follow it.
+        grid.move_point(0, Point::new(19.0, 0.0));
+        assert_eq!(grid.position(0), Point::new(19.0, 0.0));
+        let mut out = Vec::new();
+        grid.query_within(Point::new(20.0, 0.0), 1.5, &mut out);
+        assert_eq!(out, vec![0, 1]);
+
+        // Moving outside the anchor stays correct (clamped edge cell).
+        grid.move_point(0, Point::new(45.0, 3.0));
+        out.clear();
+        grid.query_within(Point::new(45.0, 3.0), 1.0, &mut out);
+        assert_eq!(out, vec![0]);
+
+        // Insert appends; remove relabels the last index.
+        assert_eq!(grid.insert(Point::new(21.0, 0.0)), 2);
+        grid.remove(0); // point 2 takes index 0
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid.position(0), Point::new(21.0, 0.0));
+        out.clear();
+        grid.query_within(Point::new(20.5, 0.0), 1.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
     }
 }

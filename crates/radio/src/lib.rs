@@ -53,7 +53,7 @@
 //!     fn transmit(&mut self, ctx: &RoundCtx) -> Option<Ping> {
 //!         if self.sent { None } else { self.sent = true; Some(Ping(ctx.round)) }
 //!     }
-//!     fn deliver(&mut self, _ctx: &RoundCtx, rx: RoundReception<Ping>) {
+//!     fn deliver(&mut self, _ctx: &RoundCtx, rx: RoundReception<'_, Ping>) {
 //!         self.heard += rx.messages.len();
 //!     }
 //!     fn as_any(&self) -> &dyn Any { self }
@@ -93,7 +93,8 @@ pub use adversary::{
 };
 pub use audit::{audit_trace, ChannelViolation};
 pub use channel::{
-    resolve_round, resolve_round_reference, AttributedReception, Medium, RoundReception, TxIntent,
+    resolve_round, resolve_round_reference, AttributedReception, Medium, ReceptionBuffer,
+    RoundReception, TopologyDelta, TxIntent,
 };
 pub use config::{ConfigError, RadioConfig};
 pub use engine::{Engine, EngineConfig, NodeId, NodeSpec, Process, RoundCtx};

@@ -24,6 +24,21 @@ pub trait MobilityModel {
 
     /// Maximum displacement per round, in meters.
     fn vmax(&self) -> f64;
+
+    /// `true` once this model is *settled*: every future
+    /// [`MobilityModel::advance`] call would return the position of the
+    /// last call (or the construction position, if never advanced) and
+    /// would draw **nothing** from the RNG.
+    ///
+    /// This is the engine's static-node fast-path contract: for a
+    /// placed, settled node `Engine::step` skips the `advance` call
+    /// entirely, so a wrong `true` would corrupt positions or the
+    /// shared RNG stream. Settling is permanent — a model must never
+    /// report `true` and later move or draw randomness. The
+    /// conservative default is `false` (always advanced).
+    fn is_settled(&self) -> bool {
+        false
+    }
 }
 
 /// A node that never moves (`vmax = 0`).
@@ -46,6 +61,10 @@ impl MobilityModel for Static {
 
     fn vmax(&self) -> f64 {
         0.0
+    }
+
+    fn is_settled(&self) -> bool {
+        true
     }
 }
 
@@ -101,6 +120,14 @@ impl MobilityModel for Waypoint {
 
     fn vmax(&self) -> f64 {
         self.speed
+    }
+
+    fn is_settled(&self) -> bool {
+        // A zero-speed walker that has already drawn a (distinct)
+        // target never reaches it, so it neither moves nor redraws.
+        // While `pos == target` the next advance draws a target, so the
+        // model is NOT settled then.
+        self.speed == 0.0 && self.pos != self.target
     }
 }
 
@@ -159,6 +186,10 @@ impl MobilityModel for Billiard {
     fn vmax(&self) -> f64 {
         (self.vel.0 * self.vel.0 + self.vel.1 * self.vel.1).sqrt()
     }
+
+    fn is_settled(&self) -> bool {
+        self.vel == (0.0, 0.0)
+    }
 }
 
 /// Follows an explicit list of waypoints in a loop at bounded speed.
@@ -207,6 +238,15 @@ impl MobilityModel for PatrolRoute {
 
     fn vmax(&self) -> f64 {
         self.speed
+    }
+
+    fn is_settled(&self) -> bool {
+        // A one-stop circuit pins the patroller to its start; a
+        // zero-speed patroller can never reach its next waypoint
+        // (`step_towards` with a zero step only moves when already
+        // there, and construction starts it *at* route[0] with the next
+        // target distinct unless the route is a single stop).
+        self.route.len() == 1 || (self.speed == 0.0 && self.pos != self.route[self.next])
     }
 }
 
@@ -260,6 +300,13 @@ impl MobilityModel for DepartAt {
 
     fn vmax(&self) -> f64 {
         self.speed
+    }
+
+    fn is_settled(&self) -> bool {
+        // Settling must be permanent, so a pre-departure node does not
+        // count (it will move later); only a zero-speed departure never
+        // goes anywhere.
+        self.speed == 0.0
     }
 }
 

@@ -83,12 +83,25 @@ impl ScenarioSpec {
     /// Panics if the spec is invalid (see [`ScenarioSpec::validate`];
     /// the sweep runner validates up front).
     pub fn run(&self, seed: u64) -> ScenarioOutcome {
+        self.run_tuned(seed, false)
+    }
+
+    /// Like [`ScenarioSpec::run`], but with the engine's round path
+    /// pinned: `legacy_engine` routes the engine-backed workloads
+    /// (`ChaClique`, `ViCounter`) through the pre-overhaul round path.
+    ///
+    /// The tuning is an execution parameter, **not** part of the
+    /// scenario: outcomes are byte-identical either way (the E18
+    /// `metropolis` experiment asserts this), only wall-clock differs.
+    /// Traffic workloads always use the default path (their engine is
+    /// owned by `vi-traffic`).
+    pub fn run_tuned(&self, seed: u64, legacy_engine: bool) -> ScenarioOutcome {
         match &self.workload {
-            WorkloadSpec::ChaClique { instances } => self.run_cha(seed, *instances),
+            WorkloadSpec::ChaClique { instances } => self.run_cha(seed, *instances, legacy_engine),
             WorkloadSpec::ViCounter {
                 layout,
                 virtual_rounds,
-            } => self.run_vi(seed, layout, *virtual_rounds),
+            } => self.run_vi(seed, layout, *virtual_rounds, legacy_engine),
             WorkloadSpec::Traffic {
                 app,
                 layout,
@@ -98,13 +111,14 @@ impl ScenarioSpec {
         }
     }
 
-    fn run_cha(&self, seed: u64, instances: u64) -> ScenarioOutcome {
+    fn run_cha(&self, seed: u64, instances: u64, legacy_engine: bool) -> ScenarioOutcome {
         let rounds = instances * 3;
         let mut engine: Engine<ChaMessage<u64>> = Engine::new(EngineConfig {
             radio: self.radio,
             seed,
             record_trace: false,
         });
+        engine.set_legacy_round_path(legacy_engine);
         engine.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let cm = self.cm.build(seed);
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
@@ -208,6 +222,7 @@ impl ScenarioSpec {
         seed: u64,
         layout: &crate::spec::LayoutSpec,
         virtual_rounds: u64,
+        legacy_engine: bool,
     ) -> ScenarioOutcome {
         let layout = layout.build();
         let vns = layout.len();
@@ -218,6 +233,7 @@ impl ScenarioSpec {
             seed,
             record_trace: false,
         });
+        world.set_legacy_round_path(legacy_engine);
         world.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
         let nemesis_crashes: std::collections::BTreeMap<usize, u64> = self

@@ -54,24 +54,54 @@ impl SweepRunner {
     /// Runs every scenario with every seed (the full cross product,
     /// scenario-major) and returns the outcomes in matrix order.
     ///
+    /// Specs are shared with the worker threads by reference — the
+    /// matrix never clones a `ScenarioSpec`, and one pool of scoped
+    /// workers drains the entire cross product.
+    ///
     /// # Panics
     ///
     /// Panics if any spec fails [`ScenarioSpec::validate`].
     pub fn run_matrix(&self, scenarios: &[ScenarioSpec], seeds: &[u64]) -> Vec<ScenarioOutcome> {
-        let jobs: Vec<(ScenarioSpec, u64)> = scenarios
-            .iter()
-            .flat_map(|s| seeds.iter().map(move |&seed| (s.clone(), seed)))
-            .collect();
-        self.run(&jobs)
+        self.run_matrix_tuned(scenarios, seeds, false)
     }
 
-    /// Runs an explicit job list; `results[i]` is the outcome of
-    /// `jobs[i]` regardless of which worker executed it.
+    /// [`SweepRunner::run_matrix`] with the engine round path pinned
+    /// (see [`ScenarioSpec::run_tuned`]): `legacy_engine` routes every
+    /// job through the pre-overhaul engine path. Outcomes are
+    /// byte-identical either way; the E18 `metropolis` experiment uses
+    /// this to time old-vs-new on identical matrices.
+    pub fn run_matrix_tuned(
+        &self,
+        scenarios: &[ScenarioSpec],
+        seeds: &[u64],
+        legacy_engine: bool,
+    ) -> Vec<ScenarioOutcome> {
+        let jobs: Vec<(&ScenarioSpec, u64)> = scenarios
+            .iter()
+            .flat_map(|s| seeds.iter().map(move |&seed| (s, seed)))
+            .collect();
+        self.run_borrowed(&jobs, legacy_engine)
+    }
+
+    /// Runs an explicit (owned) job list; `results[i]` is the outcome
+    /// of `jobs[i]` regardless of which worker executed it.
     ///
     /// # Panics
     ///
     /// Panics if any spec fails [`ScenarioSpec::validate`].
     pub fn run(&self, jobs: &[(ScenarioSpec, u64)]) -> Vec<ScenarioOutcome> {
+        let borrowed: Vec<(&ScenarioSpec, u64)> =
+            jobs.iter().map(|(spec, seed)| (spec, *seed)).collect();
+        self.run_borrowed(&borrowed, false)
+    }
+
+    /// The worker-pool core: jobs borrow their specs (scoped threads),
+    /// results land by job index, determinism is per-seed.
+    fn run_borrowed(
+        &self,
+        jobs: &[(&ScenarioSpec, u64)],
+        legacy_engine: bool,
+    ) -> Vec<ScenarioOutcome> {
         for (spec, _) in jobs {
             if let Err(e) = spec.validate() {
                 panic!("invalid scenario spec: {e}");
@@ -88,7 +118,7 @@ impl SweepRunner {
                     let Some((spec, seed)) = jobs.get(i) else {
                         break;
                     };
-                    let outcome = spec.run(*seed);
+                    let outcome = spec.run_tuned(*seed, legacy_engine);
                     *slots[i].lock().expect("result slot") = Some(outcome);
                 });
             }

@@ -4,14 +4,19 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::any::Any;
 use virtual_infra::contention::{
     Advice, BackoffCm, ChannelFeedback, ContentionManager, OracleCm, RegionalCm, RegionalConfig,
 };
 use virtual_infra::radio::adversary::{NoAdversary, RandomLoss};
-use virtual_infra::radio::channel::{resolve_round, resolve_round_reference, Medium, TxIntent};
-use virtual_infra::radio::geometry::{Point, Rect};
-use virtual_infra::radio::mobility::{Billiard, MobilityModel, Waypoint};
-use virtual_infra::radio::{NodeId, RadioConfig};
+use virtual_infra::radio::channel::{
+    resolve_round, resolve_round_reference, Medium, ReceptionBuffer, TopologyDelta, TxIntent,
+};
+use virtual_infra::radio::geometry::{Point, Rect, SpatialGrid};
+use virtual_infra::radio::mobility::{Billiard, MobilityModel, Static, Waypoint};
+use virtual_infra::radio::{
+    Engine, EngineConfig, NodeId, NodeSpec, Process, RadioConfig, RoundCtx, RoundReception,
+};
 
 fn arb_point() -> impl Strategy<Value = Point> {
     (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
@@ -26,6 +31,42 @@ fn arb_round() -> impl Strategy<Value = (Vec<(Point, bool)>, u64, f64, f64)> {
         0.0f64..30.0,
     )
         .prop_map(|(nodes, seed, r1, extra)| (nodes, seed, r1, r1 + extra))
+}
+
+/// Records everything a protocol can observe (message stream +
+/// collision count) — the probe of the engine-level differentials.
+struct Recorder {
+    chatty: bool,
+    heard: Vec<u64>,
+    collisions: u64,
+}
+
+impl Recorder {
+    fn new(chatty: bool) -> Self {
+        Recorder {
+            chatty,
+            heard: Vec::new(),
+            collisions: 0,
+        }
+    }
+}
+
+impl Process<u64> for Recorder {
+    fn transmit(&mut self, ctx: &RoundCtx) -> Option<u64> {
+        (self.chatty && ctx.round.is_multiple_of(2)).then_some(ctx.round)
+    }
+    fn deliver(&mut self, _ctx: &RoundCtx, rx: RoundReception<'_, u64>) {
+        self.heard.extend_from_slice(rx.messages);
+        if rx.collision {
+            self.collisions += 1;
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 proptest! {
@@ -220,6 +261,198 @@ proptest! {
             // the same adversary randomness.
             prop_assert_eq!(&rng_fast, &rng_ref, "round {}: RNG streams diverged", round);
         }
+    }
+
+    /// Satellite property of the hot-path overhaul: a spatial grid
+    /// maintained incrementally (random interleavings of moves,
+    /// inserts, and swap-removes) is byte-identical — query order
+    /// included — to a grid rebuilt from scratch over the same points.
+    #[test]
+    fn incremental_grid_matches_rebuilt_grid(
+        initial in proptest::collection::vec(arb_point(), 1..30),
+        ops in proptest::collection::vec((0u8..3, arb_point(), any::<usize>()), 1..40),
+        cell in 3.0f64..40.0,
+        radius in 0.5f64..50.0,
+    ) {
+        let mut grid = SpatialGrid::new(cell);
+        grid.rebuild(&initial);
+        let mut mirror = initial.clone();
+
+        for (kind, p, index) in ops {
+            match kind {
+                0 => {
+                    let idx = grid.insert(p);
+                    prop_assert_eq!(idx as usize, mirror.len());
+                    mirror.push(p);
+                }
+                1 if !mirror.is_empty() => {
+                    let idx = index % mirror.len();
+                    grid.remove(idx as u32);
+                    mirror.swap_remove(idx);
+                }
+                _ if !mirror.is_empty() => {
+                    let idx = index % mirror.len();
+                    grid.move_point(idx as u32, p);
+                    mirror[idx] = p;
+                }
+                _ => {}
+            }
+
+            // A from-scratch grid over the mirrored points must agree
+            // with the incrementally maintained one on every query,
+            // including result order.
+            let mut rebuilt = SpatialGrid::new(cell);
+            rebuilt.rebuild(&mirror);
+            prop_assert_eq!(grid.len(), mirror.len());
+            let mut centers = vec![p, Point::new(0.0, 0.0)];
+            centers.extend(mirror.first().copied());
+            for center in centers {
+                let (mut inc, mut scratch) = (Vec::new(), Vec::new());
+                grid.query_within(center, radius, &mut inc);
+                rebuilt.query_within(center, radius, &mut scratch);
+                prop_assert_eq!(&inc, &scratch, "query mismatch at {}", center);
+                let (mut inc_d2, mut scratch_d2) = (Vec::new(), Vec::new());
+                grid.query_within_d2(center, radius, &mut inc_d2);
+                rebuilt.query_within_d2(center, radius, &mut scratch_d2);
+                prop_assert_eq!(&inc_d2, &scratch_d2, "d2 query mismatch at {}", center);
+            }
+        }
+    }
+
+    /// Differential law for the hot path: the cached-topology resolver
+    /// ([`Medium::resolve_round_cached`]) is observationally identical
+    /// to the naive reference resolver — same receptions, same
+    /// collision indications, same RNG stream — across drifting
+    /// positions (exercising the surgical-move path), mass movement
+    /// (the churn fallback), periodic forced rebuilds, varying
+    /// broadcast patterns, stabilization thresholds, and adversaries.
+    #[test]
+    fn cached_medium_matches_reference_resolver(
+        nodes in proptest::collection::vec((arb_point(), any::<bool>()), 1..60),
+        seed in any::<u64>(),
+        r1 in 1.0f64..30.0,
+        extra in 0.0f64..30.0,
+        rcf in 0u64..6,
+        racc in 0u64..6,
+        ring_reports in any::<bool>(),
+        drop_p in 0.0f64..1.0,
+        spurious_p in 0.0f64..0.6,
+        mover_stride in 1usize..8,
+    ) {
+        let cfg = RadioConfig { r1, r2: r1 + extra, rcf, racc, ring_reports };
+        let mut medium = Medium::new(cfg);
+        let mut soa = ReceptionBuffer::new();
+        let mut rng_fast = StdRng::seed_from_u64(seed);
+        let mut rng_ref = StdRng::seed_from_u64(seed);
+        let mut adv_fast = RandomLoss::new(drop_p, spurious_p);
+        let mut adv_ref = RandomLoss::new(drop_p, spurious_p);
+
+        let mut positions: Vec<Point> = nodes.iter().map(|&(p, _)| p).collect();
+        let mut intents: Vec<TxIntent<u64>> = Vec::new();
+        let mut moved: Vec<u32> = Vec::new();
+        for round in 0..8u64 {
+            // Every `mover_stride`-th node drifts this round; stride 1
+            // moves everyone (churn fallback), larger strides exercise
+            // the surgical updates.
+            moved.clear();
+            if round > 0 {
+                for (i, pos) in positions.iter_mut().enumerate() {
+                    if (i + round as usize).is_multiple_of(mover_stride) {
+                        let next = Point::new(pos.x + 0.9, pos.y - 0.4);
+                        *pos = next;
+                        moved.push(i as u32);
+                    }
+                }
+            }
+            intents.clear();
+            intents.extend(nodes.iter().enumerate().map(|(i, &(_, tx))| TxIntent {
+                node: NodeId::from(i),
+                pos: positions[i],
+                payload: (tx ^ (round % 3 == i as u64 % 3)).then_some(i as u64),
+            }));
+            let delta = if round == 0 || round == 5 {
+                TopologyDelta::Rebuild
+            } else if moved.is_empty() {
+                TopologyDelta::Unchanged
+            } else {
+                TopologyDelta::Moved(&moved)
+            };
+
+            medium.resolve_round_cached(round, &intents, delta, &mut adv_fast, &mut rng_fast, &mut soa);
+            let fast = soa.to_attributed();
+            let slow = resolve_round_reference(round, &cfg, &intents, &mut adv_ref, &mut rng_ref);
+
+            prop_assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                prop_assert_eq!(f.node, s.node);
+                prop_assert_eq!(f.collision, s.collision,
+                    "round {}: detector mismatch at {}", round, f.node);
+                prop_assert_eq!(&f.messages, &s.messages,
+                    "round {}: reception mismatch at {}", round, f.node);
+            }
+            prop_assert_eq!(&rng_fast, &rng_ref, "round {}: RNG streams diverged", round);
+        }
+    }
+
+    /// Engine-level differential: the overhauled round path (settled
+    /// skip, cached topology, SoA receptions) and the legacy path
+    /// produce byte-identical executions — stats, full traces, every
+    /// process's observations — across mixed mobility, spawns,
+    /// crashes, and a lossy adversary.
+    #[test]
+    fn engine_fast_path_matches_legacy(
+        specs in proptest::collection::vec(
+            (arb_point(), 0u8..4, any::<bool>(), 0u64..6, proptest::option::of(2u64..20)),
+            1..14),
+        seed in any::<u64>(),
+        stabilize in 0u64..30,
+        drop_p in 0.0f64..0.6,
+        rounds in 5u64..30,
+    ) {
+        let build = |legacy: bool| -> (Vec<(Vec<u64>, u64)>, String, virtual_infra::radio::ChannelStats) {
+            let bounds = Rect::square(200.0);
+            let mut engine: Engine<u64> = Engine::new(EngineConfig {
+                radio: RadioConfig::stabilizing(10.0, 20.0, stabilize),
+                seed,
+                record_trace: true,
+            });
+            engine.set_legacy_round_path(legacy);
+            engine.set_adversary(Box::new(RandomLoss::new(drop_p, 0.1)));
+            let mut ids = Vec::new();
+            for &(start, mobility, chatty, spawn, crash) in &specs {
+                let start = Point::new(start.x.min(190.0), start.y.min(190.0));
+                let model: Box<dyn MobilityModel> = match mobility {
+                    0 => Box::new(Static::new(start)),
+                    1 => Box::new(Waypoint::new(start, 0.7, bounds)),
+                    2 => Box::new(Waypoint::new(start, 0.0, bounds)),
+                    _ => Box::new(Billiard::new(start, (0.5, -0.3), bounds)),
+                };
+                let mut spec = NodeSpec::new(model, Box::new(Recorder::new(chatty)));
+                if spawn > 0 {
+                    spec = spec.spawn_at(spawn);
+                }
+                if let Some(c) = crash {
+                    spec = spec.crash_at(c);
+                }
+                ids.push(engine.add_node(spec));
+            }
+            engine.run(rounds);
+            let observed = ids
+                .iter()
+                .map(|&id| {
+                    let r: &Recorder = engine.process(id).expect("recorder");
+                    (r.heard.clone(), r.collisions)
+                })
+                .collect();
+            let trace = serde_json::to_string(engine.trace()).expect("serializable trace");
+            (observed, trace, *engine.stats())
+        };
+
+        let fast = build(false);
+        let legacy = build(true);
+        prop_assert_eq!(fast.2, legacy.2, "stats diverged");
+        prop_assert_eq!(&fast.1, &legacy.1, "traces diverged");
+        prop_assert_eq!(&fast.0, &legacy.0, "process observations diverged");
     }
 
     /// Backoff capture: in a clique with a stable contender set, the
