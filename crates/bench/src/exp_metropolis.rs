@@ -1,28 +1,34 @@
-//! Experiment E18 (`metropolis`): the engine hot-path overhaul at
-//! city scale, old round path vs new, through the scenario subsystem.
+//! Experiment E18 (`metropolis`): the engine hot path at city scale —
+//! pre-overhaul vs overhauled vs tile-sharded rounds, through the
+//! scenario subsystem.
 //!
-//! Deployments are constant-density metropolises of up to 20 000
+//! Deployments are constant-density metropolises of up to 1 000 000
 //! nodes with mixed static/mobile populations, compiled from
 //! [`ScenarioSpec`]s and executed through the [`SweepRunner`]. Every
-//! configuration runs twice — once on the pre-overhaul engine path
-//! (per-round spatial-index rebuild, per-receiver allocation, no
-//! static-node fast path) and once on the overhauled path (settled
-//! nodes skipped, incrementally maintained index, cached `R2`
-//! neighborhoods, zero-alloc SoA rounds) — and the two outcome tables
-//! are asserted byte-identical before any timing is reported: the
-//! overhaul buys wall-clock, never behaviour.
+//! configuration runs on the sequential overhauled path and on the
+//! tile-sharded parallel path ([`SHARD_WORKERS`] intra-round
+//! workers); the affordable sizes additionally run on the
+//! pre-overhaul path. All outcome tables are asserted byte-identical
+//! before any timing is reported: neither the overhaul nor the
+//! sharding buys anything but wall-clock.
 //!
 //! The `static_heavy` rows are the headline: in a city where most
 //! nodes never move, the old path re-sorts and re-bucketizes
-//! identical geometry round after round, while the new path resolves
-//! each round from cached neighborhoods without touching the index.
+//! identical geometry round after round, the overhauled path resolves
+//! each round from cached neighborhoods, and the sharded path fans
+//! the neighborhood scans across row-band tiles of the spatial grid.
+//!
+//! The n=200 000 and n=1 000 000 rows are expensive, so they only run
+//! when `VI_METROPOLIS_LARGE=1` is set (CI runs them in a non-gating
+//! nightly-style job); otherwise they are skipped with a table note.
 
 use crate::table::{f2, Table};
 use std::time::Instant;
 use vi_radio::geometry::Rect;
 use vi_radio::{AdversaryKind, RadioConfig};
 use vi_scenario::{
-    CmSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, SweepRunner, WorkloadSpec,
+    CmSpec, EngineTuning, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioOutcome,
+    ScenarioSpec, SweepRunner, WorkloadSpec,
 };
 
 /// Seed shared by every metropolis run (one seed keeps the experiment
@@ -32,6 +38,102 @@ const SEED: u64 = 1;
 /// Constant-density spacing (matches E14's deployments): each `R2`
 /// disk holds a handful of nodes regardless of `n`.
 const SPACING: f64 = 15.0;
+
+/// Intra-round worker count of the sharded columns (matches the CI
+/// speedup guard: ≥1.5x at 4 workers on `static_heavy`).
+pub const SHARD_WORKERS: usize = 4;
+
+/// One E18 configuration row. The experiment table, its tests, and
+/// the CI guards all derive from [`CONFIGS`], so rows cannot drift
+/// between the experiment and its assertions.
+#[derive(Clone, Copy, Debug)]
+pub struct MetroConfig {
+    /// Mobility-mix label (`static_heavy` / `commuter` / `rush_hour`).
+    pub mix: &'static str,
+    /// Node count.
+    pub n: usize,
+    /// Fraction of nodes roaming as random waypoints.
+    pub mobile_fraction: f64,
+    /// CHA instances (3 rounds each).
+    pub instances: u64,
+    /// Expensive row: runs only with `VI_METROPOLIS_LARGE=1`, and
+    /// skips the legacy-path timing entirely.
+    pub large: bool,
+}
+
+/// The E18 configuration matrix: three mobility mixes at two
+/// affordable city sizes, plus the large-n scaling rows.
+pub const CONFIGS: &[MetroConfig] = &[
+    MetroConfig {
+        mix: "static_heavy",
+        n: 5000,
+        mobile_fraction: 0.02,
+        instances: 20,
+        large: false,
+    },
+    MetroConfig {
+        mix: "commuter",
+        n: 5000,
+        mobile_fraction: 0.30,
+        instances: 20,
+        large: false,
+    },
+    MetroConfig {
+        mix: "rush_hour",
+        n: 5000,
+        mobile_fraction: 0.60,
+        instances: 20,
+        large: false,
+    },
+    MetroConfig {
+        mix: "static_heavy",
+        n: 20000,
+        mobile_fraction: 0.02,
+        instances: 10,
+        large: false,
+    },
+    MetroConfig {
+        mix: "commuter",
+        n: 20000,
+        mobile_fraction: 0.30,
+        instances: 10,
+        large: false,
+    },
+    MetroConfig {
+        mix: "rush_hour",
+        n: 20000,
+        mobile_fraction: 0.60,
+        instances: 10,
+        large: false,
+    },
+    MetroConfig {
+        mix: "static_heavy",
+        n: 200_000,
+        mobile_fraction: 0.02,
+        instances: 4,
+        large: true,
+    },
+    MetroConfig {
+        mix: "commuter",
+        n: 200_000,
+        mobile_fraction: 0.30,
+        instances: 3,
+        large: true,
+    },
+    MetroConfig {
+        mix: "static_heavy",
+        n: 1_000_000,
+        mobile_fraction: 0.02,
+        instances: 2,
+        large: true,
+    },
+];
+
+/// Whether the expensive large-n rows should run (documented env
+/// gate; CI sets it in the non-gating nightly-style job).
+fn large_rows_enabled() -> bool {
+    std::env::var("VI_METROPOLIS_LARGE").is_ok_and(|v| v.trim() == "1")
+}
 
 /// A constant-density metropolis: `n` nodes uniform over a square
 /// growing with `sqrt(n)`, of which `mobile_fraction` roam as random
@@ -60,96 +162,138 @@ pub fn metropolis_spec(name: &str, n: usize, mobile_fraction: f64, instances: u6
     }
 }
 
-/// The E18 configuration matrix: `(mix, n, mobile fraction,
-/// instances)`. Three mobility mixes at two city sizes.
-fn configs() -> Vec<(&'static str, usize, f64, u64)> {
-    vec![
-        ("static_heavy", 5000, 0.02, 20),
-        ("commuter", 5000, 0.30, 20),
-        ("rush_hour", 5000, 0.60, 20),
-        ("static_heavy", 20000, 0.02, 10),
-        ("commuter", 20000, 0.30, 10),
-        ("rush_hour", 20000, 0.60, 10),
-    ]
+fn spec_of(cfg: &MetroConfig) -> ScenarioSpec {
+    metropolis_spec(
+        &format!("metropolis_{}_{}", cfg.mix, cfg.n),
+        cfg.n,
+        cfg.mobile_fraction,
+        cfg.instances,
+    )
 }
 
-fn spec_of(mix: &str, n: usize, frac: f64, instances: u64) -> ScenarioSpec {
-    metropolis_spec(&format!("metropolis_{mix}_{n}"), n, frac, instances)
+/// Wall-clock of one run under the given tuning: `(ms per round,
+/// outcome)`.
+pub fn timed_run(spec: &ScenarioSpec, tuning: EngineTuning) -> (f64, ScenarioOutcome) {
+    let t0 = Instant::now();
+    let out = spec.run_with(SEED, tuning);
+    let ms = t0.elapsed().as_secs_f64() * 1000.0 / out.rounds.max(1) as f64;
+    (ms, out)
 }
 
 /// Sequential wall-clock of one run on the given engine path, as
 /// milliseconds per round.
 pub fn ms_per_round(spec: &ScenarioSpec, legacy_engine: bool) -> f64 {
-    let t0 = Instant::now();
-    let out = spec.run_tuned(SEED, legacy_engine);
-    t0.elapsed().as_secs_f64() * 1000.0 / out.rounds.max(1) as f64
+    let tuning = EngineTuning {
+        legacy_engine,
+        workers: 1,
+    };
+    timed_run(spec, tuning).0
 }
 
-/// E18 — metropolis-scale old-vs-new ms/round, with old-path/new-path
-/// byte-identity asserted through the sweep runner first.
+/// E18 — metropolis-scale ms/round across engine paths, with
+/// byte-identity asserted through the sweep runner first: legacy vs
+/// overhauled on the affordable sizes, 1-worker vs [`SHARD_WORKERS`]
+/// on every row that runs.
 ///
 /// # Panics
 ///
-/// Panics if the two engine paths ever disagree on an outcome — that
-/// would be a determinism bug in the hot-path overhaul.
+/// Panics if any two engine paths ever disagree on an outcome — that
+/// would be a determinism bug in the hot-path overhaul or in the
+/// tile-sharded resolver.
 pub fn metropolis() -> Table {
-    let specs: Vec<ScenarioSpec> = configs()
-        .into_iter()
-        .map(|(mix, n, frac, instances)| spec_of(mix, n, frac, instances))
-        .collect();
+    let small: Vec<ScenarioSpec> = CONFIGS.iter().filter(|c| !c.large).map(spec_of).collect();
 
-    // The safety net first: identical matrices through the runner on
-    // both engine paths.
+    // The safety nets first: identical matrices through the runner on
+    // all three engine paths (legacy, overhauled sequential,
+    // overhauled sharded).
     let runner = SweepRunner::auto();
-    let fast = runner.run_matrix(&specs, &[SEED]);
-    let legacy = runner.run_matrix_tuned(&specs, &[SEED], true);
+    let fast = runner.run_matrix(&small, &[SEED]);
+    let legacy = runner.run_matrix_tuned(&small, &[SEED], true);
     assert_eq!(
         serde_json::to_string(&fast).expect("serializable outcomes"),
         serde_json::to_string(&legacy).expect("serializable outcomes"),
         "legacy and overhauled engine paths must be byte-identical"
     );
+    let sharded =
+        runner.run_matrix_with(&small, &[SEED], EngineTuning::with_workers(SHARD_WORKERS));
+    assert_eq!(
+        serde_json::to_string(&fast).expect("serializable outcomes"),
+        serde_json::to_string(&sharded).expect("serializable outcomes"),
+        "sequential and tile-sharded rounds must be byte-identical"
+    );
 
     let mut t = Table::new(
-        "E18 metropolis: engine hot path, pre-overhaul vs overhauled round path",
+        "E18 metropolis: engine hot path — pre-overhaul vs overhauled vs tile-sharded rounds",
         &[
             "mix",
             "n",
             "rounds",
+            "workers",
             "old ms/round",
-            "new ms/round",
-            "speedup",
+            "seq ms/round",
+            "sharded ms/round",
+            "shard speedup",
         ],
     );
-    for (spec, outcome) in specs.iter().zip(&fast) {
-        let mix = spec
-            .name
-            .strip_prefix("metropolis_")
-            .and_then(|s| s.rsplit_once('_'))
-            .map_or(spec.name.as_str(), |(m, _)| m);
-        let old_ms = ms_per_round(spec, true);
-        let new_ms = ms_per_round(spec, false);
+    let large_on = large_rows_enabled();
+    for cfg in CONFIGS {
+        if cfg.large && !large_on {
+            continue;
+        }
+        let spec = spec_of(cfg);
+        // The large sizes skip the legacy path: per-round index
+        // rebuilds with per-receiver allocation at n >= 200 000 are
+        // exactly what the overhaul exists to avoid paying.
+        let old_ms = if cfg.large {
+            None
+        } else {
+            Some(ms_per_round(&spec, true))
+        };
+        let (seq_ms, seq_out) = timed_run(&spec, EngineTuning::with_workers(1));
+        let (shard_ms, shard_out) = timed_run(&spec, EngineTuning::with_workers(SHARD_WORKERS));
+        assert_eq!(
+            seq_out, shard_out,
+            "sequential and sharded outcomes diverged on {}",
+            spec.name
+        );
         t.row(&[
-            mix.to_string(),
-            outcome.nodes.to_string(),
-            outcome.rounds.to_string(),
-            format!("{old_ms:.3}"),
-            format!("{new_ms:.3}"),
-            f2(old_ms / new_ms.max(f64::MIN_POSITIVE)),
+            cfg.mix.to_string(),
+            seq_out.nodes.to_string(),
+            seq_out.rounds.to_string(),
+            SHARD_WORKERS.to_string(),
+            old_ms.map_or_else(|| "-".to_string(), |ms| format!("{ms:.3}")),
+            format!("{seq_ms:.3}"),
+            format!("{shard_ms:.3}"),
+            f2(seq_ms / shard_ms.max(f64::MIN_POSITIVE)),
         ]);
     }
     t.note("constant density (15 m spacing); mobile nodes are 0.5 m/round waypoints");
     t.note("static_heavy = 2% mobile, commuter = 30%, rush_hour = 60% (high churn exercises the churn fallback)");
-    t.note("outcome tables on both paths asserted byte-identical via SweepRunner before timing");
+    t.note("outcome tables asserted byte-identical across all engine paths (legacy, sequential, sharded) before timing");
+    t.note("`workers` is the intra-round worker count of the sharded column; shard speedup = seq / sharded");
+    if large_on {
+        t.note("large rows (n >= 200000) enabled via VI_METROPOLIS_LARGE=1; their legacy-path timing is skipped ('-')");
+    } else {
+        t.note("large rows (n = 200000, 1000000) skipped; set VI_METROPOLIS_LARGE=1 to run them");
+    }
     t
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vi_radio::adversary::NoAdversary;
+    use vi_radio::channel::{Medium, ReceptionBuffer, TopologyDelta, TxIntent};
+    use vi_radio::geometry::Point;
+    use vi_radio::NodeId;
 
     /// A scaled-down metropolis stays byte-identical across engine
-    /// paths and produces sane outcomes (the full-size differential
-    /// runs inside `metropolis()` itself and in CI release smoke).
+    /// paths — legacy, sequential, and sharded with the threshold
+    /// forced down so tiny rounds actually shard — and produces sane
+    /// outcomes (the full-size differential runs inside `metropolis()`
+    /// itself and in CI release smoke).
     #[test]
     fn small_metropolis_paths_agree() {
         let spec = metropolis_spec("metropolis_test", 300, 0.1, 4);
@@ -157,6 +301,8 @@ mod tests {
         let fast = spec.run(SEED);
         let legacy = spec.run_tuned(SEED, true);
         assert_eq!(fast, legacy, "engine paths must be byte-identical");
+        let sharded = spec.run_with(SEED, EngineTuning::with_workers(3));
+        assert_eq!(fast, sharded, "sharded path must be byte-identical");
         assert_eq!(fast.nodes, 300);
         assert_eq!(fast.rounds, 12);
         assert!(fast.broadcasts > 0, "backoff CM must admit broadcasters");
@@ -165,11 +311,19 @@ mod tests {
     #[test]
     fn table_has_expected_shape() {
         // Shape only — tiny stand-ins for the real configs would still
-        // run six sweeps, so exercise the row builder via configs().
-        assert_eq!(configs().len(), 6);
-        assert!(configs()
+        // run nine sweeps, so assert over the shared CONFIGS const.
+        assert_eq!(CONFIGS.len(), 9);
+        assert!(CONFIGS
             .iter()
-            .any(|&(m, n, _, _)| m == "static_heavy" && n == 20000));
+            .any(|c| c.mix == "static_heavy" && c.n == 20000 && !c.large));
+        assert!(
+            CONFIGS.iter().any(|c| c.n == 1_000_000 && c.large),
+            "the million-node scaling row must exist"
+        );
+        assert!(
+            CONFIGS.iter().filter(|c| c.large).all(|c| c.n >= 200_000),
+            "only genuinely large rows may hide behind the env gate"
+        );
     }
 
     /// Acceptance criterion for the hot-path overhaul, CI-release
@@ -182,7 +336,7 @@ mod tests {
     #[test]
     #[ignore = "wall-clock benchmark; CI runs it explicitly in release (metropolis smoke step)"]
     fn metropolis_static_heavy_speedup() {
-        let spec = spec_of("static_heavy", 20000, 0.02, 10);
+        let spec = metropolis_spec("metropolis_static_heavy_20000", 20000, 0.02, 10);
         let mut failure = String::new();
         for attempt in 0..3 {
             // Two interleaved pairs per attempt; the minimum of each
@@ -206,5 +360,145 @@ mod tests {
             );
         }
         panic!("static-heavy metropolis speedup below 2x on every attempt; last: {failure}");
+    }
+
+    /// CI acceptance: 1-vs-N-worker byte-identity at n=20 000 on
+    /// every affordable configuration (release smoke; the proptests
+    /// cover randomized small topologies, this covers real scale).
+    #[test]
+    #[ignore = "full-scale differential; CI runs it explicitly in release (metropolis smoke step)"]
+    fn metropolis_sharded_byte_identity() {
+        for cfg in CONFIGS.iter().filter(|c| !c.large && c.n == 20000) {
+            let spec = spec_of(cfg);
+            let sequential = spec.run_with(SEED, EngineTuning::with_workers(1));
+            for workers in [2usize, SHARD_WORKERS] {
+                let sharded = spec.run_with(SEED, EngineTuning::with_workers(workers));
+                assert_eq!(
+                    sequential, sharded,
+                    "{} diverged at {workers} workers",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    /// Acceptance criterion for tile sharding, CI-release only: the
+    /// *round resolver* at 4 workers must be ≥1.5x faster than
+    /// sequential on a static-heavy metropolis-scale medium, while
+    /// byte-identical.
+    ///
+    /// This times `Medium::resolve_round_cached` directly rather than
+    /// whole scenario runs: protocol work (CHA state machines,
+    /// contention management, intent collection) is inherently
+    /// sequential, so Amdahl caps the end-to-end speedup well below
+    /// the resolver's own scaling — and the resolver is what this PR
+    /// parallelizes.
+    #[test]
+    #[ignore = "wall-clock benchmark; CI runs it explicitly in release (metropolis smoke step)"]
+    fn metropolis_sharded_speedup() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if cores < SHARD_WORKERS {
+            eprintln!("skipping sharded speedup guard: {cores} cores < {SHARD_WORKERS} workers");
+            return;
+        }
+        // A dense static metropolis medium: hash-scattered positions
+        // at 8 m spacing (~20 nodes per R2 disk), every third slot
+        // broadcasting on a rotating schedule — the ScanCached steady
+        // state that dominates static-heavy rounds.
+        let n = 20_000usize;
+        let side = (n as f64).sqrt() * 8.0;
+        let positions: Vec<Point> = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Point::new(
+                    (h % 100_000) as f64 / 100_000.0 * side,
+                    ((h >> 32) % 100_000) as f64 / 100_000.0 * side,
+                )
+            })
+            .collect();
+        let cfg = RadioConfig::reliable(10.0, 20.0);
+        let intents_of = |round: u64| -> Vec<TxIntent<u64>> {
+            positions
+                .iter()
+                .enumerate()
+                .map(|(i, &pos)| TxIntent {
+                    node: NodeId::from(i),
+                    pos,
+                    payload: (round as usize + i).is_multiple_of(3).then_some(i as u64),
+                })
+                .collect()
+        };
+        let run = |workers: usize, rounds: u64| -> (f64, u64) {
+            let mut medium = Medium::new(cfg);
+            medium.set_workers(workers);
+            let mut out = ReceptionBuffer::new();
+            let mut rng = StdRng::seed_from_u64(SEED);
+            let mut digest = 0u64;
+            // Warm-up: round 0 anchors the cache, rounds 1-2 settle
+            // the rotating broadcast pattern and grow all scratch.
+            for round in 0..3u64 {
+                let delta = if round == 0 {
+                    TopologyDelta::Rebuild
+                } else {
+                    TopologyDelta::Unchanged
+                };
+                let intents = intents_of(round);
+                medium.resolve_round_cached(
+                    round,
+                    &intents,
+                    delta,
+                    &mut NoAdversary,
+                    &mut rng,
+                    &mut out,
+                );
+            }
+            let t0 = Instant::now();
+            for round in 3..3 + rounds {
+                let intents = intents_of(round);
+                medium.resolve_round_cached(
+                    round,
+                    &intents,
+                    TopologyDelta::Unchanged,
+                    &mut NoAdversary,
+                    &mut rng,
+                    &mut out,
+                );
+                digest = digest
+                    .wrapping_mul(31)
+                    .wrapping_add(out.len() as u64)
+                    .wrapping_add((0..out.len()).filter(|&k| out.collision(k)).count() as u64);
+            }
+            (t0.elapsed().as_secs_f64() * 1000.0 / rounds as f64, digest)
+        };
+
+        let mut failure = String::new();
+        for attempt in 0..3 {
+            // Interleaved min-of-pairs: scheduler noise only inflates.
+            let mut seq_ms = f64::INFINITY;
+            let mut shard_ms = f64::INFINITY;
+            let mut digests = (0u64, 0u64);
+            for _ in 0..2 {
+                let (s, d1) = run(1, 30);
+                let (p, d2) = run(SHARD_WORKERS, 30);
+                seq_ms = seq_ms.min(s);
+                shard_ms = shard_ms.min(p);
+                digests = (d1, d2);
+            }
+            assert_eq!(
+                digests.0, digests.1,
+                "sharded resolver digest diverged from sequential"
+            );
+            let speedup = seq_ms / shard_ms.max(f64::MIN_POSITIVE);
+            if speedup >= 1.5 {
+                eprintln!(
+                    "sharded resolver n=20000: {seq_ms:.3} -> {shard_ms:.3} ms/round ({speedup:.2}x at {SHARD_WORKERS} workers)"
+                );
+                return;
+            }
+            failure = format!(
+                "attempt {attempt}: {seq_ms:.3} -> {shard_ms:.3} ms/round, {speedup:.2}x (want >= 1.5x)"
+            );
+        }
+        panic!("sharded resolver speedup below 1.5x on every attempt; last: {failure}");
     }
 }

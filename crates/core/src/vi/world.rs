@@ -138,6 +138,13 @@ impl<VA: VirtualAutomaton> World<VA> {
         self.engine.set_legacy_round_path(legacy);
     }
 
+    /// Sets the underlying engine's intra-round worker count (see
+    /// [`vi_radio::Engine::set_workers`]); executions are
+    /// byte-identical at any worker count.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.engine.set_workers(workers);
+    }
+
     /// Runs `n` complete virtual rounds.
     pub fn run_virtual_rounds(&mut self, n: u64) {
         self.engine.run(n * self.dep.plan.rounds_per_vr());

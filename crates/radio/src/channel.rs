@@ -24,7 +24,9 @@ use crate::adversary::Adversary;
 use crate::config::RadioConfig;
 use crate::engine::NodeId;
 use crate::geometry::{Point, SpatialGrid};
+use crate::pool::WorkerPool;
 use rand::rngs::StdRng;
+use std::cell::UnsafeCell;
 
 /// A node's transmission decision for one round.
 #[derive(Clone, Debug)]
@@ -65,7 +67,7 @@ impl<M> RoundReception<'_, M> {
 /// Per-node reception with sender attribution, for traces and
 /// debugging only (protocols receive the anonymous
 /// [`RoundReception`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AttributedReception<M> {
     /// The receiving node.
     pub node: NodeId,
@@ -227,6 +229,55 @@ pub enum TopologyDelta<'a> {
     Moved(&'a [u32]),
 }
 
+/// Which geometry source a tile-sharded round reads (see
+/// [`Medium::shard_geometry`]). Each variant mirrors one sequential
+/// resolution path byte for byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShardMode {
+    /// Steady cached round: the per-slot neighborhoods are valid, so
+    /// workers only filter them down to the broadcasting subset.
+    ScanCached,
+    /// Re-anchor round: the full-topology grid was just rebuilt;
+    /// workers recompute whole neighborhoods with one grid query each.
+    RebuildAll,
+    /// Churn-fallback round: the grid indexes this round's
+    /// broadcasters only; workers query it and map grid slots back to
+    /// intent indices.
+    ChurnIndex,
+}
+
+/// One tile's worker-owned scratch: the receivers the tile owns plus
+/// their concatenated `(slot, d²)` candidate lists, filled by the
+/// parallel geometry phase and drained in intent order by the
+/// sequential finalize phase. All buffers are reused round over round.
+#[derive(Debug, Default)]
+struct TileScratch {
+    /// Receivers owned by this tile, ascending intent order.
+    rxs: Vec<u32>,
+    /// Offsets into `flat`: entry `k`'s list is
+    /// `flat[starts[k]..starts[k + 1]]` (always one more offset than
+    /// entries).
+    starts: Vec<u32>,
+    /// Concatenated per-receiver `(slot, d²)` candidate lists.
+    flat: Vec<(u32, f64)>,
+    /// Grid query scratch.
+    query: Vec<(u32, f64)>,
+    /// Finalize read position (an index into `rxs`).
+    cursor: usize,
+}
+
+/// [`UnsafeCell`] wrapper giving each pool worker exclusive mutable
+/// access to its own tile during a [`WorkerPool::broadcast`].
+#[derive(Debug, Default)]
+struct Tile(UnsafeCell<TileScratch>);
+
+// SAFETY: during a broadcast, worker `w` dereferences `tiles[w]` and
+// no other tile (the disjointness contract stated in
+// `Medium::shard_geometry`), and the caller touches no tile until the
+// broadcast has returned; outside a broadcast the `Medium` reaches
+// tiles through `&mut self` only, so no aliasing is possible.
+unsafe impl Sync for Tile {}
+
 /// The shared broadcast medium: resolves rounds through a spatial
 /// index with reusable per-round buffers.
 ///
@@ -281,6 +332,13 @@ pub struct Medium {
     /// Scratch: `(receiver << 32 | broadcaster, d²)` events for the
     /// sparse-broadcast scatter resolution.
     events: Vec<(u64, f64)>,
+    // --- tile-sharded parallel resolution state ---
+    /// Intra-round worker pool (`None` = fully sequential).
+    pool: Option<WorkerPool>,
+    /// Smallest intent count worth sharding across the pool.
+    shard_min_slots: usize,
+    /// One tile of geometry scratch per pool worker.
+    tiles: Vec<Tile>,
 }
 
 impl Medium {
@@ -295,6 +353,12 @@ impl Medium {
     /// round is resolved by scattering from the broadcasters' cached
     /// neighborhoods instead of scanning every receiver's.
     const SCATTER_MAX_TX_NUM: usize = 8;
+
+    /// Default smallest round (intent count) worth tile-sharding:
+    /// below this, waking and joining the pool outweighs the geometry
+    /// work being parallelized, so small rounds stay sequential even
+    /// when a pool is configured.
+    const DEFAULT_SHARD_MIN_SLOTS: usize = 4096;
 
     /// Creates a medium for the given radio parameters.
     ///
@@ -320,6 +384,217 @@ impl Medium {
             fresh: Vec::new(),
             txn: Vec::new(),
             events: Vec::new(),
+            pool: None,
+            shard_min_slots: Self::DEFAULT_SHARD_MIN_SLOTS,
+            tiles: Vec::new(),
+        }
+    }
+
+    /// Sets the intra-round worker count for tile-sharded resolution.
+    ///
+    /// `0` and `1` resolve rounds fully sequentially (releasing any
+    /// pool); `workers >= 2` spawns a persistent [`WorkerPool`] and
+    /// resolves sufficiently large rounds (see
+    /// [`Medium::set_shard_min_slots`]) with the geometry phase
+    /// sharded across row-band tiles of the anchored grid.
+    ///
+    /// Byte-identity is unconditional: at *any* worker count the
+    /// resolver produces identical receptions, identical adversary
+    /// consultation order, and an identical RNG stream, because
+    /// workers only compute RNG-free geometry and the finalize phase
+    /// replays the sequential order exactly.
+    pub fn set_workers(&mut self, workers: usize) {
+        if workers <= 1 {
+            self.pool = None;
+        } else if self.pool.as_ref().map(WorkerPool::workers) != Some(workers) {
+            self.pool = Some(WorkerPool::new(workers));
+        }
+    }
+
+    /// The configured intra-round worker count (`1` = sequential).
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::workers)
+    }
+
+    /// Overrides the smallest round size worth sharding (clamped to at
+    /// least 1). The default is tuned for real workloads; differential
+    /// tests lower it to force the sharded path at toy sizes.
+    pub fn set_shard_min_slots(&mut self, min: usize) {
+        self.shard_min_slots = min.max(1);
+    }
+
+    /// Whether this round should take the tile-sharded path: a pool is
+    /// configured, the round is big enough to amortize the broadcast,
+    /// and the anchored grid has at least two bucket rows to band.
+    fn shard_applicable(&self, n: usize) -> bool {
+        self.pool.is_some() && n >= self.shard_min_slots && self.grid.rows() >= 2
+    }
+
+    /// Parallel geometry phase of a tile-sharded round.
+    ///
+    /// Tiles are contiguous bands of grid bucket rows: receiver `rx`
+    /// belongs to tile `grid.row_of(pos) * workers / rows`, a pure
+    /// function of its position and the grid anchor, so the worker
+    /// filter here and the finalize walk agree on membership without
+    /// communicating. Each pool worker fills *only its own* tile with
+    /// the `(slot, d²)` candidate lists the finalize phase feeds to
+    /// [`resolve_receiver`]. Cross-tile interference needs no explicit
+    /// halo exchange: the grid is shared read-only and every query is
+    /// exact, so a receiver near a band edge sees broadcasters from
+    /// neighboring bands exactly as the sequential path does.
+    ///
+    /// Workers are RNG-free and intent-free by construction (positions
+    /// come from the grid, or from `all_pos` in churn mode), which is
+    /// what makes the sharded path byte-identical at any worker count.
+    fn shard_geometry(&mut self, mode: ShardMode, n: usize) {
+        let pool = self.pool.as_ref().expect("sharding needs a pool");
+        let workers = pool.workers();
+        if self.tiles.len() < workers {
+            self.tiles.resize_with(workers, Tile::default);
+        }
+        for tile in &mut self.tiles[..workers] {
+            let scratch = tile.0.get_mut();
+            scratch.rxs.clear();
+            scratch.flat.clear();
+            scratch.starts.clear();
+            scratch.starts.push(0);
+            scratch.cursor = 0;
+        }
+        let grid = &self.grid;
+        let nbr = &self.nbr;
+        let is_tx = &self.is_tx;
+        let broadcasters = &self.broadcasters;
+        let all_pos = &self.all_pos;
+        let tiles = &self.tiles[..workers];
+        let rows = grid.rows();
+        let r2 = self.cfg.r2;
+        let job = move |w: usize| {
+            // SAFETY: worker `w` dereferences tiles[w] and no other
+            // tile, and `broadcast` below does not return until every
+            // worker is done — see `Tile`.
+            let scratch = unsafe { &mut *tiles[w].0.get() };
+            for rx in 0..n as u32 {
+                let pos = if mode == ShardMode::ChurnIndex {
+                    all_pos[rx as usize]
+                } else {
+                    grid.position(rx)
+                };
+                if grid.row_of(pos) * workers / rows != w {
+                    continue;
+                }
+                scratch.rxs.push(rx);
+                match mode {
+                    ShardMode::ScanCached => {
+                        // The broadcasting subset of the cached
+                        // neighborhood, exactly as the sequential scan.
+                        scratch.flat.extend(
+                            nbr[rx as usize]
+                                .iter()
+                                .copied()
+                                .filter(|&(i, _)| is_tx[i as usize]),
+                        );
+                    }
+                    ShardMode::RebuildAll => {
+                        // Recompute the *full* neighborhood, exactly as
+                        // the sequential re-anchor loop; finalize both
+                        // installs it in the cache and filters it.
+                        scratch.query.clear();
+                        grid.query_within_d2(pos, r2, &mut scratch.query);
+                        if let Ok(at) = scratch.query.binary_search_by_key(&rx, |&(i, _)| i) {
+                            scratch.query.remove(at);
+                        }
+                        scratch.flat.extend_from_slice(&scratch.query);
+                    }
+                    ShardMode::ChurnIndex => {
+                        // Broadcaster-only grid: map slots back to
+                        // intent indices (ascending is preserved —
+                        // `broadcasters` is sorted), exactly as the
+                        // sequential churn loop.
+                        scratch.query.clear();
+                        grid.query_within_d2(pos, r2, &mut scratch.query);
+                        scratch.flat.extend(
+                            scratch
+                                .query
+                                .iter()
+                                .map(|&(slot, d2)| (broadcasters[slot as usize] as u32, d2))
+                                .filter(|&(i, _)| i != rx),
+                        );
+                    }
+                }
+                scratch.starts.push(scratch.flat.len() as u32);
+            }
+        };
+        pool.broadcast(&job);
+    }
+
+    /// Sequential finalize phase of a tile-sharded round: walks
+    /// receivers in ascending intent order — the canonical merge order
+    /// — popping each receiver's candidate list from its tile and
+    /// running the verbatim [`resolve_receiver`] delivery rule. Every
+    /// adversary and RNG consultation happens here, on one thread, in
+    /// exactly the sequential resolver's order.
+    fn shard_finalize<M: Clone>(
+        &mut self,
+        mode: ShardMode,
+        round: u64,
+        intents: &[TxIntent<M>],
+        adversary: &mut dyn Adversary,
+        rng: &mut StdRng,
+        out: &mut ReceptionBuffer<M>,
+    ) {
+        let workers = self.pool.as_ref().expect("sharding needs a pool").workers();
+        let rows = self.grid.rows();
+        let cfg = self.cfg;
+        for (j, rx_intent) in intents.iter().enumerate() {
+            let pos = if mode == ShardMode::ChurnIndex {
+                self.all_pos[j]
+            } else {
+                self.grid.position(j as u32)
+            };
+            let band = self.grid.row_of(pos) * workers / rows;
+            let scratch = self.tiles[band].0.get_mut();
+            let k = scratch.cursor;
+            scratch.cursor += 1;
+            debug_assert_eq!(scratch.rxs[k], j as u32, "band assignment must be stable");
+            let range = scratch.starts[k] as usize..scratch.starts[k + 1] as usize;
+            let j_broadcasting = rx_intent.payload.is_some();
+            if mode == ShardMode::RebuildAll {
+                // The worker computed the full neighborhood: install it
+                // in the cache (the sequential re-anchor loop does the
+                // same), then take the broadcasting subset.
+                let full = &scratch.flat[range];
+                self.nbr[j].clear();
+                self.nbr[j].extend_from_slice(full);
+                self.txn.clear();
+                self.txn.extend(
+                    full.iter()
+                        .copied()
+                        .filter(|&(i, _)| self.is_tx[i as usize]),
+                );
+                resolve_receiver(
+                    &cfg,
+                    round,
+                    rx_intent,
+                    j_broadcasting,
+                    &self.txn,
+                    intents,
+                    adversary,
+                    rng,
+                    out,
+                );
+            } else {
+                resolve_receiver(
+                    &cfg,
+                    round,
+                    rx_intent,
+                    j_broadcasting,
+                    &scratch.flat[range],
+                    intents,
+                    adversary,
+                    rng,
+                    out,
+                );
+            }
         }
     }
 
@@ -657,6 +932,21 @@ impl Medium {
             return;
         }
 
+        // Large rounds with a pool configured: shard the geometry phase
+        // (the dominant cost) across row-band tiles, then finalize
+        // sequentially in canonical order. Byte-identical to the scan
+        // loop below at any worker count.
+        if self.shard_applicable(n) {
+            let mode = if rebuild {
+                ShardMode::RebuildAll
+            } else {
+                ShardMode::ScanCached
+            };
+            self.shard_geometry(mode, n);
+            self.shard_finalize(mode, round, intents, adversary, rng, out);
+            return;
+        }
+
         for (j, rx_intent) in intents.iter().enumerate() {
             if rebuild {
                 // Re-anchored this round: recompute the neighborhood.
@@ -715,6 +1005,17 @@ impl Medium {
             }
         }
         self.grid.rebuild(&self.broadcaster_pos);
+
+        // Mass-churn rounds shard too: workers query the broadcaster
+        // index over row-band tiles of *receiver* positions, which are
+        // staged in `all_pos` because workers never touch intents.
+        if self.shard_applicable(intents.len()) {
+            self.all_pos.clear();
+            self.all_pos.extend(intents.iter().map(|i| i.pos));
+            self.shard_geometry(ShardMode::ChurnIndex, intents.len());
+            self.shard_finalize(ShardMode::ChurnIndex, round, intents, adversary, rng, out);
+            return;
+        }
 
         let cfg = self.cfg;
         for (j, rx_intent) in intents.iter().enumerate() {

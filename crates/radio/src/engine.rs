@@ -255,6 +255,22 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         self.legacy_round_path = legacy;
     }
 
+    /// Sets the intra-round worker count for tile-sharded round
+    /// resolution (see [`Medium::set_workers`]). `0`/`1` keep rounds
+    /// sequential; `>= 2` shards the geometry phase of sufficiently
+    /// large rounds across a persistent worker pool. Executions are
+    /// byte-for-byte identical — receptions, traces, stats, and RNG
+    /// stream — at any worker count.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.medium.set_workers(workers);
+    }
+
+    /// Overrides the smallest round size worth sharding (see
+    /// [`Medium::set_shard_min_slots`]). Testing knob.
+    pub fn set_shard_min_slots(&mut self, min: usize) {
+        self.medium.set_shard_min_slots(min);
+    }
+
     /// Installs an adversary (replacing the current one).
     pub fn set_adversary(&mut self, adversary: Box<dyn Adversary>) {
         self.adversary = adversary;

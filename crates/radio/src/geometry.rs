@@ -240,6 +240,33 @@ impl SpatialGrid {
         self.positions[idx as usize]
     }
 
+    /// Number of bucket rows in the anchored geometry (0 while the
+    /// grid is empty). The tile-sharded resolver partitions receivers
+    /// into contiguous bands of these rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bucket columns in the anchored geometry (0 while the
+    /// grid is empty).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The bucket row `p` falls into under the anchored geometry,
+    /// clamped into `0..rows` exactly like the internal cell
+    /// computation — points outside the anchored bounding box land in
+    /// the nearest edge row, so the answer is a pure function of `p`
+    /// and the anchor (any two calls agree, which is what makes row
+    /// bands a sound tile partition for the sharded resolver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty (`rows() == 0`).
+    pub fn row_of(&self, p: Point) -> usize {
+        (((p.y - self.origin.y) / self.effective_cell) as usize).min(self.rows - 1)
+    }
+
     /// `true` if `p` lies inside the bounding box the geometry was
     /// anchored to at the last rebuild. Points outside are still
     /// indexed correctly (clamped into edge cells); this is purely a

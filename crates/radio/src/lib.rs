@@ -85,6 +85,7 @@ pub mod config;
 pub mod engine;
 pub mod geometry;
 pub mod mobility;
+pub mod pool;
 pub mod trace;
 
 pub use adversary::{
@@ -99,6 +100,7 @@ pub use channel::{
 pub use config::{ConfigError, RadioConfig};
 pub use engine::{Engine, EngineConfig, NodeId, NodeSpec, Process, RoundCtx};
 pub use geometry::{Point, SpatialGrid};
+pub use pool::WorkerPool;
 pub use trace::{ChannelStats, RoundRecord, Trace};
 
 /// Abstract on-the-wire size of a message, in bytes.

@@ -1,0 +1,284 @@
+//! A persistent broadcast worker pool for intra-round parallelism.
+//!
+//! [`WorkerPool`] spawns `workers - 1` OS threads once and reuses them
+//! for every [`WorkerPool::broadcast`]: the calling thread acts as
+//! worker 0 and the spawned threads as workers `1..workers`. A
+//! broadcast hands every worker the same *borrowed* job closure and
+//! blocks until all of them have returned, so the closure may freely
+//! borrow caller-local state — scoped-thread semantics without paying
+//! a thread spawn (or any heap allocation) per call.
+//!
+//! The pool exists for the tile-sharded round resolver
+//! ([`Medium`](crate::channel::Medium)): a round is resolved thousands
+//! of times per experiment, so per-round `std::thread::scope` spawns
+//! would dwarf the work being parallelized and allocate every round,
+//! while waking parked threads costs two condvar transitions per
+//! worker and **zero heap allocations** — the steady-state guarantee
+//! of `tests/zero_alloc.rs` holds with sharding enabled.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Lifetime-erased fat pointer to the current broadcast's job.
+///
+/// Soundness: [`WorkerPool::broadcast`] publishes the pointer, then
+/// blocks until every worker has finished its invocation (`remaining
+/// == 0`), so the pointee strictly outlives every dereference.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared invocation from any thread is
+// fine) and `broadcast` keeps the borrow alive while any worker holds
+// the pointer — see `JobPtr` docs.
+unsafe impl Send for JobPtr {}
+
+/// Pool state behind the mutex.
+struct PoolState {
+    /// Bumped once per broadcast; each worker runs one job per epoch.
+    epoch: u64,
+    /// The current epoch's job (present iff an epoch is in flight).
+    job: Option<JobPtr>,
+    /// Spawned workers that have not yet finished the current epoch.
+    remaining: usize,
+    /// Some worker's job invocation panicked this epoch.
+    panicked: bool,
+    /// The pool is being dropped; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for the next epoch.
+    work: Condvar,
+    /// The broadcaster parks here waiting for `remaining == 0`.
+    done: Condvar,
+}
+
+/// A fixed-size pool of parked worker threads driven by
+/// [`WorkerPool::broadcast`]. See the [module docs](self).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` workers (spawning `workers - 1`
+    /// threads; the caller is always worker 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is 0 or a worker thread cannot be spawned.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let threads = (1..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vi-shard-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        WorkerPool { shared, threads }
+    }
+
+    /// Total worker count (spawned threads plus the calling thread).
+    pub fn workers(&self) -> usize {
+        self.threads.len() + 1
+    }
+
+    /// Runs `job(w)` once for every worker index `w` in `0..workers`,
+    /// concurrently, and returns when all invocations have finished.
+    /// The calling thread executes `job(0)` itself.
+    ///
+    /// The job is borrowed for the duration of the call only — it may
+    /// capture references to caller-local state. Disjointness of
+    /// per-worker writes is the *caller's* contract (typically: worker
+    /// `w` writes only slot `w` of some shared scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invocation panicked (after every worker has
+    /// quiesced — the pool itself survives and stays usable).
+    pub fn broadcast(&self, job: &(dyn Fn(usize) + Sync)) {
+        if self.threads.is_empty() {
+            job(0);
+            return;
+        }
+        // SAFETY (lifetime erasure): this function does not return —
+        // and therefore `job`'s borrow does not end — until every
+        // worker has decremented `remaining`, so no worker dereferences
+        // the pointer after the pointee is gone.
+        let erased = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(job)
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            debug_assert_eq!(st.remaining, 0, "overlapping broadcasts");
+            st.job = Some(erased);
+            st.remaining = self.threads.len();
+            st.panicked = false;
+            st.epoch += 1;
+            self.shared.work.notify_all();
+        }
+        // The caller is worker 0. Its panic must still wait for the
+        // other workers to quiesce (their job borrows would otherwise
+        // outlive the unwinding frame).
+        let own = catch_unwind(AssertUnwindSafe(|| job(0)));
+        let workers_panicked = {
+            let mut st = self.shared.state.lock().expect("pool state");
+            while st.remaining > 0 {
+                st = self.shared.done.wait(st).expect("pool state");
+            }
+            st.job = None;
+            st.panicked
+        };
+        match own {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if workers_panicked => {
+                panic!("a pool worker panicked during broadcast")
+            }
+            Ok(()) => {}
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The spawned workers' park-run-report loop.
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.expect("epoch bumped without a job");
+                }
+                st = shared.work.wait(st).expect("pool state");
+            }
+        };
+        // SAFETY: `broadcast` keeps the job alive until `remaining`
+        // hits 0, which this worker only signals below.
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(index) })).is_ok();
+        let mut st = shared.state.lock().expect("pool state");
+        if !ok {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_every_worker_and_reuses_threads() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let weights = [1usize, 2, 3, 4];
+        for round in 1..=5usize {
+            // The job borrows stack-local state — scoped semantics.
+            pool.broadcast(&|w| {
+                hits[w].fetch_add(weights[w], Ordering::Relaxed);
+            });
+            for (w, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), weights[w] * round, "worker {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let seen = AtomicUsize::new(usize::MAX);
+        pool.broadcast(&|w| {
+            seen.store(w, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 0, "caller is worker 0");
+    }
+
+    #[test]
+    fn worker_panics_propagate_and_the_pool_survives() {
+        let pool = WorkerPool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w == 2 {
+                    panic!("injected worker failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "worker panic must reach the broadcaster");
+        // The epoch machinery must have fully quiesced: the next
+        // broadcast runs on every worker as if nothing happened.
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn caller_panics_wait_for_worker_quiescence() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w == 0 {
+                    panic!("injected caller failure");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            count.load(Ordering::Relaxed),
+            2,
+            "pool usable after caller panic"
+        );
+    }
+}

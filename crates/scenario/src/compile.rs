@@ -23,6 +23,42 @@ use vi_traffic::{AppKind, DevicePlan, TrafficSpec, TrafficSummary, TrafficWorld}
 /// stream (so random placement never perturbs channel resolution).
 const PLACEMENT_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
+/// Execution tuning for a scenario run: which engine path resolves
+/// rounds and with how many intra-round workers.
+///
+/// Tuning is **not** part of the scenario: for any fixed `(spec,
+/// seed)` every tuning produces a byte-identical [`ScenarioOutcome`]
+/// (the E18 `metropolis` experiment and the sweep-runner tests assert
+/// this); only wall-clock changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineTuning {
+    /// Route engine-backed workloads through the pre-overhaul round
+    /// path (benchmark baseline / differential-test oracle).
+    pub legacy_engine: bool,
+    /// Intra-round worker count for tile-sharded round resolution.
+    /// `0` and `1` resolve sequentially; the [`SweepRunner`] treats
+    /// `0` as "split my worker budget across concurrent jobs".
+    ///
+    /// [`SweepRunner`]: crate::runner::SweepRunner
+    pub workers: usize,
+}
+
+impl EngineTuning {
+    /// The default execution: current engine path, sequential rounds.
+    pub const DEFAULT: EngineTuning = EngineTuning {
+        legacy_engine: false,
+        workers: 0,
+    };
+
+    /// Current engine path with `workers` intra-round workers.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineTuning {
+            legacy_engine: false,
+            workers,
+        }
+    }
+}
+
 /// One row of a sweep result table: everything measured about one
 /// `(scenario, seed)` run. Serializable, so whole result tables can be
 /// compared byte-for-byte and shipped as bench artifacts.
@@ -83,25 +119,38 @@ impl ScenarioSpec {
     /// Panics if the spec is invalid (see [`ScenarioSpec::validate`];
     /// the sweep runner validates up front).
     pub fn run(&self, seed: u64) -> ScenarioOutcome {
-        self.run_tuned(seed, false)
+        self.run_with(seed, EngineTuning::DEFAULT)
     }
 
     /// Like [`ScenarioSpec::run`], but with the engine's round path
     /// pinned: `legacy_engine` routes the engine-backed workloads
     /// (`ChaClique`, `ViCounter`) through the pre-overhaul round path.
+    /// Kept as the two-state shorthand for [`ScenarioSpec::run_with`].
+    pub fn run_tuned(&self, seed: u64, legacy_engine: bool) -> ScenarioOutcome {
+        self.run_with(
+            seed,
+            EngineTuning {
+                legacy_engine,
+                workers: 0,
+            },
+        )
+    }
+
+    /// Like [`ScenarioSpec::run`], but with full [`EngineTuning`]:
+    /// round path and intra-round worker count.
     ///
     /// The tuning is an execution parameter, **not** part of the
-    /// scenario: outcomes are byte-identical either way (the E18
-    /// `metropolis` experiment asserts this), only wall-clock differs.
-    /// Traffic workloads always use the default path (their engine is
-    /// owned by `vi-traffic`).
-    pub fn run_tuned(&self, seed: u64, legacy_engine: bool) -> ScenarioOutcome {
+    /// scenario: outcomes are byte-identical under every tuning (the
+    /// E18 `metropolis` experiment asserts this), only wall-clock
+    /// differs. Traffic workloads always use the default path (their
+    /// engine is owned by `vi-traffic`).
+    pub fn run_with(&self, seed: u64, tuning: EngineTuning) -> ScenarioOutcome {
         match &self.workload {
-            WorkloadSpec::ChaClique { instances } => self.run_cha(seed, *instances, legacy_engine),
+            WorkloadSpec::ChaClique { instances } => self.run_cha(seed, *instances, tuning),
             WorkloadSpec::ViCounter {
                 layout,
                 virtual_rounds,
-            } => self.run_vi(seed, layout, *virtual_rounds, legacy_engine),
+            } => self.run_vi(seed, layout, *virtual_rounds, tuning),
             WorkloadSpec::Traffic {
                 app,
                 layout,
@@ -111,14 +160,17 @@ impl ScenarioSpec {
         }
     }
 
-    fn run_cha(&self, seed: u64, instances: u64, legacy_engine: bool) -> ScenarioOutcome {
+    fn run_cha(&self, seed: u64, instances: u64, tuning: EngineTuning) -> ScenarioOutcome {
         let rounds = instances * 3;
         let mut engine: Engine<ChaMessage<u64>> = Engine::new(EngineConfig {
             radio: self.radio,
             seed,
             record_trace: false,
         });
-        engine.set_legacy_round_path(legacy_engine);
+        engine.set_legacy_round_path(tuning.legacy_engine);
+        if tuning.workers >= 2 {
+            engine.set_workers(tuning.workers);
+        }
         engine.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let cm = self.cm.build(seed);
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
@@ -222,7 +274,7 @@ impl ScenarioSpec {
         seed: u64,
         layout: &crate::spec::LayoutSpec,
         virtual_rounds: u64,
-        legacy_engine: bool,
+        tuning: EngineTuning,
     ) -> ScenarioOutcome {
         let layout = layout.build();
         let vns = layout.len();
@@ -233,7 +285,10 @@ impl ScenarioSpec {
             seed,
             record_trace: false,
         });
-        world.set_legacy_round_path(legacy_engine);
+        world.set_legacy_round_path(tuning.legacy_engine);
+        if tuning.workers >= 2 {
+            world.set_workers(tuning.workers);
+        }
         world.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
         let nemesis_crashes: std::collections::BTreeMap<usize, u64> = self

@@ -45,7 +45,7 @@ pub mod compile;
 pub mod runner;
 pub mod spec;
 
-pub use compile::ScenarioOutcome;
+pub use compile::{EngineTuning, ScenarioOutcome};
 pub use runner::SweepRunner;
 pub use spec::{
     CmSpec, LayoutSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, WorkloadSpec,

@@ -13,11 +13,18 @@
 //! replace the former hand-rolled sequential loops without changing a
 //! single table cell.
 
-use crate::compile::ScenarioOutcome;
+use crate::compile::{EngineTuning, ScenarioOutcome};
 use crate::spec::ScenarioSpec;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Parses a `VI_WORKERS`-style override: a positive integer (after
+/// trimming) yields `Some(n)`; anything else is ignored.
+fn worker_budget_from(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
 
 /// Fans `scenario × seed` jobs across a fixed-size worker pool.
 #[derive(Clone, Copy, Debug)]
@@ -38,12 +45,16 @@ impl SweepRunner {
 
     /// A runner sized to the machine (`available_parallelism`, falling
     /// back to 1 if unknown).
+    ///
+    /// The `VI_WORKERS` environment variable, when set to a positive
+    /// integer, overrides the detected size — the documented way for
+    /// CI and benches to pin thread counts without code edits.
     pub fn auto() -> Self {
-        SweepRunner::new(
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
-        )
+        let detected = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        let budget = worker_budget_from(std::env::var("VI_WORKERS").ok().as_deref());
+        SweepRunner::new(budget.unwrap_or(detected))
     }
 
     /// The configured worker count.
@@ -62,7 +73,7 @@ impl SweepRunner {
     ///
     /// Panics if any spec fails [`ScenarioSpec::validate`].
     pub fn run_matrix(&self, scenarios: &[ScenarioSpec], seeds: &[u64]) -> Vec<ScenarioOutcome> {
-        self.run_matrix_tuned(scenarios, seeds, false)
+        self.run_matrix_with(scenarios, seeds, EngineTuning::DEFAULT)
     }
 
     /// [`SweepRunner::run_matrix`] with the engine round path pinned
@@ -76,11 +87,38 @@ impl SweepRunner {
         seeds: &[u64],
         legacy_engine: bool,
     ) -> Vec<ScenarioOutcome> {
+        self.run_matrix_with(
+            scenarios,
+            seeds,
+            EngineTuning {
+                legacy_engine,
+                workers: 0,
+            },
+        )
+    }
+
+    /// [`SweepRunner::run_matrix`] with full [`EngineTuning`] — the
+    /// one knob sharing the runner's worker budget between across-job
+    /// and intra-round parallelism:
+    ///
+    /// * `tuning.workers == 0` (the default) splits the budget —
+    ///   each concurrent job gets `workers / concurrent_jobs`
+    ///   (at least 1) intra-round workers;
+    /// * `tuning.workers >= 1` pins every job to exactly that many
+    ///   intra-round workers on top of the across-job threads.
+    ///
+    /// Outcomes are byte-identical under every tuning.
+    pub fn run_matrix_with(
+        &self,
+        scenarios: &[ScenarioSpec],
+        seeds: &[u64],
+        tuning: EngineTuning,
+    ) -> Vec<ScenarioOutcome> {
         let jobs: Vec<(&ScenarioSpec, u64)> = scenarios
             .iter()
             .flat_map(|s| seeds.iter().map(move |&seed| (s, seed)))
             .collect();
-        self.run_borrowed(&jobs, legacy_engine)
+        self.run_borrowed(&jobs, tuning)
     }
 
     /// Runs an explicit (owned) job list; `results[i]` is the outcome
@@ -92,15 +130,16 @@ impl SweepRunner {
     pub fn run(&self, jobs: &[(ScenarioSpec, u64)]) -> Vec<ScenarioOutcome> {
         let borrowed: Vec<(&ScenarioSpec, u64)> =
             jobs.iter().map(|(spec, seed)| (spec, *seed)).collect();
-        self.run_borrowed(&borrowed, false)
+        self.run_borrowed(&borrowed, EngineTuning::DEFAULT)
     }
 
-    /// The worker-pool core: jobs borrow their specs (scoped threads),
-    /// results land by job index, determinism is per-seed.
+    /// The worker-pool core every public entry point funnels into:
+    /// jobs borrow their specs (scoped threads), results land by job
+    /// index, determinism is per-seed.
     fn run_borrowed(
         &self,
         jobs: &[(&ScenarioSpec, u64)],
-        legacy_engine: bool,
+        tuning: EngineTuning,
     ) -> Vec<ScenarioOutcome> {
         for (spec, _) in jobs {
             if let Err(e) = spec.validate() {
@@ -110,15 +149,25 @@ impl SweepRunner {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
-        let workers = self.workers.min(jobs.len().max(1));
+        let job_threads = self.workers.min(jobs.len().max(1));
+        // Budget sharing: with no explicit intra-round worker count,
+        // divide this runner's budget across the concurrent jobs.
+        let per_job = match tuning.workers {
+            0 => (self.workers / job_threads).max(1),
+            w => w,
+        };
+        let job_tuning = EngineTuning {
+            workers: per_job,
+            ..tuning
+        };
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for _ in 0..job_threads {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some((spec, seed)) = jobs.get(i) else {
                         break;
                     };
-                    let outcome = spec.run_tuned(*seed, legacy_engine);
+                    let outcome = spec.run_with(*seed, job_tuning);
                     *slots[i].lock().expect("result slot") = Some(outcome);
                 });
             }
@@ -186,6 +235,40 @@ mod tests {
                 "{workers} workers changed the table"
             );
         }
+    }
+
+    /// Pinning intra-round workers is also invisible in the table —
+    /// small specs stay below the shard threshold (the auto-fallback),
+    /// and the engaged-scale identity is covered by the differential
+    /// proptests and the E18 smoke.
+    #[test]
+    fn intra_round_workers_never_change_the_result_table() {
+        let scenarios = small_matrix();
+        let seeds = [1u64, 2];
+        let baseline = SweepRunner::new(1).run_matrix(&scenarios, &seeds);
+        for workers in [1usize, 3] {
+            let tuned = SweepRunner::new(2).run_matrix_with(
+                &scenarios,
+                &seeds,
+                EngineTuning::with_workers(workers),
+            );
+            assert_eq!(
+                serde_json::to_string(&baseline).unwrap(),
+                serde_json::to_string(&tuned).unwrap(),
+                "{workers} intra-round workers changed the table"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_budget_parsing_ignores_junk() {
+        assert_eq!(worker_budget_from(Some("4")), Some(4));
+        assert_eq!(worker_budget_from(Some(" 12\n")), Some(12));
+        assert_eq!(worker_budget_from(Some("0")), None, "zero is not a budget");
+        assert_eq!(worker_budget_from(Some("-3")), None);
+        assert_eq!(worker_budget_from(Some("four")), None);
+        assert_eq!(worker_budget_from(Some("")), None);
+        assert_eq!(worker_budget_from(None), None);
     }
 
     #[test]

@@ -394,6 +394,145 @@ proptest! {
         }
     }
 
+    /// Differential law for tile-sharded parallel resolution: at any
+    /// worker count the sharded resolver is byte-identical to the
+    /// sequential one — receptions, collision indications, and the RNG
+    /// stream — across drifting positions (surgical updates), mass
+    /// movement (`mover_stride == 1` hits the broadcaster-index churn
+    /// fallback), forced re-anchors, and adversaries. The shard
+    /// threshold is lowered to 1 so toy-sized rounds actually take the
+    /// parallel path whenever the grid has rows to band.
+    #[test]
+    fn sharded_medium_matches_sequential(
+        nodes in proptest::collection::vec((arb_point(), any::<bool>()), 1..60),
+        seed in any::<u64>(),
+        r1 in 1.0f64..30.0,
+        extra in 0.0f64..30.0,
+        rcf in 0u64..6,
+        racc in 0u64..6,
+        ring_reports in any::<bool>(),
+        drop_p in 0.0f64..1.0,
+        spurious_p in 0.0f64..0.6,
+        mover_stride in 1usize..8,
+        worker_pick in 0usize..4,
+    ) {
+        let workers = [1usize, 2, 3, 7][worker_pick];
+        let cfg = RadioConfig { r1, r2: r1 + extra, rcf, racc, ring_reports };
+        let mut medium_seq = Medium::new(cfg);
+        let mut medium_shard = Medium::new(cfg);
+        medium_shard.set_workers(workers);
+        medium_shard.set_shard_min_slots(1);
+        let mut soa_seq = ReceptionBuffer::new();
+        let mut soa_shard = ReceptionBuffer::new();
+        let mut rng_seq = StdRng::seed_from_u64(seed);
+        let mut rng_shard = StdRng::seed_from_u64(seed);
+        let mut adv_seq = RandomLoss::new(drop_p, spurious_p);
+        let mut adv_shard = RandomLoss::new(drop_p, spurious_p);
+
+        let mut positions: Vec<Point> = nodes.iter().map(|&(p, _)| p).collect();
+        let mut intents: Vec<TxIntent<u64>> = Vec::new();
+        let mut moved: Vec<u32> = Vec::new();
+        for round in 0..8u64 {
+            moved.clear();
+            if round > 0 {
+                for (i, pos) in positions.iter_mut().enumerate() {
+                    if (i + round as usize).is_multiple_of(mover_stride) {
+                        let next = Point::new(pos.x + 0.9, pos.y - 0.4);
+                        *pos = next;
+                        moved.push(i as u32);
+                    }
+                }
+            }
+            intents.clear();
+            intents.extend(nodes.iter().enumerate().map(|(i, &(_, tx))| TxIntent {
+                node: NodeId::from(i),
+                pos: positions[i],
+                payload: (tx ^ (round % 3 == i as u64 % 3)).then_some(i as u64),
+            }));
+            let delta = if round == 0 || round == 5 {
+                TopologyDelta::Rebuild
+            } else if moved.is_empty() {
+                TopologyDelta::Unchanged
+            } else {
+                TopologyDelta::Moved(&moved)
+            };
+
+            medium_seq.resolve_round_cached(
+                round, &intents, delta, &mut adv_seq, &mut rng_seq, &mut soa_seq);
+            medium_shard.resolve_round_cached(
+                round, &intents, delta, &mut adv_shard, &mut rng_shard, &mut soa_shard);
+
+            prop_assert_eq!(&soa_shard.to_attributed(), &soa_seq.to_attributed(),
+                "round {}: receptions diverged at {} workers", round, workers);
+            prop_assert_eq!(&rng_shard, &rng_seq,
+                "round {}: RNG streams diverged at {} workers", round, workers);
+        }
+    }
+
+    /// Engine-level sharded differential: whole executions — stats,
+    /// full traces, every process's observations — are byte-identical
+    /// with intra-round workers enabled, across mixed mobility,
+    /// spawns, crashes, and a lossy adversary.
+    #[test]
+    fn engine_sharded_path_matches_sequential(
+        specs in proptest::collection::vec(
+            (arb_point(), 0u8..4, any::<bool>(), 0u64..6, proptest::option::of(2u64..20)),
+            1..14),
+        seed in any::<u64>(),
+        stabilize in 0u64..30,
+        drop_p in 0.0f64..0.6,
+        rounds in 5u64..30,
+        worker_pick in 0usize..3,
+    ) {
+        let workers = [2usize, 3, 7][worker_pick];
+        let build = |workers: usize| -> (Vec<(Vec<u64>, u64)>, String, virtual_infra::radio::ChannelStats) {
+            let bounds = Rect::square(200.0);
+            let mut engine: Engine<u64> = Engine::new(EngineConfig {
+                radio: RadioConfig::stabilizing(10.0, 20.0, stabilize),
+                seed,
+                record_trace: true,
+            });
+            engine.set_workers(workers);
+            engine.set_shard_min_slots(1);
+            engine.set_adversary(Box::new(RandomLoss::new(drop_p, 0.1)));
+            let mut ids = Vec::new();
+            for &(start, mobility, chatty, spawn, crash) in &specs {
+                let start = Point::new(start.x.min(190.0), start.y.min(190.0));
+                let model: Box<dyn MobilityModel> = match mobility {
+                    0 => Box::new(Static::new(start)),
+                    1 => Box::new(Waypoint::new(start, 0.7, bounds)),
+                    2 => Box::new(Waypoint::new(start, 0.0, bounds)),
+                    _ => Box::new(Billiard::new(start, (0.5, -0.3), bounds)),
+                };
+                let mut spec = NodeSpec::new(model, Box::new(Recorder::new(chatty)));
+                if spawn > 0 {
+                    spec = spec.spawn_at(spawn);
+                }
+                if let Some(c) = crash {
+                    spec = spec.crash_at(c);
+                }
+                ids.push(engine.add_node(spec));
+            }
+            engine.run(rounds);
+            let observed = ids
+                .iter()
+                .map(|&id| {
+                    let r: &Recorder = engine.process(id).expect("recorder");
+                    (r.heard.clone(), r.collisions)
+                })
+                .collect();
+            let trace = serde_json::to_string(engine.trace()).expect("serializable trace");
+            (observed, trace, *engine.stats())
+        };
+
+        let sequential = build(1);
+        let sharded = build(workers);
+        prop_assert_eq!(sharded.2, sequential.2, "stats diverged at {} workers", workers);
+        prop_assert_eq!(&sharded.1, &sequential.1, "traces diverged at {} workers", workers);
+        prop_assert_eq!(&sharded.0, &sequential.0,
+            "process observations diverged at {} workers", workers);
+    }
+
     /// Engine-level differential: the overhauled round path (settled
     /// skip, cached topology, SoA receptions) and the legacy path
     /// produce byte-identical executions — stats, full traces, every

@@ -112,6 +112,25 @@ fn steady_state_rounds_allocate_nothing() {
     assert_eq!(engine.round(), 150);
     assert!(engine.stats().broadcasts > 0);
 
+    // Tile-sharded resolution preserves the guarantee: spawn the pool
+    // and grow the per-worker tile scratch inside a warm-up window
+    // (the threshold override forces sharding at this n), then demand
+    // silence again. Pool broadcasts are allocation-free by design —
+    // parked threads are woken through a mutex/condvar pair and the
+    // job is passed as a borrowed pointer.
+    engine.set_workers(4);
+    engine.set_shard_min_slots(1);
+    engine.run(30);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    engine.run(120);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state sharded rounds must not allocate"
+    );
+    assert_eq!(engine.round(), 300);
+
     // The legacy path on the same deployment allocates every round —
     // the contrast proves the counter actually measures the engine.
     engine.set_legacy_round_path(true);
