@@ -186,6 +186,7 @@ pub fn ms_per_round(spec: &ScenarioSpec, legacy_engine: bool) -> f64 {
     let tuning = EngineTuning {
         legacy_engine,
         workers: 1,
+        ..EngineTuning::DEFAULT
     };
     timed_run(spec, tuning).0
 }
@@ -233,6 +234,10 @@ pub fn metropolis() -> Table {
             "seq ms/round",
             "sharded ms/round",
             "shard speedup",
+            "steady",
+            "reanchor",
+            "churn",
+            "receptions",
         ],
     );
     let large_on = large_rows_enabled();
@@ -256,6 +261,19 @@ pub fn metropolis() -> Table {
             "sequential and sharded outcomes diverged on {}",
             spec.name
         );
+        // One extra telemetry-on run per row feeds the counter columns
+        // and the phase breakdown below. The timing columns above stay
+        // telemetry-off, and stripping the summary must recover the
+        // plain outcome exactly — telemetry observes, never perturbs.
+        let tele_out = spec.run_with(SEED, EngineTuning::with_workers(1).with_telemetry());
+        let mut stripped = tele_out.clone();
+        stripped.telemetry = None;
+        assert_eq!(
+            stripped, seq_out,
+            "telemetry perturbed the simulation on {}",
+            spec.name
+        );
+        let tele = tele_out.telemetry.expect("telemetry was enabled");
         t.row(&[
             cfg.mix.to_string(),
             seq_out.nodes.to_string(),
@@ -265,12 +283,30 @@ pub fn metropolis() -> Table {
             format!("{seq_ms:.3}"),
             format!("{shard_ms:.3}"),
             f2(seq_ms / shard_ms.max(f64::MIN_POSITIVE)),
+            tele.counters.rounds_steady.to_string(),
+            tele.counters.rounds_reanchor.to_string(),
+            tele.counters.rounds_churn.to_string(),
+            tele.counters.receptions.to_string(),
         ]);
+        let phases: Vec<String> = tele
+            .phases
+            .phases
+            .iter()
+            .filter(|p| p.samples > 0)
+            .map(|p| format!("{} p50={}µs p95={}µs", p.phase, p.p50_us, p.p95_us))
+            .collect();
+        t.note(format!(
+            "{} {}k phase breakdown: {}",
+            cfg.mix,
+            cfg.n / 1000,
+            phases.join(", ")
+        ));
     }
     t.note("constant density (15 m spacing); mobile nodes are 0.5 m/round waypoints");
     t.note("static_heavy = 2% mobile, commuter = 30%, rush_hour = 60% (high churn exercises the churn fallback)");
     t.note("outcome tables asserted byte-identical across all engine paths (legacy, sequential, sharded) before timing");
     t.note("`workers` is the intra-round worker count of the sharded column; shard speedup = seq / sharded");
+    t.note("steady/reanchor/churn are deterministic round-mode counters; receptions is total deliveries (telemetry run, timing columns are telemetry-off)");
     if large_on {
         t.note("large rows (n >= 200000) enabled via VI_METROPOLIS_LARGE=1; their legacy-path timing is skipped ('-')");
     } else {
@@ -371,11 +407,33 @@ mod tests {
         for cfg in CONFIGS.iter().filter(|c| !c.large && c.n == 20000) {
             let spec = spec_of(cfg);
             let sequential = spec.run_with(SEED, EngineTuning::with_workers(1));
+            // Telemetry counters are part of the deterministic surface:
+            // the same run at any worker count must report the same
+            // counter set (phase timings are excluded from equality).
+            let tele_seq = spec.run_with(SEED, EngineTuning::with_workers(1).with_telemetry());
+            let seq_counters = tele_seq
+                .telemetry
+                .as_ref()
+                .expect("telemetry was enabled")
+                .counters;
+            assert!(seq_counters.rounds_total > 0, "rounds were counted");
             for workers in [2usize, SHARD_WORKERS] {
                 let sharded = spec.run_with(SEED, EngineTuning::with_workers(workers));
                 assert_eq!(
                     sequential, sharded,
                     "{} diverged at {workers} workers",
+                    spec.name
+                );
+                let tele_shard =
+                    spec.run_with(SEED, EngineTuning::with_workers(workers).with_telemetry());
+                assert_eq!(
+                    seq_counters,
+                    tele_shard
+                        .telemetry
+                        .as_ref()
+                        .expect("telemetry was enabled")
+                        .counters,
+                    "{} counters diverged at {workers} workers",
                     spec.name
                 );
             }

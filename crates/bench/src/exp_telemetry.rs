@@ -1,0 +1,253 @@
+//! Experiment E19 (`telemetry`): the observability layer itself —
+//! deterministic engine counters and wall-clock phase timers across
+//! representative catalog scenarios.
+//!
+//! Every row runs with [`EngineTuning::with_telemetry`] through the
+//! [`SweepRunner`] and reports the counter set a run accumulated:
+//! round-mode split (steady / scatter / re-anchor / churn), cache
+//! re-anchors, receptions and collisions, adversary consultations,
+//! traffic timeouts and audited operations. Counters live on the
+//! sequential control path of the engine, so the experiment asserts
+//! the tentpole acceptance criterion inline: the same matrix on 1
+//! worker and on `auto()` workers yields identical counter sets
+//! (wall-clock phase stats are excluded from summary equality).
+//!
+//! The Perfetto side (`VI_TRACE`) is exercised by this module's
+//! tests: sweeps emit `sweep-worker` and per-job spans that must
+//! round-trip through the Chrome trace-event JSON format.
+
+use crate::table::Table;
+use vi_scenario::{catalog, EngineTuning, ScenarioOutcome, ScenarioSpec, SweepRunner};
+use vi_telemetry::Phase;
+
+/// Seeds of the telemetry matrix (two is enough — determinism across
+/// seeds is E15's job; this experiment characterizes counter shapes).
+const SEEDS: [u64; 2] = [1, 2];
+
+/// Catalog picks covering every counter family: a static clique
+/// (steady rounds), heavy mobility (movers + re-anchors), a lying
+/// detector (adversary consultations), city scale (scatter + churn),
+/// and an audited traffic workload (timeouts + audit ops).
+const SCENARIOS: [&str; 5] = [
+    "clique",
+    "commuter_wave",
+    "broken_detector",
+    "city_scale",
+    "quake_drill",
+];
+
+fn specs() -> Vec<ScenarioSpec> {
+    SCENARIOS
+        .iter()
+        .map(|name| catalog::scenario(name).expect("catalog name"))
+        .collect()
+}
+
+/// Compact per-phase p95 cell: `advance/geometry/finalize/deliver/
+/// checker` in microseconds (`-` for phases with no samples).
+fn phase_p95_cell(out: &ScenarioOutcome) -> String {
+    let tele = out.telemetry.as_ref().expect("telemetry was enabled");
+    Phase::ALL
+        .iter()
+        .map(|&p| match tele.phases.get(p) {
+            Some(s) if s.samples > 0 => s.p95_us.to_string(),
+            _ => "-".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// E19 — per-scenario deterministic counters, with the 1-vs-N-worker
+/// counter identity asserted before anything is reported.
+///
+/// # Panics
+///
+/// Panics if any counter set differs between the 1-worker and the
+/// `auto()`-worker run of the same job — that would mean a counter
+/// leaked onto a parallel code path.
+pub fn telemetry() -> Table {
+    let specs = specs();
+    let tuning = EngineTuning::DEFAULT.with_telemetry();
+    let outcomes = SweepRunner::auto().run_matrix_with(&specs, &SEEDS, tuning);
+    let sequential = SweepRunner::new(1).run_matrix_with(&specs, &SEEDS, tuning);
+    for (a, b) in outcomes.iter().zip(&sequential) {
+        assert_eq!(
+            a.telemetry, b.telemetry,
+            "{}#{}: counters depend on the worker count",
+            a.scenario, a.seed
+        );
+    }
+
+    let mut t = Table::new(
+        "E19 telemetry: deterministic engine counters across catalog scenarios",
+        &[
+            "scenario",
+            "seed",
+            "rounds",
+            "steady",
+            "scatter",
+            "reanchor",
+            "churn",
+            "receptions",
+            "collisions",
+            "adv checks",
+            "timeouts",
+            "audit ops",
+            "phase p95 µs (adv/geo/fin/del/chk)",
+        ],
+    );
+    for out in &outcomes {
+        let c = out
+            .telemetry
+            .as_ref()
+            .expect("telemetry was enabled")
+            .counters;
+        t.row(&[
+            out.scenario.clone(),
+            out.seed.to_string(),
+            c.rounds_total.to_string(),
+            c.rounds_steady.to_string(),
+            c.rounds_scatter.to_string(),
+            c.rounds_reanchor.to_string(),
+            c.rounds_churn.to_string(),
+            c.receptions.to_string(),
+            c.collisions.to_string(),
+            c.adversary_checks.to_string(),
+            c.traffic_timeouts.to_string(),
+            c.audit_ops.to_string(),
+            phase_p95_cell(out),
+        ]);
+    }
+    t.note("counters asserted identical between 1-worker and auto-worker sweeps before reporting");
+    t.note("phase timings are wall-clock (µs, excluded from determinism); traffic workloads drive their own engine, so their round-mode counters stay 0");
+    t.note("set VI_TRACE=out.json on any sweep to additionally export a Perfetto/Chrome trace of worker and job spans");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp_metropolis::metropolis_spec;
+    use vi_telemetry::trace_export;
+
+    /// The counter algebra of a pure-CHA run: the round-mode counters
+    /// partition `rounds_total`, and the delivery counters mirror the
+    /// channel stats.
+    #[test]
+    fn counters_reconcile_on_a_clique() {
+        let spec = catalog::scenario("clique").expect("catalog name");
+        let out = spec.run_with(1, EngineTuning::DEFAULT.with_telemetry());
+        let c = out.telemetry.as_ref().expect("telemetry on").counters;
+        assert_eq!(c.rounds_total, out.rounds, "every round is counted");
+        assert_eq!(
+            c.rounds_total,
+            c.rounds_steady
+                + c.rounds_scatter
+                + c.rounds_reanchor
+                + c.rounds_churn
+                + c.rounds_legacy,
+            "round modes partition the total"
+        );
+        assert!(c.receptions > 0, "a clique delivers messages");
+        // Telemetry off: the field is absent and the rest identical.
+        let plain = spec.run_with(1, EngineTuning::DEFAULT);
+        assert!(plain.telemetry.is_none());
+        let mut stripped = out.clone();
+        stripped.telemetry = None;
+        assert_eq!(stripped, plain, "telemetry must not perturb the run");
+    }
+
+    /// Satellite requirement: sweeps under tracing emit spans that
+    /// round-trip through the Chrome trace-event format — every span
+    /// carries `ts`/`dur`/`tid`, and each sweep worker contributes at
+    /// least its lifetime span.
+    #[test]
+    fn sweep_trace_validates_as_chrome_trace_json() {
+        trace_export::enable_tracing();
+        let spec = catalog::scenario("clique").expect("catalog name");
+        let workers = 2usize;
+        let _ = SweepRunner::new(workers).run_matrix(&[spec], &[1, 2, 3, 4]);
+
+        let dir = std::env::temp_dir().join("vi_bench_trace_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("trace.json");
+        let path_str = path.to_str().expect("utf-8 temp path");
+        let written = trace_export::flush_to_path(path_str).expect("flush trace");
+        assert!(written >= workers, "at least one span per sweep worker");
+
+        // The Chrome trace format fixes the field name.
+        #[derive(serde::Deserialize)]
+        #[allow(non_snake_case)]
+        struct TraceFileIn {
+            traceEvents: Vec<trace_export::TraceEvent>,
+        }
+        let raw = std::fs::read_to_string(&path).expect("read trace");
+        let parsed: TraceFileIn = serde_json::from_str(&raw).expect("trace must be valid JSON");
+        let events = parsed.traceEvents;
+        assert!(events.len() >= workers);
+        for ev in &events {
+            assert_eq!(ev.ph, "X", "complete events only");
+            assert!(ev.dur > 0 || ev.ts > 0, "span has a timestamp: {ev:?}");
+            assert!(!ev.name.is_empty() && !ev.cat.is_empty());
+        }
+        // One lifetime span per sweep worker, on distinct tid lanes.
+        let worker_tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|ev| ev.name == "sweep-worker")
+            .map(|ev| ev.tid)
+            .collect();
+        for tid in 0..workers as u64 {
+            assert!(
+                worker_tids.contains(&tid),
+                "missing sweep-worker span on tid {tid}"
+            );
+        }
+        // Per-job spans are named `scenario#seed` on the sweep pid.
+        let job = events
+            .iter()
+            .find(|ev| ev.name == "clique#3")
+            .expect("per-job span missing");
+        assert_eq!(job.pid, trace_export::PID_SWEEP);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Acceptance guard, CI-release only: telemetry-on must stay
+    /// within ~1.3x of telemetry-off on a metropolis-scale run — the
+    /// counters are plain u64 bumps on the control path and the phase
+    /// timers are five `Instant` reads per round, nothing more.
+    ///
+    /// (The telemetry-*off* regression guard against the pre-telemetry
+    /// baseline is the existing E18 static-heavy ≥2x speedup test,
+    /// which CI keeps running with telemetry off.)
+    #[test]
+    #[ignore = "wall-clock benchmark; CI runs it explicitly in release (telemetry smoke step)"]
+    fn telemetry_on_overhead_is_bounded() {
+        let spec = metropolis_spec("telemetry_overhead_5000", 5000, 0.02, 10);
+        let run_ms = |tuning: EngineTuning| -> f64 {
+            let t0 = std::time::Instant::now();
+            let out = spec.run_with(1, tuning);
+            t0.elapsed().as_secs_f64() * 1000.0 / out.rounds.max(1) as f64
+        };
+        let mut failure = String::new();
+        for attempt in 0..3 {
+            // Interleaved min-of-pairs: scheduler noise only inflates.
+            let mut off_ms = f64::INFINITY;
+            let mut on_ms = f64::INFINITY;
+            for _ in 0..2 {
+                off_ms = off_ms.min(run_ms(EngineTuning::with_workers(1)));
+                on_ms = on_ms.min(run_ms(EngineTuning::with_workers(1).with_telemetry()));
+            }
+            let ratio = on_ms / off_ms.max(f64::MIN_POSITIVE);
+            if ratio <= 1.3 {
+                eprintln!(
+                    "telemetry overhead n=5000: {off_ms:.3} -> {on_ms:.3} ms/round ({ratio:.2}x)"
+                );
+                return;
+            }
+            failure = format!(
+                "attempt {attempt}: {off_ms:.3} -> {on_ms:.3} ms/round, {ratio:.2}x (want <= 1.3x)"
+            );
+        }
+        panic!("telemetry overhead above 1.3x on every attempt; last: {failure}");
+    }
+}

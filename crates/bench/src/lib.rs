@@ -16,6 +16,7 @@ pub mod exp_emulation;
 pub mod exp_metropolis;
 pub mod exp_radio;
 pub mod exp_scenarios;
+pub mod exp_telemetry;
 pub mod exp_traffic;
 pub mod harness;
 pub mod table;
@@ -93,6 +94,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "metropolis",
             "Engine hot path at city scale: old vs overhauled round path",
             exp_metropolis::metropolis,
+        ),
+        (
+            "telemetry",
+            "Observability: deterministic counters, phase timers, Perfetto export",
+            exp_telemetry::telemetry,
         ),
     ]
 }

@@ -145,6 +145,14 @@ impl<VA: VirtualAutomaton> World<VA> {
         self.engine.set_workers(workers);
     }
 
+    /// Installs a telemetry probe on the underlying engine (see
+    /// [`vi_radio::Engine::set_probe`]). Deterministic counters are
+    /// unchanged by the worker count; wall-clock fields are not part
+    /// of any identity contract.
+    pub fn set_probe(&mut self, probe: vi_telemetry::Probe) {
+        self.engine.set_probe(probe);
+    }
+
     /// Runs `n` complete virtual rounds.
     pub fn run_virtual_rounds(&mut self, n: u64) {
         self.engine.run(n * self.dep.plan.rounds_per_vr());

@@ -27,6 +27,7 @@ use crate::geometry::{Point, SpatialGrid};
 use crate::pool::WorkerPool;
 use rand::rngs::StdRng;
 use std::cell::UnsafeCell;
+use vi_telemetry::{trace_export, Phase, Probe};
 
 /// A node's transmission decision for one round.
 #[derive(Clone, Debug)]
@@ -264,6 +265,12 @@ struct TileScratch {
     query: Vec<(u32, f64)>,
     /// Finalize read position (an index into `rxs`).
     cursor: usize,
+    /// Wall-clock span stamp of this tile's geometry pass (µs since
+    /// the trace epoch; written by the owning worker only when span
+    /// tracing is on, read by the control thread after the broadcast).
+    span_start_us: u64,
+    /// Span duration in µs (same lifecycle as `span_start_us`).
+    span_dur_us: u64,
 }
 
 /// [`UnsafeCell`] wrapper giving each pool worker exclusive mutable
@@ -339,6 +346,10 @@ pub struct Medium {
     shard_min_slots: usize,
     /// One tile of geometry scratch per pool worker.
     tiles: Vec<Tile>,
+    /// Telemetry handle (null by default: every site is one branch).
+    /// Counter increments sit on the sequential control path only, so
+    /// they are worker-count independent by construction.
+    probe: Probe,
 }
 
 impl Medium {
@@ -387,7 +398,14 @@ impl Medium {
             pool: None,
             shard_min_slots: Self::DEFAULT_SHARD_MIN_SLOTS,
             tiles: Vec::new(),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Installs a telemetry probe (a clone shares the caller's
+    /// counters). The default probe is null and costs one branch.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// Sets the intra-round worker count for tile-sharded resolution.
@@ -468,11 +486,18 @@ impl Medium {
         let tiles = &self.tiles[..workers];
         let rows = grid.rows();
         let r2 = self.cfg.r2;
+        // Per-worker Perfetto spans: stamped into the worker-owned
+        // tile (wall-clock only, never read by the resolver), pushed
+        // to the global collector by the control thread below.
+        let spans_on = self.probe.is_enabled() && trace_export::tracing_enabled();
         let job = move |w: usize| {
             // SAFETY: worker `w` dereferences tiles[w] and no other
             // tile, and `broadcast` below does not return until every
             // worker is done — see `Tile`.
             let scratch = unsafe { &mut *tiles[w].0.get() };
+            if spans_on {
+                scratch.span_start_us = trace_export::now_us();
+            }
             for rx in 0..n as u32 {
                 let pos = if mode == ShardMode::ChurnIndex {
                     all_pos[rx as usize]
@@ -523,8 +548,24 @@ impl Medium {
                 }
                 scratch.starts.push(scratch.flat.len() as u32);
             }
+            if spans_on {
+                scratch.span_dur_us = trace_export::now_us() - scratch.span_start_us;
+            }
         };
         pool.broadcast(&job);
+        if spans_on {
+            for (w, tile) in self.tiles[..workers].iter_mut().enumerate() {
+                let scratch = tile.0.get_mut();
+                trace_export::record_span(
+                    "shard-geometry",
+                    "pool",
+                    trace_export::PID_POOL,
+                    w as u64,
+                    scratch.span_start_us,
+                    scratch.span_dur_us,
+                );
+            }
+        }
     }
 
     /// Sequential finalize phase of a tile-sharded round: walks
@@ -623,6 +664,11 @@ impl Medium {
         out: &mut Vec<AttributedReception<M>>,
     ) {
         out.clear();
+        self.probe.count(|c| {
+            c.rounds_total += 1;
+            c.rounds_legacy += 1;
+            c.grid_queries += intents.len() as u64;
+        });
         // This path re-anchors the grid over the round's broadcasters,
         // so any full-topology cache is stale from here on.
         self.cache_ready = false;
@@ -772,6 +818,7 @@ impl Medium {
         out.clear();
         let n = intents.len();
         let r2 = self.cfg.r2;
+        self.probe.count(|c| c.rounds_total += 1);
 
         // Pick the round's maintenance mode. Participant churn and
         // mass movement go through the per-round broadcaster index
@@ -781,10 +828,14 @@ impl Medium {
         // re-anchors the full-topology cache.
         let stale = !self.cache_ready || self.cached_n != n;
         let (churn, movers): (bool, &[u32]) = match delta {
-            TopologyDelta::Rebuild => (true, &[]),
+            TopologyDelta::Rebuild => {
+                self.probe.count(|c| c.fallback_participant_churn += 1);
+                (true, &[])
+            }
             TopologyDelta::Unchanged => (false, &[]),
             TopologyDelta::Moved(slots) => {
                 if slots.len() * Self::MOVER_REBUILD_NUM > n {
+                    self.probe.count(|c| c.fallback_mass_move += 1);
                     (true, &[])
                 } else if stale
                     || slots
@@ -804,8 +855,22 @@ impl Medium {
             return;
         }
 
+        // Geometry phase (wall-clock only): cache maintenance plus
+        // whichever candidate-list construction the round takes.
+        let t_geom = self.probe.timer();
+
         let rebuild = stale || (movers.is_empty() && !matches!(delta, TopologyDelta::Unchanged));
         if rebuild {
+            self.probe.count(|c| {
+                c.rounds_reanchor += 1;
+                c.cache_reanchors += 1;
+                if stale {
+                    c.fallback_stale_cache += 1;
+                } else {
+                    c.fallback_anchor_drift += 1;
+                }
+                c.grid_queries += n as u64;
+            });
             self.all_pos.clear();
             self.all_pos.extend(intents.iter().map(|i| i.pos));
             self.grid.rebuild(&self.all_pos);
@@ -820,6 +885,11 @@ impl Medium {
             self.cached_n = n;
             self.cache_ready = true;
         } else if !movers.is_empty() {
+            self.probe.count(|c| {
+                c.mover_rounds += 1;
+                c.mover_slots += movers.len() as u64;
+                c.grid_queries += movers.len() as u64;
+            });
             // Phase A: land every move in the grid first, so each
             // refreshed neighborhood below sees this round's true
             // positions (mover–mover pairs included).
@@ -897,6 +967,13 @@ impl Medium {
         // scan path. Either path yields the identical per-receiver
         // broadcaster subset in ascending order.
         let scatter = !rebuild && broadcasters * Self::SCATTER_MAX_TX_NUM < n;
+        self.probe.count(|c| {
+            if scatter {
+                c.rounds_scatter += 1;
+            } else if !rebuild {
+                c.rounds_steady += 1;
+            }
+        });
         if scatter {
             self.events.clear();
             for (i, intent) in intents.iter().enumerate() {
@@ -907,6 +984,8 @@ impl Medium {
                 }
             }
             self.events.sort_unstable_by_key(|&(key, _)| key);
+            self.probe.phase_since(Phase::Geometry, t_geom);
+            let t_fin = self.probe.timer();
             let mut cursor = 0usize;
             for (j, rx_intent) in intents.iter().enumerate() {
                 self.txn.clear();
@@ -929,6 +1008,7 @@ impl Medium {
                     out,
                 );
             }
+            self.probe.phase_since(Phase::Finalize, t_fin);
             return;
         }
 
@@ -942,11 +1022,20 @@ impl Medium {
             } else {
                 ShardMode::ScanCached
             };
+            self.probe.add_sharded_round();
             self.shard_geometry(mode, n);
+            self.probe.phase_since(Phase::Geometry, t_geom);
+            let t_fin = self.probe.timer();
             self.shard_finalize(mode, round, intents, adversary, rng, out);
+            self.probe.phase_since(Phase::Finalize, t_fin);
             return;
         }
 
+        // Sequential scan. Geometry ends here: on re-anchor rounds the
+        // per-receiver grid queries are interleaved with resolution, so
+        // they land in the finalize bucket (a documented approximation).
+        self.probe.phase_since(Phase::Geometry, t_geom);
+        let t_fin = self.probe.timer();
         for (j, rx_intent) in intents.iter().enumerate() {
             if rebuild {
                 // Re-anchored this round: recompute the neighborhood.
@@ -980,6 +1069,7 @@ impl Medium {
                 out,
             );
         }
+        self.probe.phase_since(Phase::Finalize, t_fin);
     }
 
     /// One round resolved through a per-round index over the round's
@@ -995,6 +1085,11 @@ impl Medium {
         rng: &mut StdRng,
         out: &mut ReceptionBuffer<M>,
     ) {
+        self.probe.count(|c| {
+            c.rounds_churn += 1;
+            c.grid_queries += intents.len() as u64;
+        });
+        let t_geom = self.probe.timer();
         self.cache_ready = false;
         self.broadcasters.clear();
         self.broadcaster_pos.clear();
@@ -1010,13 +1105,21 @@ impl Medium {
         // index over row-band tiles of *receiver* positions, which are
         // staged in `all_pos` because workers never touch intents.
         if self.shard_applicable(intents.len()) {
+            self.probe.add_sharded_round();
             self.all_pos.clear();
             self.all_pos.extend(intents.iter().map(|i| i.pos));
             self.shard_geometry(ShardMode::ChurnIndex, intents.len());
+            self.probe.phase_since(Phase::Geometry, t_geom);
+            let t_fin = self.probe.timer();
             self.shard_finalize(ShardMode::ChurnIndex, round, intents, adversary, rng, out);
+            self.probe.phase_since(Phase::Finalize, t_fin);
             return;
         }
 
+        // Sequential churn: the per-receiver queries below interleave
+        // with resolution, so geometry covers only the index rebuild.
+        self.probe.phase_since(Phase::Geometry, t_geom);
+        let t_fin = self.probe.timer();
         let cfg = self.cfg;
         for (j, rx_intent) in intents.iter().enumerate() {
             self.fresh.clear();
@@ -1043,6 +1146,7 @@ impl Medium {
                 out,
             );
         }
+        self.probe.phase_since(Phase::Finalize, t_fin);
     }
 }
 

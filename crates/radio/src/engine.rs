@@ -26,6 +26,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::fmt;
+use vi_telemetry::{Phase, Probe};
 
 /// Simulator handle for a node.
 ///
@@ -202,6 +203,35 @@ pub struct Engine<M> {
     /// rebuild + per-receiver allocation). Byte-identical outputs;
     /// kept as the benchmarking baseline and differential oracle.
     legacy_round_path: bool,
+    /// Telemetry handle (null by default; shared with the medium).
+    probe: Probe,
+}
+
+/// Forwards every consultation to the real adversary, counting them.
+/// The count is deterministic — the resolver's consultation order is
+/// part of the byte-identity contract — and the wrapper is only
+/// constructed when a probe is live, so the disabled path keeps the
+/// direct vtable call.
+struct CountingAdversary<'a> {
+    inner: &'a mut dyn Adversary,
+    hits: u64,
+}
+
+impl Adversary for CountingAdversary<'_> {
+    fn drop_message(&mut self, round: u64, src: NodeId, dst: NodeId, rng: &mut StdRng) -> bool {
+        self.hits += 1;
+        self.inner.drop_message(round, src, dst, rng)
+    }
+
+    fn spurious_collision(&mut self, round: u64, node: NodeId, rng: &mut StdRng) -> bool {
+        self.hits += 1;
+        self.inner.spurious_collision(round, node, rng)
+    }
+
+    fn suppress_detection(&mut self, round: u64, node: NodeId, rng: &mut StdRng) -> bool {
+        self.hits += 1;
+        self.inner.suppress_detection(round, node, rng)
+    }
 }
 
 impl<M: Clone + WireSized + 'static> Engine<M> {
@@ -238,7 +268,17 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
                 collisions: Vec::new(),
             },
             legacy_round_path: false,
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Installs a telemetry probe on the engine and its medium (clones
+    /// share one set of counters and timers). The default probe is
+    /// null: every instrumentation site costs a single branch and the
+    /// zero-alloc steady-state contract is untouched.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.medium.set_probe(probe.clone());
+        self.probe = probe;
     }
 
     /// The broadcast medium driving channel resolution.
@@ -428,7 +468,9 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
     /// reception storage, zero allocations in steady state.
     fn step_fast(&mut self) {
         let round = self.round;
+        let t_adv = self.probe.timer();
         self.collect_intents(true);
+        self.probe.phase_since(Phase::Advance, t_adv);
 
         // Topology delta for the cached resolver: participant churn
         // forces a rebuild; otherwise only the movers are dirty.
@@ -440,16 +482,36 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         } else {
             TopologyDelta::Moved(&self.moved)
         };
-        self.medium.resolve_round_cached(
-            round,
-            &self.intents,
-            delta,
-            self.adversary.as_mut(),
-            &mut self.rng,
-            &mut self.receptions,
-        );
+        if self.probe.is_enabled() {
+            let mut counting = CountingAdversary {
+                inner: self.adversary.as_mut(),
+                hits: 0,
+            };
+            self.medium.resolve_round_cached(
+                round,
+                &self.intents,
+                delta,
+                &mut counting,
+                &mut self.rng,
+                &mut self.receptions,
+            );
+            let hits = counting.hits;
+            self.probe.count(|c| c.adversary_checks += hits);
+        } else {
+            self.medium.resolve_round_cached(
+                round,
+                &self.intents,
+                delta,
+                self.adversary.as_mut(),
+                &mut self.rng,
+                &mut self.receptions,
+            );
+        }
 
         // Statistics and trace (pooled record, cloned exact-size).
+        let t_del = self.probe.timer();
+        let prev_deliveries = self.stats.deliveries;
+        let prev_collisions = self.stats.collision_reports;
         self.stats.rounds += 1;
         let record = self.config.record_trace;
         if record {
@@ -504,6 +566,13 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             let rx = self.receptions.reception(k);
             self.nodes[idx].process.deliver(&ctx, rx);
         }
+        let receptions = self.stats.deliveries - prev_deliveries;
+        let collisions = self.stats.collision_reports - prev_collisions;
+        self.probe.count(|c| {
+            c.receptions += receptions;
+            c.collisions += collisions;
+        });
+        self.probe.phase_since(Phase::Deliver, t_del);
 
         self.round += 1;
     }
@@ -514,17 +583,38 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
     /// an owned allocation.
     fn step_legacy(&mut self) {
         let round = self.round;
+        let t_adv = self.probe.timer();
         self.collect_intents(false);
+        self.probe.phase_since(Phase::Advance, t_adv);
 
-        self.medium.resolve_into(
-            round,
-            &self.intents,
-            self.adversary.as_mut(),
-            &mut self.rng,
-            &mut self.legacy_receptions,
-        );
+        if self.probe.is_enabled() {
+            let mut counting = CountingAdversary {
+                inner: self.adversary.as_mut(),
+                hits: 0,
+            };
+            self.medium.resolve_into(
+                round,
+                &self.intents,
+                &mut counting,
+                &mut self.rng,
+                &mut self.legacy_receptions,
+            );
+            let hits = counting.hits;
+            self.probe.count(|c| c.adversary_checks += hits);
+        } else {
+            self.medium.resolve_into(
+                round,
+                &self.intents,
+                self.adversary.as_mut(),
+                &mut self.rng,
+                &mut self.legacy_receptions,
+            );
+        }
 
         // Statistics and trace.
+        let t_del = self.probe.timer();
+        let prev_deliveries = self.stats.deliveries;
+        let prev_collisions = self.stats.collision_reports;
         self.stats.rounds += 1;
         let mut record = self.config.record_trace.then(|| RoundRecord {
             round,
@@ -581,6 +671,13 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             k += 1;
         }
         self.legacy_receptions.clear();
+        let receptions = self.stats.deliveries - prev_deliveries;
+        let collisions = self.stats.collision_reports - prev_collisions;
+        self.probe.count(|c| {
+            c.receptions += receptions;
+            c.collisions += collisions;
+        });
+        self.probe.phase_since(Phase::Deliver, t_del);
 
         self.round += 1;
     }

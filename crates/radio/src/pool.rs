@@ -281,4 +281,56 @@ mod tests {
             "pool usable after caller panic"
         );
     }
+
+    /// Caller panic while the spawned workers are *still running*: the
+    /// unwinding broadcast frame must block until they quiesce (their
+    /// job borrows point into it), and the pool must come back usable.
+    #[test]
+    fn caller_panic_waits_out_slow_workers_then_pool_is_reusable() {
+        let pool = WorkerPool::new(3);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w == 0 {
+                    panic!("caller fails immediately");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err(), "caller panic must propagate");
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            2,
+            "broadcast returned before the slow workers quiesced"
+        );
+        let count = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3, "pool reusable");
+    }
+
+    /// After a propagated worker panic, dropping the pool must join
+    /// every thread promptly — no hang on a worker stuck in a dead
+    /// epoch, no double panic.
+    #[test]
+    fn drop_joins_cleanly_after_propagated_panic() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w != 0 {
+                    panic!("every spawned worker fails");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            drop(pool);
+            tx.send(()).expect("report drop completion");
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("Drop must join workers after a propagated panic");
+    }
 }

@@ -17,6 +17,7 @@ use vi_core::cha::{ChaMessage, ChaNode, ChaSpecChecker, TaggedProposer};
 use vi_core::vi::{CounterAutomaton, VnId, World, WorldConfig};
 use vi_radio::trace::ChannelStats;
 use vi_radio::{Engine, EngineConfig, NodeId, NodeSpec};
+use vi_telemetry::{Phase, Probe, TelemetrySummary};
 use vi_traffic::{AppKind, DevicePlan, TrafficSpec, TrafficSummary, TrafficWorld};
 
 /// Salt separating the placement RNG stream from the engine's seed
@@ -41,20 +42,44 @@ pub struct EngineTuning {
     ///
     /// [`SweepRunner`]: crate::runner::SweepRunner
     pub workers: usize,
+    /// Record telemetry for this run: deterministic counters plus
+    /// wall-clock phase timers, surfaced as
+    /// [`ScenarioOutcome::telemetry`]. Off by default — the disabled
+    /// path costs one branch per instrumentation site. Deterministic
+    /// counters are byte-identical at any worker count, and enabling
+    /// telemetry never changes receptions, traces, or the RNG stream.
+    pub telemetry: bool,
 }
 
 impl EngineTuning {
-    /// The default execution: current engine path, sequential rounds.
+    /// The default execution: current engine path, sequential rounds,
+    /// telemetry off.
     pub const DEFAULT: EngineTuning = EngineTuning {
         legacy_engine: false,
         workers: 0,
+        telemetry: false,
     };
 
     /// Current engine path with `workers` intra-round workers.
     pub fn with_workers(workers: usize) -> Self {
         EngineTuning {
-            legacy_engine: false,
             workers,
+            ..EngineTuning::DEFAULT
+        }
+    }
+
+    /// This tuning with telemetry recording on.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
+    /// A live probe when telemetry is requested, else the null probe.
+    fn probe(&self) -> Probe {
+        if self.telemetry {
+            Probe::enabled()
+        } else {
+            Probe::disabled()
         }
     }
 }
@@ -102,6 +127,11 @@ pub struct ScenarioOutcome {
     pub traffic: Option<TrafficSummary>,
     /// Consistency-audit verdicts (audited traffic workloads only).
     pub audit: Option<AuditReport>,
+    /// Telemetry (counters + phase timers), present only when the run
+    /// was executed with [`EngineTuning::telemetry`]. Its equality
+    /// compares deterministic counters only, so outcome comparisons
+    /// across worker counts tolerate wall-clock jitter.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl ScenarioOutcome {
@@ -131,7 +161,7 @@ impl ScenarioSpec {
             seed,
             EngineTuning {
                 legacy_engine,
-                workers: 0,
+                ..EngineTuning::DEFAULT
             },
         )
     }
@@ -156,7 +186,7 @@ impl ScenarioSpec {
                 layout,
                 traffic,
                 audit,
-            } => self.run_traffic(seed, *app, layout, traffic, *audit),
+            } => self.run_traffic(seed, *app, layout, traffic, *audit, tuning),
         }
     }
 
@@ -171,6 +201,8 @@ impl ScenarioSpec {
         if tuning.workers >= 2 {
             engine.set_workers(tuning.workers);
         }
+        let probe = tuning.probe();
+        engine.set_probe(probe.clone());
         engine.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let cm = self.cm.build(seed);
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
@@ -221,6 +253,7 @@ impl ScenarioSpec {
 
         engine.run(rounds);
 
+        let t_check = probe.timer();
         // The Section 3 specification (and its checker) quantifies
         // over a fixed participant set. Every node's proposals are
         // recorded (adopted values must trace back to *some* proposal)
@@ -256,7 +289,7 @@ impl ScenarioSpec {
         } else {
             decided as f64 / total_outputs as f64
         };
-        self.outcome(
+        let mut out = self.outcome(
             seed,
             rounds,
             engine.stats(),
@@ -266,7 +299,10 @@ impl ScenarioSpec {
             0,
             0,
             None,
-        )
+        );
+        probe.phase_since(Phase::Checker, t_check);
+        out.telemetry = probe.summary();
+        out
     }
 
     fn run_vi(
@@ -289,6 +325,8 @@ impl ScenarioSpec {
         if tuning.workers >= 2 {
             world.set_workers(tuning.workers);
         }
+        let probe = tuning.probe();
+        world.set_probe(probe.clone());
         world.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
         let nemesis_crashes: std::collections::BTreeMap<usize, u64> = self
@@ -319,6 +357,7 @@ impl ScenarioSpec {
 
         world.run_virtual_rounds(virtual_rounds);
 
+        let t_check = probe.timer();
         let mut decided = 0u64;
         let mut bottom = 0u64;
         let mut joins = 0u64;
@@ -333,7 +372,7 @@ impl ScenarioSpec {
         let decided_fraction = decided as f64 / (decided + bottom).max(1) as f64;
         let stats = *world.stats();
         let checker = ChaSpecChecker::<u64>::new();
-        self.outcome(
+        let mut out = self.outcome(
             seed,
             stats.rounds,
             &stats,
@@ -343,7 +382,10 @@ impl ScenarioSpec {
             joins,
             resets,
             None,
-        )
+        );
+        probe.phase_since(Phase::Checker, t_check);
+        out.telemetry = probe.summary();
+        out
     }
 
     /// Runs a client-traffic workload: populations emulate the app's
@@ -358,6 +400,7 @@ impl ScenarioSpec {
         layout: &crate::spec::LayoutSpec,
         traffic: &TrafficSpec,
         audited: bool,
+        tuning: EngineTuning,
     ) -> ScenarioOutcome {
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
         let mut devices = Vec::with_capacity(self.node_count());
@@ -384,12 +427,28 @@ impl ScenarioSpec {
             adversary: self.nemesis.compile_adversary(&self.adversary),
             devices,
         };
+        // The traffic driver owns its engine internally, so the probe
+        // records the workload-level counters only (timeouts, audit
+        // ops, delivery totals); per-round resolver-mode counters stay
+        // zero for traffic runs.
+        let probe = tuning.probe();
         let (out, report) = if audited {
             let (out, history) = HistoryRecorder::record(app, tw, traffic);
-            (out, Some(audit(&history)))
+            let t_check = probe.timer();
+            let report = audit(&history);
+            probe.phase_since(Phase::Checker, t_check);
+            (out, Some(report))
         } else {
             (vi_traffic::run_traffic(app, tw, traffic), None)
         };
+        probe.count(|c| {
+            c.receptions = out.stats.deliveries;
+            c.collisions = out.stats.collision_reports;
+            c.traffic_timeouts = out.summary.timed_out;
+            if let Some(report) = &report {
+                c.audit_ops = report.ops;
+            }
+        });
         let decided_fraction =
             out.vn_decided as f64 / (out.vn_decided + out.vn_bottom).max(1) as f64;
         let checker = ChaSpecChecker::<u64>::new();
@@ -405,6 +464,7 @@ impl ScenarioSpec {
             Some(out.summary),
         );
         outcome.audit = report;
+        outcome.telemetry = probe.summary();
         outcome
     }
 
@@ -440,6 +500,7 @@ impl ScenarioSpec {
             vn_resets,
             traffic,
             audit: None,
+            telemetry: None,
         }
     }
 }

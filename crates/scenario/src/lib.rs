@@ -51,4 +51,5 @@ pub use spec::{
     CmSpec, LayoutSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, WorkloadSpec,
 };
 pub use vi_audit::{AuditReport, NemesisFault, NemesisSpec};
+pub use vi_telemetry::{Counters, PhaseSummary, TelemetrySummary};
 pub use vi_traffic::{AppKind, LoadMode, RatePhase, TrafficSpec, TrafficSummary};

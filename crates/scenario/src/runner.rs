@@ -18,12 +18,21 @@ use crate::spec::ScenarioSpec;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use vi_telemetry::trace_export;
 
 /// Parses a `VI_WORKERS`-style override: a positive integer (after
-/// trimming) yields `Some(n)`; anything else is ignored.
-fn worker_budget_from(var: Option<&str>) -> Option<usize> {
-    var.and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+/// trimming) yields `Some(n)`. The second component flags a value
+/// that was *present but unusable* — set, yet not a positive integer
+/// — so callers can warn about the typo instead of silently falling
+/// back to autodetection.
+fn worker_budget_from(var: Option<&str>) -> (Option<usize>, bool) {
+    let Some(raw) = var else {
+        return (None, false);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => (Some(n), false),
+        _ => (None, true),
+    }
 }
 
 /// Fans `scenario × seed` jobs across a fixed-size worker pool.
@@ -53,7 +62,15 @@ impl SweepRunner {
         let detected = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1);
-        let budget = worker_budget_from(std::env::var("VI_WORKERS").ok().as_deref());
+        let raw = std::env::var("VI_WORKERS").ok();
+        let (budget, junk) = worker_budget_from(raw.as_deref());
+        if junk {
+            eprintln!(
+                "vi-scenario: ignoring unparsable VI_WORKERS={:?} \
+                 (expected a positive integer); using {detected} detected worker(s)",
+                raw.unwrap_or_default()
+            );
+        }
         SweepRunner::new(budget.unwrap_or(detected))
     }
 
@@ -92,7 +109,7 @@ impl SweepRunner {
             seeds,
             EngineTuning {
                 legacy_engine,
-                workers: 0,
+                ..EngineTuning::DEFAULT
             },
         )
     }
@@ -160,18 +177,55 @@ impl SweepRunner {
             workers: per_job,
             ..tuning
         };
+        // Span collection is strictly wall-clock-side: when tracing is
+        // off this is one cached atomic load per sweep, and nothing
+        // below touches deterministic state either way.
+        let tracing = trace_export::tracing_enabled();
         std::thread::scope(|scope| {
-            for _ in 0..job_threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((spec, seed)) = jobs.get(i) else {
-                        break;
-                    };
-                    let outcome = spec.run_with(*seed, job_tuning);
-                    *slots[i].lock().expect("result slot") = Some(outcome);
+            let next = &next;
+            let slots = &slots;
+            for w in 0..job_threads {
+                scope.spawn(move || {
+                    let worker_start = tracing.then(trace_export::now_us);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((spec, seed)) = jobs.get(i) else {
+                            break;
+                        };
+                        let job_start = tracing.then(trace_export::now_us);
+                        let outcome = spec.run_with(*seed, job_tuning);
+                        if let Some(start) = job_start {
+                            trace_export::record_span(
+                                &format!("{}#{seed}", spec.name),
+                                "sweep",
+                                trace_export::PID_SWEEP,
+                                w as u64,
+                                start,
+                                trace_export::now_us().saturating_sub(start),
+                            );
+                        }
+                        *slots[i].lock().expect("result slot") = Some(outcome);
+                    }
+                    if let Some(start) = worker_start {
+                        trace_export::record_span(
+                            "sweep-worker",
+                            "sweep",
+                            trace_export::PID_SWEEP,
+                            w as u64,
+                            start,
+                            trace_export::now_us().saturating_sub(start),
+                        );
+                    }
                 });
             }
         });
+        // Batch entry point: when `VI_TRACE` is set, every finished
+        // sweep flushes what it collected (later sweeps append to the
+        // same file path, last writer wins — fine for the one-shot
+        // bench/CI usage this serves).
+        if trace_export::env_trace_path().is_some() {
+            trace_export::flush_env();
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -260,15 +314,66 @@ mod tests {
         }
     }
 
+    /// Satellite requirement: junk `VI_WORKERS` values are ignored
+    /// *and flagged* (so `auto()` warns instead of silently falling
+    /// back); valid and absent values raise no flag.
     #[test]
-    fn worker_budget_parsing_ignores_junk() {
-        assert_eq!(worker_budget_from(Some("4")), Some(4));
-        assert_eq!(worker_budget_from(Some(" 12\n")), Some(12));
-        assert_eq!(worker_budget_from(Some("0")), None, "zero is not a budget");
-        assert_eq!(worker_budget_from(Some("-3")), None);
-        assert_eq!(worker_budget_from(Some("four")), None);
-        assert_eq!(worker_budget_from(Some("")), None);
-        assert_eq!(worker_budget_from(None), None);
+    fn worker_budget_parsing_ignores_and_flags_junk() {
+        assert_eq!(worker_budget_from(Some("4")), (Some(4), false));
+        assert_eq!(worker_budget_from(Some(" 12\n")), (Some(12), false));
+        assert_eq!(
+            worker_budget_from(Some("0")),
+            (None, true),
+            "zero is not a budget"
+        );
+        assert_eq!(worker_budget_from(Some("-3")), (None, true));
+        assert_eq!(worker_budget_from(Some("four")), (None, true));
+        assert_eq!(worker_budget_from(Some("")), (None, true));
+        assert_eq!(worker_budget_from(None), (None, false), "unset is not junk");
+    }
+
+    /// Tentpole requirement: telemetry counters are part of the
+    /// deterministic surface — the same matrix run with 1 worker and
+    /// N workers yields identical counter sets (wall-clock phase
+    /// stats are excluded from `TelemetrySummary` equality), and
+    /// stripping the telemetry field recovers the telemetry-off table
+    /// byte for byte.
+    #[test]
+    fn telemetry_counters_are_worker_count_invariant() {
+        let scenarios = small_matrix();
+        let seeds = [1u64, 2, 3];
+        let tuning = EngineTuning::DEFAULT.with_telemetry();
+        let sequential = SweepRunner::new(1).run_matrix_with(&scenarios, &seeds, tuning);
+        for out in &sequential {
+            let summary = out.telemetry.as_ref().expect("telemetry enabled");
+            assert!(summary.counters.rounds_total > 0, "rounds were counted");
+        }
+        for workers in [2usize, 4, 7] {
+            let parallel = SweepRunner::new(workers).run_matrix_with(&scenarios, &seeds, tuning);
+            for (a, b) in sequential.iter().zip(&parallel) {
+                assert_eq!(
+                    a.telemetry, b.telemetry,
+                    "{workers} workers changed the counters of {}#{}",
+                    a.scenario, a.seed
+                );
+            }
+        }
+        // Telemetry must observe, never perturb: strip the summary and
+        // the table matches a plain run exactly.
+        let plain = SweepRunner::new(1).run_matrix(&scenarios, &seeds);
+        let stripped: Vec<ScenarioOutcome> = sequential
+            .iter()
+            .map(|o| {
+                let mut o = o.clone();
+                o.telemetry = None;
+                o
+            })
+            .collect();
+        assert_eq!(
+            serde_json::to_string(&stripped).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "telemetry changed the simulation"
+        );
     }
 
     #[test]

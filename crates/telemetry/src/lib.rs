@@ -1,0 +1,113 @@
+//! # vi-telemetry
+//!
+//! Observability for the deterministic simulator stack, split along
+//! the determinism boundary:
+//!
+//! * **Deterministic counters** ([`Counters`], module [`counters`]) —
+//!   plain `u64` totals of *logical* engine decisions (rounds by
+//!   resolver mode, cache re-anchors, fallback causes, grid queries,
+//!   receptions, adversary consultations, …). Counters are part of
+//!   the determinism contract: for a fixed `(spec, seed)` they are
+//!   byte-identical at any worker count, because every increment
+//!   happens on the sequential control path at a decision point, never
+//!   inside a parallel worker.
+//! * **Wall-clock phase timers** ([`PhaseTimers`], module [`phases`])
+//!   — per-round durations of the advance / geometry / finalize /
+//!   deliver / checker phases, aggregated into alloc-free log-linear
+//!   [`LatencyHistogram`]s. Wall-clock is *explicitly outside* the
+//!   determinism contract and excluded from byte-identity comparisons
+//!   (see [`TelemetrySummary`]'s `PartialEq`).
+//! * **Perfetto/Chrome trace export** (module [`trace_export`]) —
+//!   span events across sweep workers and shard-pool workers, written
+//!   as Chrome trace-event JSON that opens directly in
+//!   `ui.perfetto.dev`. Gated by the `VI_TRACE=out.json` environment
+//!   variable or an explicit [`trace_export::enable_tracing`] call.
+//!
+//! The whole layer is threaded through the engine as a [`Probe`]: a
+//! cloneable handle that is null by default, so the disabled path
+//! costs exactly one branch per instrumentation site (guarded by the
+//! zero-alloc test and the CI telemetry-overhead check).
+
+pub mod counters;
+pub mod histogram;
+pub mod phases;
+pub mod probe;
+pub mod trace_export;
+
+pub use counters::Counters;
+pub use histogram::{LatencyHistogram, BUCKETS};
+pub use phases::{Phase, PhaseStats, PhaseSummary, PhaseTimers};
+pub use probe::Probe;
+
+use serde::{Deserialize, Serialize};
+
+/// Everything one telemetry-enabled run measured: the deterministic
+/// counter totals plus the wall-clock phase breakdown.
+///
+/// Serialized in full (counters *and* phases), but compared by
+/// counters only: `PartialEq` deliberately ignores the wall-clock
+/// fields so that telemetry-enabled outcomes can be asserted equal
+/// across worker counts — the assertion then checks exactly the
+/// deterministic contract and tolerates timing jitter.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Deterministic per-run totals (worker-count independent).
+    pub counters: Counters,
+    /// Wall-clock per-phase durations (noise; never byte-identical).
+    pub phases: PhaseSummary,
+    /// Rounds resolved on the tile-sharded path. Wall-clock-side by
+    /// design: whether a round shards depends on the worker count, so
+    /// this is *not* part of the determinism contract.
+    pub sharded_rounds: u64,
+}
+
+impl PartialEq for TelemetrySummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.counters == other.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_equality_ignores_wall_clock() {
+        let mut a = TelemetrySummary {
+            counters: Counters::default(),
+            phases: PhaseTimers::default().summary(),
+            sharded_rounds: 0,
+        };
+        let mut b = a.clone();
+        let mut timers = PhaseTimers::default();
+        timers.record(Phase::Geometry, 123);
+        b.phases = timers.summary();
+        b.sharded_rounds = 7;
+        assert_eq!(a, b, "wall-clock fields must not break equality");
+        a.counters.rounds_total = 1;
+        assert_ne!(a, b, "counter drift must break equality");
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut timers = PhaseTimers::default();
+        timers.record(Phase::Advance, 10);
+        timers.record(Phase::Deliver, 99);
+        let counters = Counters {
+            rounds_total: 3,
+            rounds_steady: 2,
+            grid_queries: 41,
+            ..Counters::default()
+        };
+        let summary = TelemetrySummary {
+            counters,
+            phases: timers.summary(),
+            sharded_rounds: 2,
+        };
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: TelemetrySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counters, summary.counters);
+        assert_eq!(back.sharded_rounds, 2);
+        assert_eq!(back.phases, summary.phases);
+    }
+}

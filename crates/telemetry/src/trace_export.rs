@@ -1,0 +1,204 @@
+//! Perfetto/Chrome trace-event export.
+//!
+//! A process-global, thread-safe span collector writing the Chrome
+//! trace-event JSON format (`{"traceEvents": [...]}`, complete
+//! events, microsecond units) — the file opens directly in
+//! `ui.perfetto.dev` or `chrome://tracing`.
+//!
+//! Tracing is off unless the `VI_TRACE=out.json` environment variable
+//! is set (checked once, cached) or [`enable_tracing`] is called
+//! explicitly. When off, [`record_span`] is one relaxed atomic load.
+//! The collector is bounded ([`MAX_EVENTS`]); spans past the cap are
+//! counted in [`dropped_spans`] rather than silently lost.
+//!
+//! Span conventions used by the stack:
+//! * `pid` [`PID_SWEEP`]: sweep-level spans — one `sweep-worker`
+//!   lifetime span per worker plus one `job` span per `(spec, seed)`,
+//!   with `tid` = sweep worker index.
+//! * `pid` [`PID_POOL`]: shard-pool spans — one `shard-geometry` span
+//!   per worker per sharded round, with `tid` = pool worker index.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// `pid` for sweep-runner spans (workers and jobs).
+pub const PID_SWEEP: u64 = 1;
+/// `pid` for shard-pool spans (per-round geometry work).
+pub const PID_POOL: u64 = 2;
+
+/// Collector capacity; spans past this are dropped (and counted).
+pub const MAX_EVENTS: usize = 100_000;
+
+/// One complete ("ph":"X") Chrome trace event. Microsecond units, as
+/// the format requires.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Span name (e.g. `"job"`, `"sweep-worker"`, `"shard-geometry"`).
+    pub name: String,
+    /// Category (e.g. `"sweep"`, `"pool"`).
+    pub cat: String,
+    /// Event phase; always `"X"` (complete event).
+    pub ph: String,
+    /// Start timestamp in µs since the trace epoch.
+    pub ts: u64,
+    /// Duration in µs.
+    pub dur: u64,
+    /// Process lane ([`PID_SWEEP`] or [`PID_POOL`]).
+    pub pid: u64,
+    /// Thread lane — the worker index.
+    pub tid: u64,
+}
+
+/// Top-level JSON object; field name fixed by the trace format.
+#[derive(Serialize, Deserialize)]
+#[allow(non_snake_case)]
+struct TraceFile {
+    traceEvents: Vec<TraceEvent>,
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static ENV_PATH: OnceLock<Option<String>> = OnceLock::new();
+
+/// Microseconds since the first telemetry event of the process —
+/// every span shares this epoch so lanes line up in the viewer.
+pub fn now_us() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// The `VI_TRACE` output path, if set (read once and cached so the
+/// hot path never touches the environment).
+pub fn env_trace_path() -> Option<&'static str> {
+    ENV_PATH
+        .get_or_init(|| std::env::var("VI_TRACE").ok().filter(|p| !p.is_empty()))
+        .as_deref()
+}
+
+/// Whether spans are currently collected.
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) || env_trace_path().is_some()
+}
+
+/// Turns span collection on for the rest of the process (tests and
+/// embedders that don't use `VI_TRACE`).
+pub fn enable_tracing() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Spans dropped because the collector was full.
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Records one complete span. No-op unless tracing is enabled; never
+/// blocks the simulation on a full buffer (drops + counts instead).
+pub fn record_span(name: &str, cat: &str, pid: u64, tid: u64, ts_us: u64, dur_us: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    let mut events = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    if events.len() >= MAX_EVENTS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    events.push(TraceEvent {
+        name: name.to_string(),
+        cat: cat.to_string(),
+        ph: "X".to_string(),
+        ts: ts_us,
+        dur: dur_us,
+        pid,
+        tid,
+    });
+}
+
+/// Drains every collected span (primarily for tests; flushing uses it
+/// internally so repeated flushes don't duplicate spans).
+pub fn take_events() -> Vec<TraceEvent> {
+    std::mem::take(&mut *EVENTS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Writes all collected spans to `path` as Chrome trace JSON and
+/// clears the collector. Returns the number of spans written.
+pub fn flush_to_path(path: &str) -> std::io::Result<usize> {
+    let events = take_events();
+    let n = events.len();
+    let json = serde_json::to_string(&TraceFile {
+        traceEvents: events,
+    })
+    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json)?;
+    Ok(n)
+}
+
+/// Flushes to the `VI_TRACE` path if that variable is set; reports
+/// the destination and span count on stderr so batch runs leave a
+/// breadcrumb. Returns the span count written (0 when unset).
+pub fn flush_env() -> usize {
+    let Some(path) = env_trace_path() else {
+        return 0;
+    };
+    match flush_to_path(path) {
+        Ok(n) => {
+            eprintln!("vi-telemetry: wrote {n} trace span(s) to {path}");
+            n
+        }
+        Err(e) => {
+            eprintln!("vi-telemetry: failed to write trace to {path}: {e}");
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is process-global, so exercise it in ONE test to
+    // avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn collector_records_flushes_and_round_trips() {
+        enable_tracing();
+        assert!(tracing_enabled());
+        take_events(); // isolate from any earlier spans
+
+        let t0 = now_us();
+        record_span("job", "sweep", PID_SWEEP, 0, t0, 150);
+        record_span("shard-geometry", "pool", PID_POOL, 3, t0 + 10, 40);
+
+        let dir = std::env::temp_dir().join("vi_telemetry_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let path_str = path.to_str().unwrap();
+        let written = flush_to_path(path_str).unwrap();
+        assert_eq!(written, 2);
+
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let back: TraceFile = serde_json::from_str(&raw).unwrap();
+        assert_eq!(back.traceEvents.len(), 2);
+        let job = &back.traceEvents[0];
+        assert_eq!(job.name, "job");
+        assert_eq!(job.ph, "X");
+        assert_eq!(job.pid, PID_SWEEP);
+        assert_eq!(job.dur, 150);
+        let shard = &back.traceEvents[1];
+        assert_eq!(shard.tid, 3);
+        assert_eq!(shard.pid, PID_POOL);
+
+        // Flushing drained the collector.
+        assert_eq!(take_events().len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

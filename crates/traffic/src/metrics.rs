@@ -1,159 +1,16 @@
-//! Streaming latency metrics: fixed-bucket log-scale histograms and
-//! the per-run traffic summary.
+//! Streaming latency metrics: the per-run traffic summary, built on
+//! the shared fixed-bucket histogram.
 //!
-//! The histogram is the hot-path data structure of the workload
-//! driver: one `record` per completed request, no allocation, no
-//! float arithmetic. Buckets are log-linear (HDR-style): exact for
-//! small latencies, four sub-buckets per power of two above that, so
-//! relative quantile error is bounded by ~25% across the whole range
-//! while the bucket count stays fixed.
-//!
-//! Histograms are **mergeable**: bucket counts are plain sums, so
-//! aggregating per-seed histograms in job order yields byte-identical
-//! results no matter how many sweep workers produced them (merging is
-//! commutative and associative; the order is fixed by the job list).
+//! The histogram itself ([`LatencyHistogram`]) lives in
+//! `vi-telemetry` — it is the same structure the engine's wall-clock
+//! phase timers aggregate into — and is re-exported here so existing
+//! `vi_traffic::LatencyHistogram` users keep compiling unchanged. In
+//! this crate it records latencies in *virtual rounds*: one `record`
+//! per completed request, no allocation, no float arithmetic.
 
 use serde::{Deserialize, Serialize};
 
-/// Latencies below this are counted in exact unit buckets.
-const LINEAR_CUTOFF: u64 = 8;
-/// Sub-buckets per power of two past the linear range.
-const SUB_BUCKETS: u64 = 4;
-/// Total fixed bucket count: 8 linear + 4 per octave for octaves
-/// 3..=17 (values up to 2^18), plus one overflow bucket.
-pub const BUCKETS: usize = 8 + 15 * 4 + 1;
-
-/// The bucket index latency `v` lands in.
-fn bucket_of(v: u64) -> usize {
-    if v < LINEAR_CUTOFF {
-        return v as usize;
-    }
-    // Octave o >= 3 since v >= 8; sub-position from the two bits
-    // below the leading one.
-    let o = 63 - v.leading_zeros() as u64;
-    let sub = (v >> (o - 2)) & (SUB_BUCKETS - 1);
-    let idx = (LINEAR_CUTOFF + (o - 3) * SUB_BUCKETS + sub) as usize;
-    idx.min(BUCKETS - 1)
-}
-
-/// The smallest latency mapping to bucket `b` (the histogram's
-/// deterministic quantile representative).
-fn bucket_floor(b: usize) -> u64 {
-    if b < LINEAR_CUTOFF as usize {
-        return b as u64;
-    }
-    let rel = b as u64 - LINEAR_CUTOFF;
-    let o = rel / SUB_BUCKETS + 3;
-    let sub = rel % SUB_BUCKETS;
-    (1 << o) + (sub << (o - 2))
-}
-
-/// A fixed-bucket log-linear latency histogram (latencies in virtual
-/// rounds). `record` is allocation-free; `merge` is a bucket-wise sum.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    /// Per-bucket sample counts (always `BUCKETS` long).
-    counts: Vec<u64>,
-    /// Total samples recorded.
-    count: u64,
-    /// Sum of all recorded latencies (for the mean).
-    sum: u64,
-    /// Largest latency recorded (exact, not bucketed).
-    max: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; BUCKETS],
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    /// Records one latency observation.
-    pub fn record(&mut self, v: u64) {
-        self.counts[bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += v;
-        self.max = self.max.max(v);
-    }
-
-    /// Adds every observation of `other` into `self`.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-
-    /// Total observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Exact maximum latency seen (0 on an empty histogram).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean latency (0.0 on an empty histogram).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// The `q`-quantile latency (`0.0 < q <= 1.0`), as the floor of
-    /// the bucket containing the `ceil(q·count)`-th smallest sample;
-    /// 0 on an empty histogram. Deterministic by construction.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (b, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // The top bucket is open-ended; report the exact max.
-                return if b == BUCKETS - 1 {
-                    self.max
-                } else {
-                    bucket_floor(b)
-                };
-            }
-        }
-        self.max
-    }
-
-    /// Median latency.
-    pub fn p50(&self) -> u64 {
-        self.quantile(0.50)
-    }
-
-    /// 95th percentile latency.
-    pub fn p95(&self) -> u64 {
-        self.quantile(0.95)
-    }
-
-    /// 99th percentile latency.
-    pub fn p99(&self) -> u64 {
-        self.quantile(0.99)
-    }
-}
+pub use vi_telemetry::{LatencyHistogram, BUCKETS};
 
 /// Everything measured about one traffic run: the row E16 reports per
 /// `(app, scenario, mode)` and the payload `ScenarioOutcome` carries
@@ -195,28 +52,10 @@ pub struct TrafficSummary {
 mod tests {
     use super::*;
 
+    // The histogram's own unit tests live in vi-telemetry; this
+    // checks only the re-export keeps the traffic-facing contract.
     #[test]
-    fn buckets_are_monotone_and_cover_the_range() {
-        let mut prev = 0;
-        for v in 0..100_000u64 {
-            let b = bucket_of(v);
-            assert!(b >= prev || b == BUCKETS - 1, "bucket regressed at {v}");
-            prev = prev.max(b);
-            // The floor of v's bucket never exceeds v.
-            assert!(bucket_floor(b) <= v, "floor({b}) > {v}");
-        }
-        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
-    }
-
-    #[test]
-    fn floors_invert_buckets_exactly() {
-        for b in 0..BUCKETS - 1 {
-            assert_eq!(bucket_of(bucket_floor(b)), b, "floor of bucket {b}");
-        }
-    }
-
-    #[test]
-    fn small_latencies_are_exact() {
+    fn reexported_histogram_behaves() {
         let mut h = LatencyHistogram::new();
         for v in [0u64, 1, 2, 3, 3, 7] {
             h.record(v);
@@ -224,54 +63,6 @@ mod tests {
         assert_eq!(h.count(), 6);
         assert_eq!(h.p50(), 2, "3rd smallest of 0,1,2,3,3,7");
         assert_eq!(h.max(), 7);
-        assert_eq!(h.quantile(1.0), 7);
-    }
-
-    #[test]
-    fn quantiles_bound_relative_error() {
-        let mut h = LatencyHistogram::new();
-        for v in 1..=10_000u64 {
-            h.record(v);
-        }
-        for (q, exact) in [(0.5, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
-            let got = h.quantile(q);
-            let err = (got as f64 - exact as f64).abs() / exact as f64;
-            assert!(err < 0.25, "q={q}: got {got}, exact {exact}");
-        }
-    }
-
-    #[test]
-    fn merge_equals_recording_everything_in_one() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut whole = LatencyHistogram::new();
-        for v in 0..500u64 {
-            if v % 3 == 0 {
-                a.record(v * 7);
-            } else {
-                b.record(v * 7);
-            }
-            whole.record(v * 7);
-        }
-        a.merge(&b);
-        assert_eq!(a, whole, "merge must equal single-pass recording");
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zeroes() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.p50(), 0);
-        assert_eq!(h.max(), 0);
-        assert_eq!(h.mean(), 0.0);
-    }
-
-    #[test]
-    fn histogram_round_trips_through_json() {
-        let mut h = LatencyHistogram::new();
-        for v in [1u64, 5, 900, 12, 77, 100_000] {
-            h.record(v);
-        }
         let json = serde_json::to_string(&h).unwrap();
         let back: LatencyHistogram = serde_json::from_str(&json).unwrap();
         assert_eq!(back, h);

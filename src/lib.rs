@@ -13,6 +13,7 @@
 //! * [`traffic`] — client load generation + latency metrics over the apps.
 //! * [`audit`] — operation-history capture + consistency checkers.
 //! * [`scenario`] — declarative scenario specs + parallel sweep runner.
+//! * [`telemetry`] — deterministic counters, phase timers, Perfetto export.
 
 pub use vi_apps as apps;
 pub use vi_audit as audit;
@@ -21,4 +22,5 @@ pub use vi_contention as contention;
 pub use vi_core as core;
 pub use vi_radio as radio;
 pub use vi_scenario as scenario;
+pub use vi_telemetry as telemetry;
 pub use vi_traffic as traffic;

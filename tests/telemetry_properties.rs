@@ -1,0 +1,177 @@
+//! Property-based tests of the telemetry layer's two contracts:
+//!
+//! 1. **Counters are deterministic** — the counter set of a run is a
+//!    pure function of the seed and the spec, independent of the
+//!    intra-round worker count (counters only ever increment on the
+//!    sequential control path).
+//! 2. **Telemetry observes, never perturbs** — enabling the probe
+//!    changes no reception, no trace byte, no channel statistic, and
+//!    no RNG draw of the run it measures.
+
+use proptest::prelude::*;
+use std::any::Any;
+use virtual_infra::radio::adversary::RandomLoss;
+use virtual_infra::radio::geometry::{Point, Rect};
+use virtual_infra::radio::mobility::{Billiard, MobilityModel, Static, Waypoint};
+use virtual_infra::radio::{
+    ChannelStats, Engine, EngineConfig, NodeId, NodeSpec, Process, RadioConfig, RoundCtx,
+    RoundReception,
+};
+use virtual_infra::telemetry::{Counters, Probe};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// Records everything a protocol can observe.
+struct Recorder {
+    chatty: bool,
+    heard: Vec<u64>,
+    collisions: u64,
+}
+
+impl Process<u64> for Recorder {
+    fn transmit(&mut self, ctx: &RoundCtx) -> Option<u64> {
+        (self.chatty && ctx.round.is_multiple_of(2)).then_some(ctx.round)
+    }
+    fn deliver(&mut self, _ctx: &RoundCtx, rx: RoundReception<'_, u64>) {
+        self.heard.extend_from_slice(rx.messages);
+        if rx.collision {
+            self.collisions += 1;
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+type NodeGene = (Point, u8, bool, u64, Option<u64>);
+type Observation = (Vec<(Vec<u64>, u64)>, String, ChannelStats);
+
+/// Builds and runs one engine; returns the observable execution and
+/// the probe's counter set (when a probe was installed).
+fn run_engine(
+    specs: &[NodeGene],
+    seed: u64,
+    stabilize: u64,
+    drop_p: f64,
+    rounds: u64,
+    workers: usize,
+    probe: Option<Probe>,
+) -> (Observation, Option<Counters>) {
+    let bounds = Rect::square(200.0);
+    let mut engine: Engine<u64> = Engine::new(EngineConfig {
+        radio: RadioConfig::stabilizing(10.0, 20.0, stabilize),
+        seed,
+        record_trace: true,
+    });
+    engine.set_workers(workers);
+    engine.set_shard_min_slots(1);
+    engine.set_adversary(Box::new(RandomLoss::new(drop_p, 0.1)));
+    let installed = probe.clone();
+    if let Some(p) = probe {
+        engine.set_probe(p);
+    }
+    let mut ids: Vec<NodeId> = Vec::new();
+    for &(start, mobility, chatty, spawn, crash) in specs {
+        let start = Point::new(start.x.min(190.0), start.y.min(190.0));
+        let model: Box<dyn MobilityModel> = match mobility {
+            0 => Box::new(Static::new(start)),
+            1 => Box::new(Waypoint::new(start, 0.7, bounds)),
+            2 => Box::new(Waypoint::new(start, 0.0, bounds)),
+            _ => Box::new(Billiard::new(start, (0.5, -0.3), bounds)),
+        };
+        let mut spec = NodeSpec::new(
+            model,
+            Box::new(Recorder {
+                chatty,
+                heard: Vec::new(),
+                collisions: 0,
+            }),
+        );
+        if spawn > 0 {
+            spec = spec.spawn_at(spawn);
+        }
+        if let Some(c) = crash {
+            spec = spec.crash_at(c);
+        }
+        ids.push(engine.add_node(spec));
+    }
+    engine.run(rounds);
+    let observed = ids
+        .iter()
+        .map(|&id| {
+            let r: &Recorder = engine.process(id).expect("recorder");
+            (r.heard.clone(), r.collisions)
+        })
+        .collect();
+    let trace = serde_json::to_string(engine.trace()).expect("serializable trace");
+    let obs = (observed, trace, *engine.stats());
+    (obs, installed.and_then(|p| p.counters()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tentpole acceptance: the counter set is byte-identical at 1, 2,
+    /// 4, and 7 intra-round workers (shard threshold forced to 1 so
+    /// toy rounds actually shard), across mixed mobility, churn, and a
+    /// lossy adversary.
+    #[test]
+    fn counters_are_worker_count_invariant(
+        specs in proptest::collection::vec(
+            (arb_point(), 0u8..4, any::<bool>(), 0u64..6, proptest::option::of(2u64..20)),
+            1..14),
+        seed in any::<u64>(),
+        stabilize in 0u64..30,
+        drop_p in 0.0f64..0.6,
+        rounds in 5u64..30,
+    ) {
+        let (base_obs, base_counters) =
+            run_engine(&specs, seed, stabilize, drop_p, rounds, 1, Some(Probe::enabled()));
+        let base_counters = base_counters.expect("probe installed");
+        prop_assert_eq!(base_counters.rounds_total, rounds, "every round is counted");
+        for workers in [2usize, 4, 7] {
+            let (obs, counters) =
+                run_engine(&specs, seed, stabilize, drop_p, rounds, workers, Some(Probe::enabled()));
+            prop_assert_eq!(
+                counters.expect("probe installed"), base_counters,
+                "counters diverged at {} workers", workers);
+            prop_assert_eq!(&obs, &base_obs, "execution diverged at {} workers", workers);
+        }
+    }
+
+    /// Telemetry-on changes nothing observable: receptions, the full
+    /// round trace, and the channel statistics (which close over every
+    /// RNG draw) are identical with and without the probe, at 1 worker
+    /// and sharded.
+    #[test]
+    fn probe_never_perturbs_the_execution(
+        specs in proptest::collection::vec(
+            (arb_point(), 0u8..4, any::<bool>(), 0u64..6, proptest::option::of(2u64..20)),
+            1..14),
+        seed in any::<u64>(),
+        stabilize in 0u64..30,
+        drop_p in 0.0f64..0.6,
+        rounds in 5u64..30,
+        worker_pick in 0usize..3,
+    ) {
+        let workers = [1usize, 3, 7][worker_pick];
+        let (plain, none) = run_engine(&specs, seed, stabilize, drop_p, rounds, workers, None);
+        prop_assert!(none.is_none(), "no probe, no counters");
+        let (probed, counters) =
+            run_engine(&specs, seed, stabilize, drop_p, rounds, workers, Some(Probe::enabled()));
+        prop_assert_eq!(&probed, &plain,
+            "telemetry perturbed the execution at {} workers", workers);
+        let counters = counters.expect("probe installed");
+        prop_assert_eq!(
+            counters.receptions, plain.2.deliveries,
+            "reception counter must mirror channel stats");
+        prop_assert_eq!(
+            counters.collisions, plain.2.collision_reports,
+            "collision counter must mirror channel stats");
+    }
+}
