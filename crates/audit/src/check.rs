@@ -53,6 +53,11 @@ pub struct CheckResult {
     pub checked: u64,
     /// On violation: a minimized, human-readable counterexample.
     pub witness: Option<String>,
+    /// Operation ids implicated by the witness (empty when the
+    /// checker's counterexample has no per-op structure). Causal
+    /// tracing joins these against its op spans to carve the causal
+    /// slice of an incident bundle.
+    pub witness_ops: Vec<u64>,
 }
 
 impl CheckResult {
@@ -62,6 +67,7 @@ impl CheckResult {
             verdict: Verdict::Pass,
             checked,
             witness: None,
+            witness_ops: Vec::new(),
         }
     }
 
@@ -71,6 +77,14 @@ impl CheckResult {
             verdict: Verdict::Violation,
             checked,
             witness: Some(witness),
+            witness_ops: Vec::new(),
+        }
+    }
+
+    fn violation_with_ops(name: &str, checked: u64, witness: String, ops: Vec<u64>) -> Self {
+        CheckResult {
+            witness_ops: ops,
+            ..CheckResult::violation(name, checked, witness)
         }
     }
 
@@ -80,6 +94,7 @@ impl CheckResult {
             verdict: Verdict::Inconclusive,
             checked,
             witness: Some(note),
+            witness_ops: Vec::new(),
         }
     }
 
@@ -274,20 +289,52 @@ pub fn register_ops(history: &History) -> Vec<RegOp> {
     ops
 }
 
-/// The atomic-register checker: WGL search for a legal linearization.
-pub fn check_register_linearizable(history: &History) -> CheckResult {
-    let ops = register_ops(history);
+/// The op ids a minimized witness names. Every witness line the
+/// minimizer emits starts with `#<id> ` (see `RegOp::describe`).
+fn witness_op_ids(witness: &[String]) -> Vec<u64> {
+    witness
+        .iter()
+        .filter_map(|w| {
+            w.strip_prefix('#')
+                .and_then(|rest| rest.split_whitespace().next())
+                .and_then(|id| id.parse().ok())
+        })
+        .collect()
+}
+
+/// Runs the WGL search over `ops` and wraps the verdict.
+fn linearizable_result(ops: &[RegOp]) -> CheckResult {
     let checked = ops.len() as u64;
-    match linearizability::check_register(&ops) {
+    match linearizability::check_register(ops) {
         LinResult::Ok => CheckResult::pass("linearizable", checked),
         LinResult::Violation { witness } => {
-            CheckResult::violation("linearizable", checked, witness.join("; "))
+            let ids = witness_op_ids(&witness);
+            CheckResult::violation_with_ops("linearizable", checked, witness.join("; "), ids)
         }
         LinResult::BudgetExhausted => CheckResult::inconclusive(
             "linearizable",
             checked,
             "search budget exhausted before a verdict".into(),
         ),
+    }
+}
+
+/// The atomic-register checker: WGL search for a legal linearization.
+pub fn check_register_linearizable(history: &History) -> CheckResult {
+    linearizable_result(&register_ops(history))
+}
+
+/// Audits a bag of pre-extracted register operations directly —
+/// the entry point for workloads (like the stale-read
+/// `MajorityRegister` baseline) that produce [`RegOp`]s without going
+/// through the traffic driver's event history.
+pub fn audit_register_ops(app: &str, ops: &[RegOp]) -> AuditReport {
+    let pending = ops.iter().filter(|o| o.ret == PENDING).count() as u64;
+    AuditReport {
+        app: app.to_string(),
+        ops: ops.len() as u64,
+        timeouts: pending,
+        checks: vec![linearizable_result(ops)],
     }
 }
 
@@ -688,6 +735,38 @@ mod tests {
         let bad = &report.violations()[0];
         assert_eq!(bad.name, "linearizable");
         assert!(bad.witness.as_ref().unwrap().contains("R→0"));
+        assert!(
+            bad.witness_ops.contains(&2),
+            "stale read #2 must be implicated: {:?}",
+            bad.witness_ops
+        );
+    }
+
+    #[test]
+    fn direct_register_op_audit_matches_history_audit() {
+        use crate::linearizability::{RegOp, RegOpKind};
+        let ops = vec![
+            RegOp {
+                id: 1,
+                kind: RegOpKind::Write { value: 7 },
+                inv: 1,
+                ret: 3,
+            },
+            RegOp {
+                id: 2,
+                kind: RegOpKind::Read { returned: 0 },
+                inv: 4,
+                ret: 6,
+            },
+        ];
+        let report = audit_register_ops("majority_register", &ops);
+        assert_eq!(report.app, "majority_register");
+        assert_eq!(report.ops, 2);
+        assert!(!report.ok());
+        assert_eq!(report.violations()[0].name, "linearizable");
+        assert!(report.violations()[0].witness_ops.contains(&2));
+        let clean = vec![ops[0]];
+        assert!(audit_register_ops("majority_register", &clean).ok());
     }
 
     #[test]

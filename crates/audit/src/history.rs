@@ -10,9 +10,10 @@
 //! so audits are sweep-worker invariant by construction.
 
 use serde::{Deserialize, Serialize};
+use vi_telemetry::{CausalRecorder, FlightRecorder};
 use vi_traffic::{
-    run_traffic_recorded, AppKind, AuditRecord, OpDesc, OpOutcome, TrafficEvent, TrafficOutcome,
-    TrafficSpec, TrafficWorld,
+    run_traffic_recorded, run_traffic_traced, AppKind, AuditRecord, OpDesc, OpOutcome,
+    TrafficEvent, TrafficOutcome, TrafficSpec, TrafficWorld,
 };
 
 /// One history entry (re-exported from `vi-traffic`, where the driver
@@ -115,6 +116,22 @@ impl HistoryRecorder {
     /// `vi_traffic::run_traffic`) and captures the complete history.
     pub fn record(app: AppKind, tw: TrafficWorld, spec: &TrafficSpec) -> (TrafficOutcome, History) {
         let (outcome, events) = run_traffic_recorded(app, tw, spec);
+        (outcome, History::from_events(app, events))
+    }
+
+    /// [`HistoryRecorder::record`] with telemetry recorders installed:
+    /// causal tracing ties each audited operation to the protocol
+    /// broadcasts it rode, and the flight recorder retains the final
+    /// rounds for incident bundles. Disabled recorders make this
+    /// identical to [`HistoryRecorder::record`].
+    pub fn record_traced(
+        app: AppKind,
+        tw: TrafficWorld,
+        spec: &TrafficSpec,
+        causal: CausalRecorder,
+        flight: FlightRecorder,
+    ) -> (TrafficOutcome, History) {
+        let (outcome, events) = run_traffic_traced(app, tw, spec, causal, flight);
         (outcome, History::from_events(app, events))
     }
 }

@@ -39,7 +39,9 @@ pub mod linearizability;
 pub mod mutate;
 pub mod nemesis;
 
-pub use check::{audit, AuditReport, CheckResult, Verdict};
+pub use check::{
+    audit, audit_register_ops, check_register_linearizable, AuditReport, CheckResult, Verdict,
+};
 pub use history::{Event, History, HistoryRecorder};
 pub use linearizability::{check_register, synthetic_history, LinResult, RegOp, RegOpKind};
 pub use mutate::{drop_response, mutate, Mutation};

@@ -2,10 +2,16 @@
 //! quantitative claims.
 //!
 //! ```sh
-//! cargo run -p vi-bench --bin repro            # everything
-//! cargo run -p vi-bench --bin repro -- fig2    # one experiment
-//! cargo run -p vi-bench --bin repro -- list    # experiment index
+//! cargo run -p vi-bench --bin repro                        # everything
+//! cargo run -p vi-bench --bin repro -- fig2                # one experiment
+//! cargo run -p vi-bench --bin repro -- list                # experiment index
+//! cargo run -p vi-bench --bin repro -- --replay dump.json  # replay an incident
 //! ```
+//!
+//! `--replay` loads an incident bundle dumped by the flight recorder
+//! (see `vi_scenario::IncidentBundle`), re-executes the bundled
+//! `(scenario, seed, tuning)`, and exits 0 iff the replay reproduces
+//! the recorded audit verdict and re-dumps the identical bundle.
 //!
 //! Every experiment that runs also writes a machine-readable copy of
 //! its table to `BENCH_<id>.json` (a couple of ids keep their
@@ -17,17 +23,18 @@ use vi_bench::Table;
 
 /// The JSON artifact written for experiment `id`.
 ///
-/// `radio_scale`, `scenario_matrix`, `traffic_profile`, and
-/// `consistency_audit` keep the artifact names CI uploads
-/// (`BENCH_radio.json`, `BENCH_scenarios.json`, `BENCH_traffic.json`,
-/// `BENCH_audit.json`); every other experiment uses
-/// `BENCH_<id>.json`.
+/// `radio_scale`, `scenario_matrix`, `traffic_profile`,
+/// `consistency_audit`, and `protocol_trace` keep the artifact names
+/// CI uploads (`BENCH_radio.json`, `BENCH_scenarios.json`,
+/// `BENCH_traffic.json`, `BENCH_audit.json`, `BENCH_protocol.json`);
+/// every other experiment uses `BENCH_<id>.json`.
 fn artifact_name(id: &str) -> String {
     match id {
         "radio_scale" => "BENCH_radio.json".to_string(),
         "scenario_matrix" => "BENCH_scenarios.json".to_string(),
         "traffic_profile" => "BENCH_traffic.json".to_string(),
         "consistency_audit" => "BENCH_audit.json".to_string(),
+        "protocol_trace" => "BENCH_protocol.json".to_string(),
         _ => format!("BENCH_{id}.json"),
     }
 }
@@ -46,9 +53,63 @@ fn write_json(id: &str, table: &Table) {
     }
 }
 
+/// Replays an incident bundle and reports whether it reproduces.
+///
+/// Exit codes: 0 — the replay re-dumps the identical bundle (verdict
+/// included); 1 — the replay diverged; 2 — the bundle could not be
+/// loaded.
+fn replay_incident(path: &str) -> ! {
+    let bundle = match vi_scenario::IncidentBundle::load(std::path::Path::new(path)) {
+        Ok(bundle) => bundle,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "replaying incident: scenario '{}' seed {} reason {:?} ({} flight rounds, tracing {})",
+        bundle.scenario.name,
+        bundle.seed,
+        bundle.reason,
+        bundle.flight.len(),
+        if bundle.tracing { "on" } else { "off" },
+    );
+    let out = bundle.replay(0);
+    let verdict_matches = out.audit == bundle.audit;
+    let bundle_matches = out.incident.as_ref() == Some(&bundle);
+    match (verdict_matches, bundle_matches) {
+        (true, true) => {
+            println!("replay: incident reproduced byte-identically (audit verdict included)");
+            std::process::exit(0);
+        }
+        (true, false) => {
+            eprintln!("replay: audit verdict reproduced, but the re-dumped bundle differs");
+            std::process::exit(1);
+        }
+        _ => {
+            eprintln!(
+                "replay: DIVERGED — recorded {:?}, replay {:?}",
+                bundle.audit.as_ref().map(|r| r.ok()),
+                out.audit.as_ref().map(|r| r.ok()),
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = all_experiments();
+
+    if args.first().map(String::as_str) == Some("--replay") {
+        match args.get(1) {
+            Some(path) => replay_incident(path),
+            None => {
+                eprintln!("usage: repro --replay <bundle.json>");
+                std::process::exit(2);
+            }
+        }
+    }
 
     if args.first().map(String::as_str) == Some("list") {
         println!("available experiments:");

@@ -1,0 +1,289 @@
+//! Experiment E20 (`protocol_trace`): protocol-level causal tracing,
+//! per-app decision timelines, and the crash/violation flight
+//! recorder.
+//!
+//! Three claims are exercised, the first two asserted inline before
+//! anything is reported:
+//!
+//! 1. **Tracing is zero-perturbation and worker-invariant.** Every job
+//!    runs traced (causal recorder + 16-round flight window) under 1
+//!    sweep worker and under 4; the two outcome tables — causal DAGs,
+//!    decision timelines, and channel stats included — must serialize
+//!    byte-identically. Each traced
+//!    outcome, stripped of its observability fields, must equal the
+//!    plain untraced run.
+//! 2. **Violations dump replayable incident bundles.** The
+//!    `broken_majority` catalog scenario deterministically fails the
+//!    WGL linearizability audit; its run must attach an
+//!    [`IncidentBundle`] whose [`IncidentBundle::replay`] reproduces
+//!    the identical audit verdict *and* the identical bundle at both
+//!    worker counts. With `VI_INCIDENT_DIR` set, the bundle is also
+//!    written to disk (CI uploads it and replays it via
+//!    `repro --replay`).
+//! 3. **Decision timelines quantify invoke→decide latency.** The
+//!    table reports p50/p95/p99/max (in rounds) per app — the four
+//!    traffic apps from their invoke→complete spans, CHA from its
+//!    propose→decide chains.
+//!
+//! The artifact is `BENCH_protocol.json`. Under `VI_TRACE`, the clique
+//! run's causal DAG is additionally exported as Perfetto flow events
+//! riding the E19 trace collector.
+
+use crate::exp_traffic::traffic_jobs;
+use crate::table::Table;
+use vi_scenario::{
+    catalog, EngineTuning, IncidentBundle, ScenarioOutcome, ScenarioSpec, SweepRunner,
+};
+use vi_telemetry::{causal, trace_export};
+
+/// The seed every E20 job runs with.
+const SEED: u64 = 1;
+
+/// Flight-recorder window for every traced run.
+const FLIGHT_ROUNDS: usize = 16;
+
+/// The traced job list: the CHA clique (propose→decide timeline) plus
+/// one open-loop traffic variant per app over `robot_patrol`
+/// (invoke→complete timelines for register, mutex, tracking, and
+/// georouting).
+pub fn protocol_specs() -> Vec<ScenarioSpec> {
+    let mut specs = vec![catalog::scenario("clique").expect("catalog scenario")];
+    specs.extend(
+        traffic_jobs()
+            .into_iter()
+            .filter(|(s, _)| s.name.starts_with("robot_patrol/") && s.name.ends_with("/open"))
+            .map(|(s, _)| s),
+    );
+    specs
+}
+
+/// The tracing tuning every E20 run uses. Telemetry stays off:
+/// phase timers are wall-clock and would break the byte-for-byte
+/// outcome comparison (E19 owns the counter-invariance claim).
+pub fn traced_tuning() -> EngineTuning {
+    EngineTuning::DEFAULT
+        .with_tracing()
+        .with_flight(FLIGHT_ROUNDS)
+}
+
+/// Runs `specs` traced under 1 and 4 sweep workers and asserts the
+/// outcome tables serialize byte-identically.
+///
+/// # Panics
+///
+/// Panics if the sweeps disagree — that would mean a causal span, a
+/// flight event, or a counter was recorded on a parallel code path.
+pub fn paired_traced_sweep(specs: &[ScenarioSpec]) -> Vec<ScenarioOutcome> {
+    let tuning = traced_tuning();
+    let sequential = SweepRunner::new(1).run_matrix_with(specs, &[SEED], tuning);
+    let parallel = SweepRunner::new(4).run_matrix_with(specs, &[SEED], tuning);
+    assert_eq!(
+        serde_json::to_string(&sequential).expect("serializable outcomes"),
+        serde_json::to_string(&parallel).expect("serializable outcomes"),
+        "traced outcomes must not depend on the worker count"
+    );
+    parallel
+}
+
+/// Asserts a traced outcome equals the plain run of the same job once
+/// its observability fields are stripped: tracing must not perturb
+/// the simulation.
+///
+/// # Panics
+///
+/// Panics on any divergence.
+pub fn assert_zero_perturbation(spec: &ScenarioSpec, traced: &ScenarioOutcome) {
+    let plain = spec.run(SEED);
+    let mut stripped = traced.clone();
+    stripped.telemetry = None;
+    stripped.causal = None;
+    stripped.incident = None;
+    assert_eq!(stripped, plain, "{}: tracing perturbed the run", spec.name);
+}
+
+/// The forced-violation fixture: runs `broken_majority` traced,
+/// extracts the incident bundle, verifies it replays to the identical
+/// audit verdict and bundle at 1 and 4 workers, and returns it.
+///
+/// # Panics
+///
+/// Panics if no bundle is dumped or a replay diverges.
+pub fn forced_violation_bundle() -> IncidentBundle {
+    let spec = catalog::scenario("broken_majority").expect("catalog scenario");
+    let out = spec.run_with(SEED, traced_tuning());
+    let report = out.audit.as_ref().expect("always audited");
+    assert!(!report.ok(), "broken_majority must violate linearizability");
+    let bundle = out
+        .incident
+        .expect("violation must dump an incident bundle");
+    for workers in [1usize, 4] {
+        let replay = bundle.replay(workers);
+        assert_eq!(
+            replay.audit.as_ref(),
+            bundle.audit.as_ref(),
+            "replay({workers}) must reproduce the audit verdict"
+        );
+        assert_eq!(
+            replay.incident.as_ref(),
+            Some(&bundle),
+            "replay({workers}) must reproduce the bundle byte-identically"
+        );
+    }
+    bundle
+}
+
+/// E20 — the protocol-trace table: per-app decision timelines, causal
+/// DAG sizes, and the forced-violation incident bundle.
+pub fn protocol_trace() -> Table {
+    let specs = protocol_specs();
+    let outcomes = paired_traced_sweep(&specs);
+    for (spec, out) in specs.iter().zip(&outcomes) {
+        assert_zero_perturbation(spec, out);
+    }
+    // Under VI_TRACE, ride the E19 collector: the clique's causal DAG
+    // becomes Perfetto flow arrows on the protocol lane. The sweep
+    // already flushed its own spans, so flush again to append the
+    // flow events.
+    if trace_export::tracing_enabled() {
+        if let Some(summary) = &outcomes[0].causal {
+            causal::export_flows(summary);
+        }
+        trace_export::flush_env();
+    }
+
+    let mut t = Table::new(
+        "E20 protocol trace: causal DAGs, decision timelines, incident bundles",
+        &[
+            "scenario", "timeline", "samples", "p50", "p95", "p99", "max", "spans", "edges",
+            "flight",
+        ],
+    );
+    for out in &outcomes {
+        let c = out.causal.as_ref().expect("tracing was enabled");
+        let base = out.scenario.split('/').next().unwrap_or(&out.scenario);
+        for (app, d) in &c.decision {
+            t.row(&[
+                base.to_string(),
+                app.clone(),
+                d.samples.to_string(),
+                d.p50.to_string(),
+                d.p95.to_string(),
+                d.p99.to_string(),
+                d.max.to_string(),
+                c.spans.len().to_string(),
+                c.edges.len().to_string(),
+                out.incident
+                    .as_ref()
+                    .map_or("-".to_string(), |b| b.flight.len().to_string()),
+            ]);
+        }
+    }
+
+    let bundle = forced_violation_bundle();
+    t.row(&[
+        "broken_majority".to_string(),
+        "(incident)".to_string(),
+        bundle.audit.as_ref().map_or(0, |r| r.ops).to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        bundle
+            .causal
+            .as_ref()
+            .map_or(0, |c| c.spans.len())
+            .to_string(),
+        bundle
+            .causal
+            .as_ref()
+            .map_or(0, |c| c.edges.len())
+            .to_string(),
+        bundle.flight.len().to_string(),
+    ]);
+    if let Ok(dir) = std::env::var("VI_INCIDENT_DIR") {
+        let path = std::path::Path::new(&dir).join("incident_broken_majority.json");
+        match bundle.save(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    t.note("latencies in rounds: invoke→complete per traffic app, propose→decide for cha");
+    t.note("1-worker vs 4-worker traced sweeps asserted byte-identical (causal DAGs included)");
+    t.note(
+        "every traced outcome, observability fields stripped, asserted equal to its untraced run",
+    );
+    t.note("broken_majority: WGL violation dumped as an incident bundle; replay at 1 and 4 workers asserted to reproduce verdict and bundle byte-identically");
+    t.note("set VI_INCIDENT_DIR=. to write incident_broken_majority.json; replay it via `repro --replay incident_broken_majority.json`");
+    t.note("set VI_TRACE=out.json to export the causal DAG as Perfetto flow events");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vi_scenario::IncidentReason;
+
+    /// Acceptance: traced sweeps are worker-invariant and tracing is
+    /// zero-perturbation (subset for test runtime: clique + one
+    /// traffic app).
+    #[test]
+    fn traced_sweeps_are_worker_invariant_and_zero_perturbation() {
+        let specs: Vec<ScenarioSpec> = protocol_specs()
+            .into_iter()
+            .filter(|s| s.name == "clique" || s.name.starts_with("robot_patrol/register/"))
+            .collect();
+        assert_eq!(specs.len(), 2);
+        let outcomes = paired_traced_sweep(&specs);
+        for (spec, out) in specs.iter().zip(&outcomes) {
+            assert_zero_perturbation(spec, out);
+            let c = out.causal.as_ref().expect("tracing on");
+            assert!(!c.spans.is_empty(), "{}: spans recorded", spec.name);
+            assert!(!c.edges.is_empty(), "{}: receptions traced", spec.name);
+        }
+    }
+
+    /// The decision timelines cover both protocol layers: CHA's
+    /// propose→decide chain and a traffic app's invoke→complete path.
+    #[test]
+    fn decision_timelines_cover_cha_and_traffic_apps() {
+        let clique = catalog::scenario("clique").expect("catalog scenario");
+        let out = clique.run_with(SEED, traced_tuning());
+        let c = out.causal.as_ref().expect("tracing on");
+        let cha = c.decision.get("cha").expect("cha timeline");
+        assert!(cha.samples > 0);
+        assert!(cha.p50 <= cha.p95 && cha.p95 <= cha.p99 && cha.p99 <= cha.max);
+        assert!(cha.max >= 2, "a CHA instance spans 3 rounds: {cha:?}");
+        assert!(out.incident.is_none(), "clean run, no bundle");
+
+        let register = protocol_specs()
+            .into_iter()
+            .find(|s| s.name.starts_with("robot_patrol/register/"))
+            .expect("register variant");
+        let out = register.run_with(SEED, traced_tuning());
+        let c = out.causal.as_ref().expect("tracing on");
+        let reg = c.decision.get("register").expect("register timeline");
+        assert!(reg.samples > 0);
+        let t = out.traffic.as_ref().expect("traffic summary");
+        assert_eq!(reg.samples, t.completed, "one sample per completion");
+        assert_eq!(
+            c.op_spans.len() as u64,
+            t.issued,
+            "every issued op links to an invoke span"
+        );
+    }
+
+    /// Acceptance: the forced violation produces a bundle that
+    /// replays to the identical verdict at 1 and 4 workers (asserted
+    /// inside `forced_violation_bundle`), and the bundle's JSON
+    /// round-trips.
+    #[test]
+    fn forced_violation_bundle_replays_and_round_trips() {
+        let bundle = forced_violation_bundle();
+        assert_eq!(bundle.reason, IncidentReason::Violation);
+        assert!(bundle.flight.len() <= FLIGHT_ROUNDS);
+        assert!(!bundle.flight.is_empty());
+        let back = IncidentBundle::from_json(&bundle.to_json()).expect("parses");
+        assert_eq!(back, bundle);
+    }
+}

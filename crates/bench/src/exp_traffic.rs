@@ -75,7 +75,7 @@ fn traffic_variant(base: &ScenarioSpec, app: AppKind, traffic: TrafficSpec) -> S
     let layout = match &base.workload {
         WorkloadSpec::ViCounter { layout, .. } => layout.clone(),
         WorkloadSpec::Traffic { layout, .. } => layout.clone(),
-        WorkloadSpec::ChaClique { .. } => {
+        WorkloadSpec::ChaClique { .. } | WorkloadSpec::MajorityRegister { .. } => {
             panic!(
                 "{}: base scenario must deploy a virtual-node world",
                 base.name

@@ -14,6 +14,7 @@ pub mod exp_audit;
 pub mod exp_cha;
 pub mod exp_emulation;
 pub mod exp_metropolis;
+pub mod exp_protocol;
 pub mod exp_radio;
 pub mod exp_scenarios;
 pub mod exp_telemetry;
@@ -99,6 +100,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "telemetry",
             "Observability: deterministic counters, phase timers, Perfetto export",
             exp_telemetry::telemetry,
+        ),
+        (
+            "protocol_trace",
+            "Causal tracing: decision timelines + incident-bundle replay",
+            exp_protocol::protocol_trace,
         ),
     ]
 }

@@ -153,6 +153,20 @@ impl<VA: VirtualAutomaton> World<VA> {
         self.engine.set_probe(probe);
     }
 
+    /// Installs a causal-tracing recorder on the underlying engine
+    /// (see [`vi_radio::Engine::set_causal`]): broadcast spans and
+    /// reception edges, recorded out of band of the simulation.
+    pub fn set_causal(&mut self, causal: vi_telemetry::CausalRecorder) {
+        self.engine.set_causal(causal);
+    }
+
+    /// Installs a flight recorder on the underlying engine (see
+    /// [`vi_radio::Engine::set_flight`]): the last-K-rounds event ring
+    /// that incident bundles snapshot.
+    pub fn set_flight(&mut self, flight: vi_telemetry::FlightRecorder) {
+        self.engine.set_flight(flight);
+    }
+
     /// Runs `n` complete virtual rounds.
     pub fn run_virtual_rounds(&mut self, n: u64) {
         self.engine.run(n * self.dep.plan.rounds_per_vr());

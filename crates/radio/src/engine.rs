@@ -26,7 +26,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::fmt;
-use vi_telemetry::{Phase, Probe};
+use vi_telemetry::{CausalRecorder, FlightEvent, FlightRecorder, Phase, Probe};
 
 /// Simulator handle for a node.
 ///
@@ -205,6 +205,12 @@ pub struct Engine<M> {
     legacy_round_path: bool,
     /// Telemetry handle (null by default; shared with the medium).
     probe: Probe,
+    /// Causal-tracing handle (null by default): broadcast spans and
+    /// reception edges recorded on the sequential stats pass.
+    causal: CausalRecorder,
+    /// Flight-recorder handle (null by default): last-K-rounds ring of
+    /// structured events for incident bundles.
+    flight: FlightRecorder,
 }
 
 /// Forwards every consultation to the real adversary, counting them.
@@ -269,6 +275,8 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             },
             legacy_round_path: false,
             probe: Probe::disabled(),
+            causal: CausalRecorder::disabled(),
+            flight: FlightRecorder::disabled(),
         }
     }
 
@@ -279,6 +287,22 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
     pub fn set_probe(&mut self, probe: Probe) {
         self.medium.set_probe(probe.clone());
         self.probe = probe;
+    }
+
+    /// Installs a causal-tracing recorder. The engine records one
+    /// broadcast span per transmitted intent and one reception edge
+    /// per delivered message, all on the sequential stats pass — the
+    /// resolver, RNG stream, and channel stats are untouched, so a
+    /// traced run stays byte-identical to an untraced one.
+    pub fn set_causal(&mut self, causal: CausalRecorder) {
+        self.causal = causal;
+    }
+
+    /// Installs a flight recorder capturing per-round structured
+    /// events (aggregate receptions, adversary consultations, churn,
+    /// scripted crashes) into its bounded ring.
+    pub fn set_flight(&mut self, flight: FlightRecorder) {
+        self.flight = flight;
     }
 
     /// The broadcast medium driving channel resolution.
@@ -464,10 +488,62 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         }
     }
 
+    /// Notes scripted crashes firing this round into the flight
+    /// recorder (call only when the recorder is live).
+    fn note_nemesis(&self, round: u64) {
+        for e in &self.nodes {
+            if e.crash_at == Some(round) {
+                self.flight.note(FlightEvent::Nemesis {
+                    node: e.id.index() as u64,
+                });
+            }
+        }
+    }
+
+    /// Notes the live-set diff (both sets are sorted by construction)
+    /// into the flight recorder (call only when the recorder is live,
+    /// and before `prev_live` is refreshed).
+    fn note_churn(&self) {
+        let (mut i, mut j) = (0, 0);
+        let mut joined = Vec::new();
+        let mut left = Vec::new();
+        loop {
+            match (self.prev_live.get(i), self.live.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    left.push(a as u64);
+                    i += 1;
+                }
+                (Some(_), Some(&b)) => {
+                    joined.push(b as u64);
+                    j += 1;
+                }
+                (Some(&a), None) => {
+                    left.push(a as u64);
+                    i += 1;
+                }
+                (None, Some(&b)) => {
+                    joined.push(b as u64);
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        self.flight.note(FlightEvent::Churn { joined, left });
+    }
+
     /// The overhauled round path: cached-topology resolution into SoA
     /// reception storage, zero allocations in steady state.
     fn step_fast(&mut self) {
         let round = self.round;
+        self.causal.begin_round(round);
+        if self.flight.is_enabled() {
+            self.flight.begin_round(round);
+            self.note_nemesis(round);
+        }
         let t_adv = self.probe.timer();
         self.collect_intents(true);
         self.probe.phase_since(Phase::Advance, t_adv);
@@ -475,6 +551,9 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         // Topology delta for the cached resolver: participant churn
         // forces a rebuild; otherwise only the movers are dirty.
         let delta = if self.live != self.prev_live {
+            if self.flight.is_enabled() {
+                self.note_churn();
+            }
             self.prev_live.clone_from(&self.live);
             TopologyDelta::Rebuild
         } else if self.moved.is_empty() {
@@ -482,7 +561,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         } else {
             TopologyDelta::Moved(&self.moved)
         };
-        if self.probe.is_enabled() {
+        if self.probe.is_enabled() || self.flight.is_enabled() {
             let mut counting = CountingAdversary {
                 inner: self.adversary.as_mut(),
                 hits: 0,
@@ -497,6 +576,9 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             );
             let hits = counting.hits;
             self.probe.count(|c| c.adversary_checks += hits);
+            if hits > 0 {
+                self.flight.note(FlightEvent::Adversary { checks: hits });
+            }
         } else {
             self.medium.resolve_round_cached(
                 round,
@@ -530,6 +612,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
                 self.stats.broadcasts += 1;
                 self.stats.total_bytes += size as u64;
                 self.stats.max_message_bytes = self.stats.max_message_bytes.max(size);
+                self.causal.broadcast(intent.node.index() as u64);
                 if record {
                     self.trace_scratch.broadcasts.push((intent.node, size));
                 }
@@ -540,6 +623,8 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             for &src in self.receptions.senders(k) {
                 if src != node {
                     self.stats.deliveries += 1;
+                    self.causal
+                        .reception(src.index() as u64, node.index() as u64);
                     if record {
                         self.trace_scratch.deliveries.push((src, node));
                     }
@@ -554,6 +639,12 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         }
         if record {
             self.trace.rounds.push(self.trace_scratch.clone());
+        }
+        if self.flight.is_enabled() {
+            self.flight.note(FlightEvent::Reception {
+                delivered: self.stats.deliveries - prev_deliveries,
+                collisions: self.stats.collision_reports - prev_collisions,
+            });
         }
 
         // Deliver outcomes as borrowed views into the SoA buffer.
@@ -583,11 +674,23 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
     /// an owned allocation.
     fn step_legacy(&mut self) {
         let round = self.round;
+        self.causal.begin_round(round);
+        if self.flight.is_enabled() {
+            self.flight.begin_round(round);
+            self.note_nemesis(round);
+        }
         let t_adv = self.probe.timer();
         self.collect_intents(false);
         self.probe.phase_since(Phase::Advance, t_adv);
+        // The legacy resolver ignores the topology cache, so `prev_live`
+        // is normally untouched here; maintain it just for the churn
+        // events when the flight recorder is live.
+        if self.flight.is_enabled() && self.live != self.prev_live {
+            self.note_churn();
+            self.prev_live.clone_from(&self.live);
+        }
 
-        if self.probe.is_enabled() {
+        if self.probe.is_enabled() || self.flight.is_enabled() {
             let mut counting = CountingAdversary {
                 inner: self.adversary.as_mut(),
                 hits: 0,
@@ -601,6 +704,9 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             );
             let hits = counting.hits;
             self.probe.count(|c| c.adversary_checks += hits);
+            if hits > 0 {
+                self.flight.note(FlightEvent::Adversary { checks: hits });
+            }
         } else {
             self.medium.resolve_into(
                 round,
@@ -629,6 +735,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
                 self.stats.broadcasts += 1;
                 self.stats.total_bytes += size as u64;
                 self.stats.max_message_bytes = self.stats.max_message_bytes.max(size);
+                self.causal.broadcast(intent.node.index() as u64);
                 if let Some(rec) = record.as_mut() {
                     rec.broadcasts.push((intent.node, size));
                 }
@@ -637,6 +744,8 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         for rx in &self.legacy_receptions {
             for &(src, _) in rx.messages.iter().filter(|(src, _)| *src != rx.node) {
                 self.stats.deliveries += 1;
+                self.causal
+                    .reception(src.index() as u64, rx.node.index() as u64);
                 if let Some(rec) = record.as_mut() {
                     rec.deliveries.push((src, rx.node));
                 }
@@ -650,6 +759,12 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         }
         if let Some(rec) = record {
             self.trace.rounds.push(rec);
+        }
+        if self.flight.is_enabled() {
+            self.flight.note(FlightEvent::Reception {
+                delivered: self.stats.deliveries - prev_deliveries,
+                collisions: self.stats.collision_reports - prev_collisions,
+            });
         }
 
         // Deliver outcomes (draining keeps the buffer's capacity).

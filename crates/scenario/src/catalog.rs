@@ -218,6 +218,37 @@ fn broken_detector() -> ScenarioSpec {
     }
 }
 
+/// `broken_majority` — the majority-acked register with quorum-free
+/// local reads, partitioned so the bug fires: from round 6 the last
+/// replica is cut off while the leader keeps completing writes with
+/// the remaining majority, so the cut replica's local reads go stale
+/// and the WGL audit reports a **deterministic linearizability
+/// violation**. The incident-bundle pipeline (flight recorder, causal
+/// slice, `vi-bench --replay`) is exercised against this scenario.
+fn broken_majority() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "broken_majority".into(),
+        arena: Rect::square(10.0),
+        radio: RadioConfig::stabilizing(R1, R2, u64::MAX),
+        populations: vec![PopulationSpec::fixed(
+            4,
+            PlacementSpec::Line {
+                start: Point::ORIGIN,
+                step_x: 0.2,
+                step_y: 0.0,
+            },
+        )],
+        adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::MajorityRegister {
+            writes: 8,
+            rounds: 24,
+            partition_from: Some(6),
+        },
+    }
+}
+
 /// `city_scale` — 2000 nodes (a quarter of them mobile) at constant
 /// density across a ~670 m square: the throughput regime the
 /// spatially-indexed medium exists for.
@@ -475,6 +506,7 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         robot_patrol(),
         commuter_wave(),
         broken_detector(),
+        broken_majority(),
         city_scale(),
         mall_rush(),
         courier_fleet(),
@@ -564,6 +596,27 @@ mod tests {
         assert!(report.ops > 0);
         let t = out.traffic.as_ref().expect("traffic summary");
         assert!(t.completed > 0, "{t:?}");
+    }
+
+    #[test]
+    fn broken_majority_violates_and_dumps_an_incident_bundle() {
+        use crate::compile::EngineTuning;
+        let spec = scenario("broken_majority").unwrap();
+        // Plain run: the audit catches the stale reads, no bundle.
+        let plain = spec.run(1);
+        let report = plain.audit.as_ref().expect("always audited");
+        assert!(!report.ok(), "the partition must expose the bug");
+        assert_eq!(report.app, "majority_register");
+        assert!(plain.incident.is_none(), "no flight recorder, no bundle");
+        // Traced + flight-recorded run: same verdict, plus a bundle
+        // carrying the retained window and the causal summary.
+        let tuned = spec.run_with(1, EngineTuning::DEFAULT.with_tracing().with_flight(6));
+        assert_eq!(tuned.audit, plain.audit, "tracing is zero-perturbation");
+        assert_eq!(tuned.broadcasts, plain.broadcasts);
+        assert_eq!(tuned.deliveries, plain.deliveries);
+        let bundle = tuned.incident.as_ref().expect("violation dumps a bundle");
+        assert_eq!(bundle.flight.len(), 6, "window retains the last 6 rounds");
+        assert!(bundle.causal.is_some(), "causal summary rides along");
     }
 
     #[test]

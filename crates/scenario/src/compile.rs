@@ -8,16 +8,18 @@
 //! matter which thread executes them (every run owns its engine and
 //! all of its RNG state).
 
+use crate::incident::{IncidentBundle, IncidentReason};
 use crate::spec::{ScenarioSpec, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use vi_audit::{audit, AuditReport, HistoryRecorder};
+use vi_audit::{audit, audit_register_ops, AuditReport, HistoryRecorder};
+use vi_baselines::{collect_register_ops, MajRegMessage, MajorityRegister};
 use vi_core::cha::{ChaMessage, ChaNode, ChaSpecChecker, TaggedProposer};
 use vi_core::vi::{CounterAutomaton, VnId, World, WorldConfig};
 use vi_radio::trace::ChannelStats;
-use vi_radio::{Engine, EngineConfig, NodeId, NodeSpec};
-use vi_telemetry::{Phase, Probe, TelemetrySummary};
+use vi_radio::{Engine, EngineConfig, NodeId, NodeSpec, ScriptedAdversary};
+use vi_telemetry::{CausalRecorder, CausalSummary, FlightRecorder, Phase, Probe, TelemetrySummary};
 use vi_traffic::{AppKind, DevicePlan, TrafficSpec, TrafficSummary, TrafficWorld};
 
 /// Salt separating the placement RNG stream from the engine's seed
@@ -49,15 +51,29 @@ pub struct EngineTuning {
     /// counters are byte-identical at any worker count, and enabling
     /// telemetry never changes receptions, traces, or the RNG stream.
     pub telemetry: bool,
+    /// Record causal tracing for this run: trace spans for every
+    /// protocol broadcast, client op, and CHA propose/decide, plus
+    /// reception edges between them, surfaced as
+    /// [`ScenarioOutcome::causal`]. Trace ids come from a dedicated
+    /// SplitMix64 stream, so tracing never perturbs the simulation:
+    /// receptions, counters, and the RNG stream stay byte-identical.
+    pub tracing: bool,
+    /// Flight-recorder window: retain the last `flight_rounds` rounds
+    /// of structured engine events and dump an [`IncidentBundle`] when
+    /// the run ends in a checker violation, a liveness stall, or a
+    /// panic. `0` (the default) disables the recorder.
+    pub flight_rounds: usize,
 }
 
 impl EngineTuning {
     /// The default execution: current engine path, sequential rounds,
-    /// telemetry off.
+    /// telemetry, tracing, and flight recording off.
     pub const DEFAULT: EngineTuning = EngineTuning {
         legacy_engine: false,
         workers: 0,
         telemetry: false,
+        tracing: false,
+        flight_rounds: 0,
     };
 
     /// Current engine path with `workers` intra-round workers.
@@ -74,6 +90,18 @@ impl EngineTuning {
         self
     }
 
+    /// This tuning with causal tracing on.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// This tuning with a `k`-round flight-recorder window.
+    pub fn with_flight(mut self, k: usize) -> Self {
+        self.flight_rounds = k;
+        self
+    }
+
     /// A live probe when telemetry is requested, else the null probe.
     fn probe(&self) -> Probe {
         if self.telemetry {
@@ -81,6 +109,20 @@ impl EngineTuning {
         } else {
             Probe::disabled()
         }
+    }
+
+    /// A live causal recorder when tracing is requested, else null.
+    fn causal(&self, seed: u64) -> CausalRecorder {
+        if self.tracing {
+            CausalRecorder::enabled(seed)
+        } else {
+            CausalRecorder::disabled()
+        }
+    }
+
+    /// A live flight recorder when a window is requested, else null.
+    fn flight(&self) -> FlightRecorder {
+        FlightRecorder::enabled(self.flight_rounds)
     }
 }
 
@@ -132,6 +174,14 @@ pub struct ScenarioOutcome {
     /// compares deterministic counters only, so outcome comparisons
     /// across worker counts tolerate wall-clock jitter.
     pub telemetry: Option<TelemetrySummary>,
+    /// The causal DAG and decision timelines, present only when the
+    /// run was executed with [`EngineTuning::tracing`]. Fully
+    /// deterministic: byte-identical at any worker count.
+    pub causal: Option<CausalSummary>,
+    /// The incident bundle, present only when the run had a flight
+    /// recorder ([`EngineTuning::flight_rounds`] > 0) **and** ended in
+    /// a checker violation or a liveness stall.
+    pub incident: Option<IncidentBundle>,
 }
 
 impl ScenarioOutcome {
@@ -174,23 +224,120 @@ impl ScenarioSpec {
     /// E18 `metropolis` experiment asserts this), only wall-clock
     /// differs. Traffic workloads always use the default path (their
     /// engine is owned by `vi-traffic`).
+    ///
+    /// With [`EngineTuning::flight_rounds`] > 0, a run ending in a
+    /// checker violation or a liveness stall attaches an
+    /// [`IncidentBundle`] to the outcome; a run that *panics* writes
+    /// the bundle to `$VI_INCIDENT_DIR/incident_<scenario>_<seed>.json`
+    /// (when that variable is set) before resuming the unwind.
     pub fn run_with(&self, seed: u64, tuning: EngineTuning) -> ScenarioOutcome {
+        let causal = tuning.causal(seed);
+        let flight = tuning.flight();
+        let mut out = if flight.is_enabled() {
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.dispatch(seed, tuning, &causal, &flight)
+            }));
+            match run {
+                Ok(out) => out,
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    let bundle = IncidentBundle::assemble(
+                        self,
+                        seed,
+                        tuning,
+                        IncidentReason::Panic { message },
+                        flight.window(),
+                        causal.summary(),
+                        None,
+                    );
+                    if let Ok(dir) = std::env::var("VI_INCIDENT_DIR") {
+                        let path = std::path::Path::new(&dir)
+                            .join(format!("incident_{}_{}.json", self.name, seed));
+                        let _ = bundle.save(&path);
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        } else {
+            self.dispatch(seed, tuning, &causal, &flight)
+        };
+        out.causal = causal.summary();
+        if flight.is_enabled() {
+            let reason = if out.audit.as_ref().is_some_and(|r| !r.ok()) {
+                Some(IncidentReason::Violation)
+            } else if out
+                .traffic
+                .as_ref()
+                .is_some_and(|t| t.issued > 0 && t.completed == 0)
+            {
+                Some(IncidentReason::LivenessStall)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                out.incident = Some(IncidentBundle::assemble(
+                    self,
+                    seed,
+                    tuning,
+                    reason,
+                    flight.window(),
+                    out.causal.clone(),
+                    out.audit.clone(),
+                ));
+            }
+        }
+        out
+    }
+
+    fn dispatch(
+        &self,
+        seed: u64,
+        tuning: EngineTuning,
+        causal: &CausalRecorder,
+        flight: &FlightRecorder,
+    ) -> ScenarioOutcome {
         match &self.workload {
-            WorkloadSpec::ChaClique { instances } => self.run_cha(seed, *instances, tuning),
+            WorkloadSpec::ChaClique { instances } => {
+                self.run_cha(seed, *instances, tuning, causal, flight)
+            }
             WorkloadSpec::ViCounter {
                 layout,
                 virtual_rounds,
-            } => self.run_vi(seed, layout, *virtual_rounds, tuning),
+            } => self.run_vi(seed, layout, *virtual_rounds, tuning, causal, flight),
             WorkloadSpec::Traffic {
                 app,
                 layout,
                 traffic,
                 audit,
-            } => self.run_traffic(seed, *app, layout, traffic, *audit, tuning),
+            } => self.run_traffic(seed, *app, layout, traffic, *audit, tuning, causal, flight),
+            WorkloadSpec::MajorityRegister {
+                writes,
+                rounds,
+                partition_from,
+            } => self.run_majority_register(
+                seed,
+                *writes,
+                *rounds,
+                *partition_from,
+                tuning,
+                causal,
+                flight,
+            ),
         }
     }
 
-    fn run_cha(&self, seed: u64, instances: u64, tuning: EngineTuning) -> ScenarioOutcome {
+    fn run_cha(
+        &self,
+        seed: u64,
+        instances: u64,
+        tuning: EngineTuning,
+        causal: &CausalRecorder,
+        flight: &FlightRecorder,
+    ) -> ScenarioOutcome {
         let rounds = instances * 3;
         let mut engine: Engine<ChaMessage<u64>> = Engine::new(EngineConfig {
             radio: self.radio,
@@ -203,6 +350,8 @@ impl ScenarioSpec {
         }
         let probe = tuning.probe();
         engine.set_probe(probe.clone());
+        engine.set_causal(causal.clone());
+        engine.set_flight(flight.clone());
         engine.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let cm = self.cm.build(seed);
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
@@ -248,6 +397,16 @@ impl ScenarioSpec {
                 ids.push(engine.add_node(spec));
                 genesis.push(spawn == 0);
                 tag += 1;
+            }
+        }
+        if causal.is_enabled() {
+            // Each participant mints propose/decide spans under its
+            // simulator node index, so they line up with the engine's
+            // broadcast spans and reception edges.
+            for (node, &id) in ids.iter().enumerate() {
+                if let Some(p) = engine.process_mut::<ChaNode<u64>>(id) {
+                    p.set_causal(causal.clone(), node as u64);
+                }
             }
         }
 
@@ -311,6 +470,8 @@ impl ScenarioSpec {
         layout: &crate::spec::LayoutSpec,
         virtual_rounds: u64,
         tuning: EngineTuning,
+        causal: &CausalRecorder,
+        flight: &FlightRecorder,
     ) -> ScenarioOutcome {
         let layout = layout.build();
         let vns = layout.len();
@@ -327,6 +488,8 @@ impl ScenarioSpec {
         }
         let probe = tuning.probe();
         world.set_probe(probe.clone());
+        world.set_causal(causal.clone());
+        world.set_flight(flight.clone());
         world.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
         let nemesis_crashes: std::collections::BTreeMap<usize, u64> = self
@@ -393,6 +556,7 @@ impl ScenarioSpec {
     /// request ports driven by the vi-traffic generator. With
     /// `audited`, the run's operation history feeds the `vi-audit`
     /// checkers and the outcome carries their verdicts.
+    #[allow(clippy::too_many_arguments)]
     fn run_traffic(
         &self,
         seed: u64,
@@ -401,6 +565,8 @@ impl ScenarioSpec {
         traffic: &TrafficSpec,
         audited: bool,
         tuning: EngineTuning,
+        causal: &CausalRecorder,
+        flight: &FlightRecorder,
     ) -> ScenarioOutcome {
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
         let mut devices = Vec::with_capacity(self.node_count());
@@ -433,11 +599,16 @@ impl ScenarioSpec {
         // zero for traffic runs.
         let probe = tuning.probe();
         let (out, report) = if audited {
-            let (out, history) = HistoryRecorder::record(app, tw, traffic);
+            let (out, history) =
+                HistoryRecorder::record_traced(app, tw, traffic, causal.clone(), flight.clone());
             let t_check = probe.timer();
             let report = audit(&history);
             probe.phase_since(Phase::Checker, t_check);
             (out, Some(report))
+        } else if causal.is_enabled() || flight.is_enabled() {
+            let (out, _) =
+                vi_traffic::run_traffic_traced(app, tw, traffic, causal.clone(), flight.clone());
+            (out, None)
         } else {
             (vi_traffic::run_traffic(app, tw, traffic), None)
         };
@@ -466,6 +637,114 @@ impl ScenarioSpec {
         outcome.audit = report;
         outcome.telemetry = probe.summary();
         outcome
+    }
+
+    /// Runs the deliberately broken majority-register baseline and
+    /// always audits the collected WGL operations: with a partition
+    /// cutting off the last replica, the stale local reads produce a
+    /// deterministic linearizability violation — the fixture the
+    /// incident-bundle pipeline is exercised against.
+    #[allow(clippy::too_many_arguments)]
+    fn run_majority_register(
+        &self,
+        seed: u64,
+        writes: u64,
+        rounds: u64,
+        partition_from: Option<u64>,
+        tuning: EngineTuning,
+        causal: &CausalRecorder,
+        flight: &FlightRecorder,
+    ) -> ScenarioOutcome {
+        let n = self.node_count();
+        let mut engine: Engine<MajRegMessage> = Engine::new(EngineConfig {
+            radio: self.radio,
+            seed,
+            record_trace: false,
+        });
+        engine.set_legacy_round_path(tuning.legacy_engine);
+        if tuning.workers >= 2 {
+            engine.set_workers(tuning.workers);
+        }
+        let probe = tuning.probe();
+        engine.set_probe(probe.clone());
+        engine.set_causal(causal.clone());
+        engine.set_flight(flight.clone());
+        if let Some(from) = partition_from {
+            // The partition is part of the workload, not the spec's
+            // adversary: everything addressed to the last-ranked
+            // replica is dropped from `from` on, so it keeps serving
+            // its stale local copy.
+            let mut adv = ScriptedAdversary::new();
+            for r in from..rounds {
+                adv.drop_all_to(r, NodeId::from(n - 1));
+            }
+            engine.set_adversary(Box::new(adv));
+        } else {
+            engine.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
+        }
+        let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
+        let mut rank = 0usize;
+        let mut ids: Vec<NodeId> = Vec::with_capacity(n);
+        for pop in &self.populations {
+            for j in 0..pop.count {
+                let start = pop.placement.position(j, self.arena, &mut place_rng);
+                ids.push(engine.add_node(NodeSpec::new(
+                    pop.mobility.build(start, self.arena),
+                    Box::new(MajorityRegister::new(rank, n, writes)),
+                )));
+                rank += 1;
+            }
+        }
+
+        engine.run(rounds);
+
+        let ops = collect_register_ops(&engine, &ids);
+        // Register the collected history as op spans: each op's
+        // invoke round becomes an `Op` span keyed by its audit op id,
+        // so a violation's witness ops resolve into the causal DAG
+        // and completions feed the `majority_register` timeline. The
+        // op vector is flat in node order (writes then reads per
+        // node), so the owning node is recovered from the log sizes.
+        if causal.is_enabled() {
+            let mut cursor = 0usize;
+            for (node, &id) in ids.iter().enumerate() {
+                let p = engine
+                    .process::<MajorityRegister>(id)
+                    .expect("majority-register node");
+                let count = p.write_log.len() + p.read_log.len();
+                for op in &ops[cursor..cursor + count] {
+                    causal.invoke(op.id, node as u64, op.inv);
+                    if op.ret != vi_audit::linearizability::PENDING {
+                        causal.complete("majority_register", op.id, op.ret);
+                    }
+                }
+                cursor += count;
+            }
+        }
+        let t_check = probe.timer();
+        let report = audit_register_ops("majority_register", &ops);
+        probe.phase_since(Phase::Checker, t_check);
+        probe.count(|c| c.audit_ops = report.ops);
+        let completed = ops
+            .iter()
+            .filter(|o| o.ret != vi_audit::linearizability::PENDING)
+            .count();
+        let decided_fraction = completed as f64 / ops.len().max(1) as f64;
+        let checker = ChaSpecChecker::<u64>::new();
+        let mut out = self.outcome(
+            seed,
+            rounds,
+            engine.stats(),
+            0,
+            &checker,
+            decided_fraction,
+            0,
+            0,
+            None,
+        );
+        out.audit = Some(report);
+        out.telemetry = probe.summary();
+        out
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -501,6 +780,8 @@ impl ScenarioSpec {
             traffic,
             audit: None,
             telemetry: None,
+            causal: None,
+            incident: None,
         }
     }
 }

@@ -42,14 +42,19 @@
 
 pub mod catalog;
 pub mod compile;
+pub mod incident;
 pub mod runner;
 pub mod spec;
 
 pub use compile::{EngineTuning, ScenarioOutcome};
+pub use incident::{IncidentBundle, IncidentReason, BUNDLE_VERSION};
 pub use runner::SweepRunner;
 pub use spec::{
     CmSpec, LayoutSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, WorkloadSpec,
 };
 pub use vi_audit::{AuditReport, NemesisFault, NemesisSpec};
-pub use vi_telemetry::{Counters, PhaseSummary, TelemetrySummary};
+pub use vi_telemetry::{
+    CausalSummary, Counters, DecisionStats, FlightEvent, PhaseSummary, RoundWindow,
+    TelemetrySummary,
+};
 pub use vi_traffic::{AppKind, LoadMode, RatePhase, TrafficSpec, TrafficSummary};

@@ -311,6 +311,23 @@ pub enum WorkloadSpec {
         /// [`vi_audit::AuditReport`].
         audit: bool,
     },
+    /// The deliberately broken majority-acked register baseline
+    /// ([`vi_baselines::MajorityRegister`]): writes replicate to a
+    /// majority but reads are served from the local copy. Always
+    /// audited — the WGL checker catches the stale reads once
+    /// `partition_from` cuts the last replica off. Exists so the
+    /// incident-bundle pipeline has a scenario that *deterministically*
+    /// violates linearizability.
+    MajorityRegister {
+        /// Writes the leader (deployment rank 0) issues, one per
+        /// replication window.
+        writes: u64,
+        /// Engine rounds to run.
+        rounds: u64,
+        /// From this round on, drop everything addressed to the
+        /// last-ranked replica (it keeps serving stale local reads).
+        partition_from: Option<u64>,
+    },
 }
 
 /// A full declarative deployment: the unit the sweep runner executes.
@@ -385,8 +402,19 @@ impl ScenarioSpec {
         self.nemesis
             .validate()
             .map_err(|e| format!("{}: nemesis {e}", self.name))?;
+        if let WorkloadSpec::MajorityRegister { writes, rounds, .. } = &self.workload {
+            if *writes == 0 || *rounds == 0 {
+                return Err(format!(
+                    "{}: majority-register workload needs writes >= 1 and rounds >= 1",
+                    self.name
+                ));
+            }
+        }
         if self.nemesis.crashes_devices() {
-            if matches!(self.workload, WorkloadSpec::ChaClique { .. }) {
+            if matches!(
+                self.workload,
+                WorkloadSpec::ChaClique { .. } | WorkloadSpec::MajorityRegister { .. }
+            ) {
                 return Err(format!(
                     "{}: nemesis crash bursts need a device workload (ViCounter or Traffic)",
                     self.name

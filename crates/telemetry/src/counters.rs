@@ -172,6 +172,29 @@ mod tests {
         }
     }
 
+    /// Drift guard: a newly added `Counters` field that is not wired
+    /// into `rows()` must fail this test, not silently vanish from
+    /// every table and report. Two independent reflections are
+    /// checked — the struct's size (all fields are `u64`, so
+    /// `size_of` counts them exactly) and its serde field names.
+    #[test]
+    fn rows_cover_every_field_by_reflection() {
+        let c = Counters::default();
+        let rows = c.rows();
+        assert_eq!(
+            std::mem::size_of::<Counters>(),
+            rows.len() * std::mem::size_of::<u64>(),
+            "a Counters field is missing from rows()"
+        );
+        let serde::Value::Map(fields) = serde::Serialize::to_value(&c) else {
+            panic!("Counters serializes as a field map");
+        };
+        assert_eq!(fields.len(), rows.len(), "serde/rows field count drift");
+        for ((name, _), (field, _)) in rows.iter().zip(&fields) {
+            assert_eq!(name, field, "rows() order diverged from the fields");
+        }
+    }
+
     #[test]
     fn merge_is_field_wise_addition() {
         let mut a = Counters {

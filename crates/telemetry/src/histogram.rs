@@ -23,6 +23,15 @@ const SUB_BUCKETS: u64 = 4;
 /// 3..=17 (values up to 2^18), plus one overflow bucket.
 pub const BUCKETS: usize = 8 + 15 * 4 + 1;
 
+/// Sentinel returned by [`LatencyHistogram::quantile`] (and the
+/// `p50`/`p95`/`p99` shorthands) on an *empty* histogram. `u64::MAX`
+/// cannot be confused with a real bucket floor, unlike the old
+/// behavior of returning 0 — which is also the floor of the first
+/// bucket and therefore ambiguous. Callers that serialize quantiles
+/// should check [`LatencyHistogram::count`] first and substitute
+/// their own "no data" representation.
+pub const EMPTY_QUANTILE: u64 = u64::MAX;
+
 /// The bucket index value `v` lands in.
 fn bucket_of(v: u64) -> usize {
     if v < LINEAR_CUTOFF {
@@ -124,10 +133,12 @@ impl LatencyHistogram {
 
     /// The `q`-quantile value (`0.0 < q <= 1.0`), as the floor of
     /// the bucket containing the `ceil(q·count)`-th smallest sample;
-    /// 0 on an empty histogram. Deterministic by construction.
+    /// [`EMPTY_QUANTILE`] on an empty histogram (a quantile of no
+    /// samples is undefined — the sentinel makes that unmistakable).
+    /// Deterministic by construction.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
-            return 0;
+            return EMPTY_QUANTILE;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -228,12 +239,24 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_all_zeroes() {
+    fn empty_histogram_reports_the_quantile_sentinel() {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.p50(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
+        // Quantiles of zero samples are undefined: every shorthand
+        // reports the documented sentinel, never a bucket floor.
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), EMPTY_QUANTILE, "q={q}");
+        }
+        assert_eq!(h.p50(), EMPTY_QUANTILE);
+        assert_eq!(h.p95(), EMPTY_QUANTILE);
+        assert_eq!(h.p99(), EMPTY_QUANTILE);
+        // One sample flips every quantile back to a real value.
+        let mut h = h;
+        h.record(4);
+        assert_eq!(h.p50(), 4);
+        assert_eq!(h.p99(), 4);
     }
 
     #[test]

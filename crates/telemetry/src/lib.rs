@@ -22,20 +22,34 @@
 //!   as Chrome trace-event JSON that opens directly in
 //!   `ui.perfetto.dev`. Gated by the `VI_TRACE=out.json` environment
 //!   variable or an explicit [`trace_export::enable_tracing`] call.
+//! * **Causal tracing** ([`CausalRecorder`], module [`causal`]) —
+//!   deterministic trace ids for client ops, protocol broadcasts, and
+//!   CHA propose/decide chains, reconstructed into per-run causal
+//!   DAGs with per-app invoke→decide latency timelines, exportable as
+//!   Perfetto flow events. Ids come from a dedicated SplitMix64
+//!   stream, so tracing never perturbs the simulation RNG.
+//! * **Flight recorder** ([`FlightRecorder`], module [`flight`]) — a
+//!   bounded ring of the last K rounds of structured events
+//!   (receptions, adversary verdicts, churn, nemesis crashes), the
+//!   raw material for replayable incident bundles.
 //!
 //! The whole layer is threaded through the engine as a [`Probe`]: a
 //! cloneable handle that is null by default, so the disabled path
 //! costs exactly one branch per instrumentation site (guarded by the
 //! zero-alloc test and the CI telemetry-overhead check).
 
+pub mod causal;
 pub mod counters;
+pub mod flight;
 pub mod histogram;
 pub mod phases;
 pub mod probe;
 pub mod trace_export;
 
+pub use causal::{CausalEdge, CausalRecorder, CausalSpan, CausalSummary, DecisionStats, SpanKind};
 pub use counters::Counters;
-pub use histogram::{LatencyHistogram, BUCKETS};
+pub use flight::{FlightEvent, FlightRecorder, RoundWindow};
+pub use histogram::{LatencyHistogram, BUCKETS, EMPTY_QUANTILE};
 pub use phases::{Phase, PhaseStats, PhaseSummary, PhaseTimers};
 pub use probe::Probe;
 

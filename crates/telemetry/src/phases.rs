@@ -90,13 +90,18 @@ impl PhaseTimers {
                 .iter()
                 .map(|&p| {
                     let h = self.hist(p);
+                    // Quantiles of an unused phase are undefined (the
+                    // histogram reports its sentinel); serialize them
+                    // as 0 so "phase never ran" stays visibly inert
+                    // in artifacts — `samples == 0` is the signal.
+                    let q = |v: u64| if h.count() == 0 { 0 } else { v };
                     PhaseStats {
                         phase: p.name().to_string(),
                         samples: h.count(),
                         total_us: h.sum(),
-                        p50_us: h.p50(),
-                        p95_us: h.p95(),
-                        p99_us: h.p99(),
+                        p50_us: q(h.p50()),
+                        p95_us: q(h.p95()),
+                        p99_us: q(h.p99()),
                         max_us: h.max(),
                     }
                 })
@@ -168,7 +173,12 @@ mod tests {
         assert_eq!(checker.samples, 1);
         assert_eq!(checker.total_us, 1000);
         assert!(checker.p50_us > 0);
-        assert_eq!(s.get(Phase::Advance).unwrap().samples, 0);
+        // Unused phases serialize inert zero rows, not the histogram's
+        // empty-quantile sentinel.
+        let advance = s.get(Phase::Advance).unwrap();
+        assert_eq!(advance.samples, 0);
+        assert_eq!(advance.p50_us, 0);
+        assert_eq!(advance.p99_us, 0);
     }
 
     #[test]

@@ -27,28 +27,38 @@ use std::time::Instant;
 pub const PID_SWEEP: u64 = 1;
 /// `pid` for shard-pool spans (per-round geometry work).
 pub const PID_POOL: u64 = 2;
+/// `pid` for protocol-level causal spans and flows: synthetic
+/// round-based timestamps (round `r` at `r·1000` µs), `tid` = node
+/// index. See `vi_telemetry::causal::export_flows`.
+pub const PID_PROTO: u64 = 3;
 
 /// Collector capacity; spans past this are dropped (and counted).
 pub const MAX_EVENTS: usize = 100_000;
 
-/// One complete ("ph":"X") Chrome trace event. Microsecond units, as
-/// the format requires.
+/// One Chrome trace event: a complete span (`ph:"X"`) or a flow
+/// endpoint (`ph:"s"` / `ph:"f"`). Microsecond units, as the format
+/// requires.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Span name (e.g. `"job"`, `"sweep-worker"`, `"shard-geometry"`).
     pub name: String,
     /// Category (e.g. `"sweep"`, `"pool"`).
     pub cat: String,
-    /// Event phase; always `"X"` (complete event).
+    /// Event phase: `"X"` (complete span), `"s"` (flow start), or
+    /// `"f"` (flow finish).
     pub ph: String,
     /// Start timestamp in µs since the trace epoch.
     pub ts: u64,
-    /// Duration in µs.
+    /// Duration in µs (0 for flow endpoints).
     pub dur: u64,
-    /// Process lane ([`PID_SWEEP`] or [`PID_POOL`]).
+    /// Process lane ([`PID_SWEEP`], [`PID_POOL`], or [`PID_PROTO`]).
     pub pid: u64,
-    /// Thread lane — the worker index.
+    /// Thread lane — the worker or node index.
     pub tid: u64,
+    /// Flow id tying an `"s"` event to its `"f"` partner; 0 on
+    /// complete spans (flow ids minted by the causal layer are never
+    /// 0, so 0 unambiguously means "not a flow").
+    pub id: u64,
 }
 
 /// Top-level JSON object; field name fixed by the trace format.
@@ -95,18 +105,40 @@ pub fn dropped_spans() -> u64 {
     DROPPED.load(Ordering::Relaxed)
 }
 
+/// Locks `events`, recovering from poisoning: a panicking tracer
+/// thread must never take the whole collector down with it — the
+/// spans gathered before the panic are exactly what a post-mortem
+/// needs. Factored out so the recovery branch is directly testable.
+fn recover(events: &Mutex<Vec<TraceEvent>>) -> std::sync::MutexGuard<'_, Vec<TraceEvent>> {
+    events.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Pushes `ev` onto `events` unless it already holds `cap` entries;
+/// returns whether the event was kept. Factored out so the cap
+/// branch is directly testable against a local buffer.
+fn push_bounded(events: &mut Vec<TraceEvent>, ev: TraceEvent, cap: usize) -> bool {
+    if events.len() >= cap {
+        return false;
+    }
+    events.push(ev);
+    true
+}
+
+/// Records one event into the global collector, bumping the drop
+/// counter past the cap.
+fn record_event(ev: TraceEvent) {
+    if !push_bounded(&mut recover(&EVENTS), ev, MAX_EVENTS) {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Records one complete span. No-op unless tracing is enabled; never
 /// blocks the simulation on a full buffer (drops + counts instead).
 pub fn record_span(name: &str, cat: &str, pid: u64, tid: u64, ts_us: u64, dur_us: u64) {
     if !tracing_enabled() {
         return;
     }
-    let mut events = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
-    if events.len() >= MAX_EVENTS {
-        DROPPED.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    events.push(TraceEvent {
+    record_event(TraceEvent {
         name: name.to_string(),
         cat: cat.to_string(),
         ph: "X".to_string(),
@@ -114,13 +146,33 @@ pub fn record_span(name: &str, cat: &str, pid: u64, tid: u64, ts_us: u64, dur_us
         dur: dur_us,
         pid,
         tid,
+        id: 0,
+    });
+}
+
+/// Records one flow endpoint (`ph` `"s"` or `"f"`; `id` ties the two
+/// ends together). No-op unless tracing is enabled; same bounded
+/// buffer as [`record_span`].
+pub fn record_flow(name: &str, cat: &str, ph: &str, pid: u64, tid: u64, ts_us: u64, id: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    record_event(TraceEvent {
+        name: name.to_string(),
+        cat: cat.to_string(),
+        ph: ph.to_string(),
+        ts: ts_us,
+        dur: 0,
+        pid,
+        tid,
+        id,
     });
 }
 
 /// Drains every collected span (primarily for tests; flushing uses it
 /// internally so repeated flushes don't duplicate spans).
 pub fn take_events() -> Vec<TraceEvent> {
-    std::mem::take(&mut *EVENTS.lock().unwrap_or_else(|e| e.into_inner()))
+    std::mem::take(&mut *recover(&EVENTS))
 }
 
 /// Writes all collected spans to `path` as Chrome trace JSON and
@@ -170,29 +222,95 @@ mod tests {
         let t0 = now_us();
         record_span("job", "sweep", PID_SWEEP, 0, t0, 150);
         record_span("shard-geometry", "pool", PID_POOL, 3, t0 + 10, 40);
+        record_flow("rx", "protocol", "s", PID_PROTO, 1, 2000, 77);
+        record_flow("rx", "protocol", "f", PID_PROTO, 2, 2500, 77);
 
         let dir = std::env::temp_dir().join("vi_telemetry_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.json");
         let path_str = path.to_str().unwrap();
         let written = flush_to_path(path_str).unwrap();
-        assert_eq!(written, 2);
+        assert_eq!(written, 4);
 
         let raw = std::fs::read_to_string(&path).unwrap();
         let back: TraceFile = serde_json::from_str(&raw).unwrap();
-        assert_eq!(back.traceEvents.len(), 2);
+        assert_eq!(back.traceEvents.len(), 4);
         let job = &back.traceEvents[0];
         assert_eq!(job.name, "job");
         assert_eq!(job.ph, "X");
         assert_eq!(job.pid, PID_SWEEP);
         assert_eq!(job.dur, 150);
+        assert_eq!(job.id, 0, "plain spans carry no flow id");
         let shard = &back.traceEvents[1];
         assert_eq!(shard.tid, 3);
         assert_eq!(shard.pid, PID_POOL);
+        // Flow endpoints keep their pairing id through the round trip.
+        let start = &back.traceEvents[2];
+        let finish = &back.traceEvents[3];
+        assert_eq!(start.ph, "s");
+        assert_eq!(finish.ph, "f");
+        assert_eq!(start.id, 77);
+        assert_eq!(start.id, finish.id);
 
         // Flushing drained the collector.
         assert_eq!(take_events().len(), 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    fn ev(name: &str) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat: "test".to_string(),
+            ph: "X".to_string(),
+            ts: 0,
+            dur: 1,
+            pid: PID_SWEEP,
+            tid: 0,
+            id: 0,
+        }
+    }
+
+    /// Satellite edge path: the event cap truncates instead of
+    /// growing, and the boundary is exact. Exercised against a local
+    /// buffer so the process-global collector stays untouched.
+    #[test]
+    fn event_cap_truncates_at_the_exact_boundary() {
+        let mut events = Vec::new();
+        for i in 0..5 {
+            assert!(push_bounded(&mut events, ev(&format!("e{i}")), 5));
+        }
+        assert!(!push_bounded(&mut events, ev("overflow"), 5));
+        assert_eq!(events.len(), 5);
+        assert_eq!(events.last().unwrap().name, "e4", "overflow dropped");
+        // The production cap behaves identically at its boundary.
+        let mut full = vec![ev("x"); MAX_EVENTS];
+        assert!(!push_bounded(&mut full, ev("overflow"), MAX_EVENTS));
+        assert_eq!(full.len(), MAX_EVENTS);
+        full.pop();
+        assert!(push_bounded(&mut full, ev("fits"), MAX_EVENTS));
+    }
+
+    /// Satellite edge path: a panic while holding the collector lock
+    /// must not poison tracing for the rest of the process — the
+    /// recovery branch hands back the pre-panic contents.
+    #[test]
+    fn poisoned_lock_recovers_with_contents_intact() {
+        let events: Mutex<Vec<TraceEvent>> = Mutex::new(vec![ev("before")]);
+        let poisoned = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = events.lock().unwrap();
+                panic!("poison the collector lock");
+            })
+            .join()
+            .is_err()
+        });
+        assert!(poisoned, "the helper thread must have panicked");
+        assert!(events.lock().is_err(), "lock is poisoned");
+        let mut guard = recover(&events);
+        assert_eq!(guard.len(), 1);
+        assert_eq!(guard[0].name, "before");
+        assert!(push_bounded(&mut guard, ev("after"), MAX_EVENTS));
+        assert_eq!(guard.len(), 2, "recording continues after recovery");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vi_radio::trace::ChannelStats;
+use vi_telemetry::{CausalRecorder, FlightRecorder};
 
 /// Salt separating the traffic RNG stream from the engine's seed
 /// stream (request mix never perturbs channel resolution).
@@ -122,10 +123,33 @@ pub fn run_traffic_recorded(
     tw: TrafficWorld,
     spec: &TrafficSpec,
 ) -> (TrafficOutcome, Vec<TrafficEvent>) {
+    run_traffic_traced(
+        app,
+        tw,
+        spec,
+        CausalRecorder::disabled(),
+        FlightRecorder::disabled(),
+    )
+}
+
+/// Like [`run_traffic_recorded`], with telemetry recorders installed:
+/// `causal` traces every invocation/completion (and, through the
+/// world's engine, every broadcast/reception), `flight` retains the
+/// last K rounds of structured channel events. Disabled recorders make
+/// this identical to [`run_traffic_recorded`].
+pub fn run_traffic_traced(
+    app: AppKind,
+    tw: TrafficWorld,
+    spec: &TrafficSpec,
+    causal: CausalRecorder,
+    flight: FlightRecorder,
+) -> (TrafficOutcome, Vec<TrafficEvent>) {
     spec.validate().expect("invalid traffic spec");
     let seed = tw.seed;
     let mut service = build_service(app, tw, spec.clients);
-    let (summary, events) = drive_recorded(service.as_mut(), spec, seed);
+    service.set_telemetry(causal.clone(), flight);
+    let mut events = Vec::new();
+    let summary = drive_inner(service.as_mut(), spec, seed, Some(&mut events), &causal);
     let totals = service.world_totals();
     (
         TrafficOutcome {
@@ -144,7 +168,7 @@ pub fn run_traffic_recorded(
 /// tests and benches can drive hand-built services. Records nothing:
 /// the unaudited hot path stays free of per-request event pushes.
 pub fn drive(service: &mut dyn Service, spec: &TrafficSpec, seed: u64) -> TrafficSummary {
-    drive_inner(service, spec, seed, None)
+    drive_inner(service, spec, seed, None, &CausalRecorder::disabled())
 }
 
 /// [`drive`], additionally recording the complete operation history.
@@ -154,7 +178,13 @@ pub fn drive_recorded(
     seed: u64,
 ) -> (TrafficSummary, Vec<TrafficEvent>) {
     let mut events = Vec::new();
-    let summary = drive_inner(service, spec, seed, Some(&mut events));
+    let summary = drive_inner(
+        service,
+        spec,
+        seed,
+        Some(&mut events),
+        &CausalRecorder::disabled(),
+    );
     (summary, events)
 }
 
@@ -163,9 +193,11 @@ fn drive_inner(
     spec: &TrafficSpec,
     seed: u64,
     mut events: Option<&mut Vec<TrafficEvent>>,
+    causal: &CausalRecorder,
 ) -> TrafficSummary {
     let mut rng = StdRng::seed_from_u64(seed ^ TRAFFIC_SALT);
     let clients = spec.clients;
+    let app_name = service.app().name();
     let has_reads = matches!(service.app(), AppKind::Register | AppKind::Tracking);
 
     // id → (issued vr, client).
@@ -216,6 +248,7 @@ fn drive_inner(
                             &mut rng,
                             &mut outstanding,
                             events.as_deref_mut(),
+                            causal,
                             client,
                             vr,
                         );
@@ -231,6 +264,7 @@ fn drive_inner(
                                         &mut rng,
                                         &mut outstanding,
                                         events.as_deref_mut(),
+                                        causal,
                                         client,
                                         vr,
                                     );
@@ -249,6 +283,7 @@ fn drive_inner(
             let Some((issued_vr, client)) = outstanding.remove(&c.id) else {
                 continue; // late completion of a timed-out request
             };
+            causal.complete(app_name, c.id, c.completed_vr);
             if let Some(ev) = events.as_deref_mut() {
                 ev.push(TrafficEvent::Complete {
                     id: c.id,
@@ -294,16 +329,19 @@ fn drive_inner(
         }
     }
 
+    // Quantiles of an empty histogram are the EMPTY_QUANTILE sentinel;
+    // a run that completed nothing reports inert zeros instead.
+    let q = |v: u64| if hist.count() == 0 { 0 } else { v };
     TrafficSummary {
-        app: service.app().name().to_string(),
+        app: app_name.to_string(),
         mode: spec.mode.name().to_string(),
         issued: gen.next_id,
         completed,
         timed_out,
         in_flight_at_end: outstanding.len() as u64,
-        p50: hist.p50(),
-        p95: hist.p95(),
-        p99: hist.p99(),
+        p50: q(hist.p50()),
+        p95: q(hist.p95()),
+        p99: q(hist.p99()),
         max: hist.max(),
         mean: hist.mean(),
         throughput_per_round: completed as f64 / spec.virtual_rounds as f64,
@@ -320,16 +358,19 @@ struct Admission {
 }
 
 impl Admission {
+    #[allow(clippy::too_many_arguments)]
     fn issue(
         &mut self,
         service: &mut dyn Service,
         rng: &mut StdRng,
         outstanding: &mut BTreeMap<u64, (u64, usize)>,
         events: Option<&mut Vec<TrafficEvent>>,
+        causal: &CausalRecorder,
         client: usize,
         vr: u64,
     ) -> u64 {
         self.next_id += 1;
+        causal.invoke(self.next_id, client as u64, vr);
         let class = if self.has_reads && rng.random_bool(self.query_fraction) {
             OpClass::Query
         } else {
@@ -532,6 +573,37 @@ mod tests {
             a.iter().any(|e| matches!(e, TrafficEvent::Protocol { .. })),
             "mutex histories carry grant/release protocol events"
         );
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_and_record_op_spans() {
+        let spec = TrafficSpec::open(2, 0.4, 25);
+        let (a, ea) = run_traffic_recorded(AppKind::Register, small_world(3, 6), &spec);
+        let causal = CausalRecorder::enabled(6);
+        let flight = FlightRecorder::enabled(8);
+        let (b, eb) = run_traffic_traced(
+            AppKind::Register,
+            small_world(3, 6),
+            &spec,
+            causal.clone(),
+            flight.clone(),
+        );
+        assert_eq!(a.summary, b.summary, "tracing must not perturb the run");
+        assert_eq!(ea, eb, "histories must be identical under tracing");
+        let s = causal.summary().expect("recorder was enabled");
+        assert_eq!(
+            s.op_spans.len() as u64,
+            b.summary.issued,
+            "every admitted op minted a span"
+        );
+        let d = s.decision.get("register").expect("decision stats");
+        assert_eq!(d.samples, b.summary.completed);
+        assert!(d.p50 >= 1, "latencies are at least one virtual round");
+        assert!(
+            !flight.window().is_empty(),
+            "the flight recorder retained rounds"
+        );
+        assert!(flight.window().len() <= 8, "the window is bounded");
     }
 
     #[test]

@@ -202,6 +202,16 @@ pub trait Service {
     fn drain_audit(&mut self) -> Vec<AuditRecord> {
         Vec::new()
     }
+    /// Installs telemetry recorders on the underlying world so causal
+    /// tracing sees protocol broadcasts/receptions and the flight
+    /// recorder sees channel events. Default: no-op (hand-built test
+    /// services have no world to instrument).
+    fn set_telemetry(
+        &mut self,
+        _causal: vi_telemetry::CausalRecorder,
+        _flight: vi_telemetry::FlightRecorder,
+    ) {
+    }
     /// Drops the measurement state of a timed-out request. Protocol
     /// obligations (e.g. releasing a lock that is granted late)
     /// survive; only completion matching is cancelled.
@@ -351,6 +361,16 @@ where
     fn step(&mut self) {
         self.world.run_virtual_rounds(1);
         self.vr += 1;
+    }
+
+    /// Installs telemetry recorders on the world's engine.
+    fn set_telemetry(
+        &mut self,
+        causal: vi_telemetry::CausalRecorder,
+        flight: vi_telemetry::FlightRecorder,
+    ) {
+        self.world.set_causal(causal);
+        self.world.set_flight(flight);
     }
 
     /// Drains the received messages of client `i`.
@@ -531,6 +551,14 @@ impl Service for RegisterService {
         }
         retry_pending(&mut self.harness, &mut self.pending);
         done
+    }
+
+    fn set_telemetry(
+        &mut self,
+        causal: vi_telemetry::CausalRecorder,
+        flight: vi_telemetry::FlightRecorder,
+    ) {
+        self.harness.set_telemetry(causal, flight);
     }
 
     fn forget(&mut self, id: u64) {
@@ -715,6 +743,14 @@ impl Service for MutexService {
         std::mem::take(&mut self.audit)
     }
 
+    fn set_telemetry(
+        &mut self,
+        causal: vi_telemetry::CausalRecorder,
+        flight: vi_telemetry::FlightRecorder,
+    ) {
+        self.harness.set_telemetry(causal, flight);
+    }
+
     fn forget(&mut self, id: u64) {
         for q in &mut self.backlog {
             q.retain(|&e| e != id);
@@ -852,6 +888,14 @@ impl Service for TrackingService {
         done
     }
 
+    fn set_telemetry(
+        &mut self,
+        causal: vi_telemetry::CausalRecorder,
+        flight: vi_telemetry::FlightRecorder,
+    ) {
+        self.harness.set_telemetry(causal, flight);
+    }
+
     fn forget(&mut self, id: u64) {
         self.reports.remove(&id);
         if self.pending.remove(&id).is_some() {
@@ -985,6 +1029,14 @@ impl Service for GeoroutingService {
 
     fn drain_audit(&mut self) -> Vec<AuditRecord> {
         std::mem::take(&mut self.audit)
+    }
+
+    fn set_telemetry(
+        &mut self,
+        causal: vi_telemetry::CausalRecorder,
+        flight: vi_telemetry::FlightRecorder,
+    ) {
+        self.harness.set_telemetry(causal, flight);
     }
 
     fn forget(&mut self, id: u64) {
