@@ -10,10 +10,10 @@
 //! so audits are sweep-worker invariant by construction.
 
 use serde::{Deserialize, Serialize};
-use vi_telemetry::{CausalRecorder, FlightRecorder};
+use vi_telemetry::{CausalRecorder, FlightRecorder, Monitor};
 use vi_traffic::{
-    run_traffic_recorded, run_traffic_traced, AppKind, AuditRecord, OpDesc, OpOutcome,
-    TrafficEvent, TrafficOutcome, TrafficSpec, TrafficWorld,
+    run_traffic_observed, run_traffic_recorded, run_traffic_traced, AppKind, AuditRecord, OpDesc,
+    OpOutcome, TrafficEvent, TrafficOutcome, TrafficSpec, TrafficWorld,
 };
 
 /// One history entry (re-exported from `vi-traffic`, where the driver
@@ -132,6 +132,22 @@ impl HistoryRecorder {
         flight: FlightRecorder,
     ) -> (TrafficOutcome, History) {
         let (outcome, events) = run_traffic_traced(app, tw, spec, causal, flight);
+        (outcome, History::from_events(app, events))
+    }
+
+    /// [`HistoryRecorder::record_traced`] with a live monitor sampling
+    /// the driver's progress (see `vi_traffic::run_traffic_observed`).
+    /// Monitoring rides the wall-clock side: the outcome and history
+    /// are byte-identical to [`HistoryRecorder::record_traced`]'s.
+    pub fn record_observed(
+        app: AppKind,
+        tw: TrafficWorld,
+        spec: &TrafficSpec,
+        causal: CausalRecorder,
+        flight: FlightRecorder,
+        monitor: &Monitor,
+    ) -> (TrafficOutcome, History) {
+        let (outcome, events) = run_traffic_observed(app, tw, spec, causal, flight, monitor);
         (outcome, History::from_events(app, events))
     }
 }

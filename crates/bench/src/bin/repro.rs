@@ -6,6 +6,10 @@
 //! cargo run -p vi-bench --bin repro -- fig2                # one experiment
 //! cargo run -p vi-bench --bin repro -- list                # experiment index
 //! cargo run -p vi-bench --bin repro -- --replay dump.json  # replay an incident
+//! cargo run -p vi-bench --bin repro -- --monitor safety    # stream snapshots
+//! cargo run -p vi-bench --bin repro -- monitor 127.0.0.1:9464   # tail /metrics
+//! cargo run -p vi-bench --bin repro -- bench-diff old.json new.json
+//! cargo run -p vi-bench --bin repro -- bench-diff --check BENCH_radio.json 1000000
 //! ```
 //!
 //! `--replay` loads an incident bundle dumped by the flight recorder
@@ -13,13 +17,25 @@
 //! `(scenario, seed, tuning)`, and exits 0 iff the replay reproduces
 //! the recorded audit verdict and re-dumps the identical bundle.
 //!
+//! `--monitor` turns live monitoring on for the selected experiments
+//! (equivalent to the `VI_MONITOR_*` environment, with a JSONL sink at
+//! `monitor.jsonl` as the default when no sink is configured).
+//! `monitor <addr>` is the matching client: it polls an exporter's
+//! `/metrics` and prints a one-line-per-run progress view.
+//!
+//! `bench-diff` compares two bench artifacts with a noise tolerance
+//! (`--tolerance 0.30` by default; `--report` prints without gating),
+//! and `bench-diff --check <file> [needle...]` structurally validates
+//! a single artifact — the gate CI applies to every `BENCH_*.json`.
+//!
 //! Every experiment that runs also writes a machine-readable copy of
 //! its table to `BENCH_<id>.json` (a couple of ids keep their
 //! historical artifact names, see [`artifact_name`]), so the repo's
 //! quantitative trajectory can be tracked across PRs.
 
 use vi_bench::all_experiments;
-use vi_bench::Table;
+use vi_bench::{diff, Table};
+use vi_telemetry::monitor;
 
 /// The JSON artifact written for experiment `id`.
 ///
@@ -35,6 +51,7 @@ fn artifact_name(id: &str) -> String {
         "traffic_profile" => "BENCH_traffic.json".to_string(),
         "consistency_audit" => "BENCH_audit.json".to_string(),
         "protocol_trace" => "BENCH_protocol.json".to_string(),
+        "live_monitor" => "BENCH_monitor.json".to_string(),
         _ => format!("BENCH_{id}.json"),
     }
 }
@@ -97,9 +114,172 @@ fn replay_incident(path: &str) -> ! {
     }
 }
 
+/// `repro bench-diff`: compare two artifacts with a noise tolerance,
+/// or (`--check`) structurally validate one.
+///
+/// Exit codes: 0 — within tolerance / valid; 1 — regression past
+/// tolerance (unless `--report`) or invalid artifact; 2 — usage error.
+fn bench_diff(args: &[String]) -> ! {
+    if args.first().map(String::as_str) == Some("--check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: repro bench-diff --check <file.json> [needle...]");
+            std::process::exit(2);
+        };
+        match diff::check_table(path, &args[2..]) {
+            Ok(summary) => {
+                println!("{summary}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("bench-diff: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let mut tolerance = 0.30f64;
+    let mut report_only = false;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("bench-diff: --tolerance needs a number");
+                    std::process::exit(2);
+                }
+            },
+            "--report" => report_only = true,
+            _ => files.push(a),
+        }
+    }
+    let [old_path, new_path] = files[..] else {
+        eprintln!("usage: repro bench-diff <old.json> <new.json> [--tolerance 0.30] [--report]");
+        std::process::exit(2);
+    };
+    let (old, new) = match (diff::load_table(old_path), diff::load_table(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-diff: {e}");
+            std::process::exit(1);
+        }
+    };
+    let outcome = diff::diff_tables(&old, &new, tolerance);
+    if outcome.report.is_empty() {
+        println!(
+            "bench-diff: no changes past {:.0}% tolerance",
+            tolerance * 100.0
+        );
+    }
+    for line in &outcome.report {
+        println!("{line}");
+    }
+    if outcome.clean() {
+        std::process::exit(0);
+    }
+    eprintln!(
+        "bench-diff: {} regression(s) past {:.0}% tolerance",
+        outcome.regressions.len(),
+        tolerance * 100.0
+    );
+    std::process::exit(if report_only { 0 } else { 1 });
+}
+
+/// `repro monitor <addr>`: polls an exporter's `/metrics` once a
+/// second and prints a one-line-per-run progress view. Exits 0 when a
+/// previously reachable exporter goes away (the run ended), 1 when the
+/// exporter never answered.
+fn monitor_tail(addr: &str) -> ! {
+    let mut reached = false;
+    let mut failures = 0u32;
+    loop {
+        match monitor::scrape_metrics(addr) {
+            Ok(body) => {
+                reached = true;
+                failures = 0;
+                let pick = |metric: &str| -> Vec<(String, String)> {
+                    body.lines()
+                        .filter_map(|l| l.strip_prefix(&format!("{metric}{{")))
+                        .filter_map(|l| l.split_once("} "))
+                        .map(|(labels, value)| (labels.to_string(), value.to_string()))
+                        .collect()
+                };
+                let gauge = |metric: &str| -> String {
+                    body.lines()
+                        .filter_map(|l| l.strip_prefix(&format!("{metric} ")))
+                        .next_back()
+                        .unwrap_or("0")
+                        .to_string()
+                };
+                println!(
+                    "jobs queued {} / started {} / finished {}",
+                    gauge("vi_sweep_jobs_queued"),
+                    gauge("vi_sweep_jobs_started"),
+                    gauge("vi_sweep_jobs_finished"),
+                );
+                let completed = pick("vi_traffic_completed");
+                for (labels, round) in pick("vi_round") {
+                    let traffic = completed
+                        .iter()
+                        .find(|(l, _)| *l == labels)
+                        .map(|(_, v)| format!("  completed {v}"))
+                        .unwrap_or_default();
+                    println!("  {labels} round {round}{traffic}");
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                if reached && failures >= 3 {
+                    println!("monitor: exporter at {addr} gone — run finished");
+                    std::process::exit(0);
+                }
+                if !reached && failures >= 10 {
+                    eprintln!("monitor: no exporter at {addr}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = all_experiments();
+
+    // `--monitor` composes with experiment selection: strip the flag,
+    // force monitoring on, and default to a JSONL sink when the
+    // environment configured none.
+    if let Some(pos) = args.iter().position(|a| a == "--monitor") {
+        args.remove(pos);
+        monitor::force_enable();
+        let _ = monitor::effective_every(0); // installs VI_MONITOR_* sinks
+        if monitor::have_sinks() {
+            eprintln!("monitoring on (environment-configured sinks)");
+        } else {
+            match monitor::JsonlSink::create("monitor.jsonl") {
+                Ok(sink) => {
+                    monitor::install_sink(std::sync::Arc::new(sink));
+                    eprintln!("monitoring on: streaming snapshots to monitor.jsonl");
+                }
+                Err(e) => eprintln!("warning: cannot open monitor.jsonl: {e}"),
+            }
+        }
+    }
+
+    if args.first().map(String::as_str) == Some("monitor") {
+        match args.get(1) {
+            Some(addr) => monitor_tail(addr),
+            None => {
+                eprintln!("usage: repro monitor <host:port>");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if args.first().map(String::as_str) == Some("bench-diff") {
+        bench_diff(&args[1..]);
+    }
 
     if args.first().map(String::as_str) == Some("--replay") {
         match args.get(1) {
@@ -138,5 +318,17 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    // `VI_MONITOR_HOLD_MS=N` keeps the process — and with it any
+    // `VI_MONITOR_ADDR` exporter thread — alive N ms after the last
+    // experiment, so scripted scrapers (the CI monitor smoke) get a
+    // deterministic window instead of racing a fast run.
+    if let Some(ms) = std::env::var("VI_MONITOR_HOLD_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        eprintln!("holding {ms} ms for /metrics scrapes");
+        std::thread::sleep(std::time::Duration::from_millis(ms));
     }
 }

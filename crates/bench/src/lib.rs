@@ -1,7 +1,7 @@
 //! # vi-bench
 //!
 //! Experiment harness reproducing every figure and quantitative claim
-//! of the paper. Each experiment (E1–E18) is a function returning a
+//! of the paper. Each experiment (E1–E21) is a function returning a
 //! [`Table`], callable from the `repro` binary (which prints
 //! paper-shaped tables and writes a `BENCH_<id>.json` artifact per
 //! experiment) and exercised by unit tests that assert the claimed
@@ -9,11 +9,13 @@
 //! (E6, E13, E15, E16, E17, E18) fan across cores through
 //! [`vi_scenario::SweepRunner`].
 
+pub mod diff;
 pub mod exp_ablation;
 pub mod exp_audit;
 pub mod exp_cha;
 pub mod exp_emulation;
 pub mod exp_metropolis;
+pub mod exp_monitor;
 pub mod exp_protocol;
 pub mod exp_radio;
 pub mod exp_scenarios;
@@ -105,6 +107,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "protocol_trace",
             "Causal tracing: decision timelines + incident-bundle replay",
             exp_protocol::protocol_trace,
+        ),
+        (
+            "live_monitor",
+            "Live monitoring: snapshot pipeline, sinks, /metrics, sweep progress",
+            exp_monitor::live_monitor,
         ),
     ]
 }

@@ -1,13 +1,15 @@
 //! Plain-text tables, one per reproduced figure/claim.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A printable experiment table.
 ///
 /// Serializes to JSON (`{"title", "headers", "rows", "notes"}`) for the
-/// machine-readable bench artifacts the `repro` binary emits.
-#[derive(Clone, Debug, Serialize)]
+/// machine-readable bench artifacts the `repro` binary emits, and
+/// deserializes back from those artifacts so `repro bench-diff` can
+/// compare two runs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Table {
     title: String,
     headers: Vec<String>,
@@ -60,6 +62,26 @@ impl Table {
     /// The cell at `(row, col)` (for assertions in tests).
     pub fn cell(&self, row: usize, col: usize) -> &str {
         &self.rows[row][col]
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The footnotes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 }
 

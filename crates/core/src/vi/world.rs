@@ -167,6 +167,13 @@ impl<VA: VirtualAutomaton> World<VA> {
         self.engine.set_flight(flight);
     }
 
+    /// Installs a live monitor on the underlying engine (see
+    /// [`vi_radio::Engine::set_monitor`]): periodic telemetry
+    /// snapshots sampled on the sequential control path.
+    pub fn set_monitor(&mut self, monitor: vi_telemetry::Monitor) {
+        self.engine.set_monitor(monitor);
+    }
+
     /// Runs `n` complete virtual rounds.
     pub fn run_virtual_rounds(&mut self, n: u64) {
         self.engine.run(n * self.dep.plan.rounds_per_vr());

@@ -26,7 +26,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::fmt;
-use vi_telemetry::{CausalRecorder, FlightEvent, FlightRecorder, Phase, Probe};
+use vi_telemetry::{CausalRecorder, FlightEvent, FlightRecorder, Monitor, Phase, Probe};
 
 /// Simulator handle for a node.
 ///
@@ -211,6 +211,9 @@ pub struct Engine<M> {
     /// Flight-recorder handle (null by default): last-K-rounds ring of
     /// structured events for incident bundles.
     flight: FlightRecorder,
+    /// Live-monitoring handle (null by default): sampled on the
+    /// sequential control path after each round resolves.
+    monitor: Monitor,
 }
 
 /// Forwards every consultation to the real adversary, counting them.
@@ -277,6 +280,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
             probe: Probe::disabled(),
             causal: CausalRecorder::disabled(),
             flight: FlightRecorder::disabled(),
+            monitor: Monitor::disabled(),
         }
     }
 
@@ -303,6 +307,14 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
     /// scripted crashes) into its bounded ring.
     pub fn set_flight(&mut self, flight: FlightRecorder) {
         self.flight = flight;
+    }
+
+    /// Installs a live monitor, sampled after every round on the
+    /// sequential control path (so the counters inside each snapshot
+    /// are byte-identical at any worker count). The default monitor is
+    /// null: one branch per round, no allocation.
+    pub fn set_monitor(&mut self, monitor: Monitor) {
+        self.monitor = monitor;
     }
 
     /// The broadcast medium driving channel resolution.
@@ -666,6 +678,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         self.probe.phase_since(Phase::Deliver, t_del);
 
         self.round += 1;
+        self.monitor.on_round(self.round);
     }
 
     /// The pre-overhaul round path, kept verbatim as the baseline:
@@ -795,6 +808,7 @@ impl<M: Clone + WireSized + 'static> Engine<M> {
         self.probe.phase_since(Phase::Deliver, t_del);
 
         self.round += 1;
+        self.monitor.on_round(self.round);
     }
 
     /// Executes `rounds` rounds.

@@ -19,7 +19,9 @@ use vi_core::cha::{ChaMessage, ChaNode, ChaSpecChecker, TaggedProposer};
 use vi_core::vi::{CounterAutomaton, VnId, World, WorldConfig};
 use vi_radio::trace::ChannelStats;
 use vi_radio::{Engine, EngineConfig, NodeId, NodeSpec, ScriptedAdversary};
-use vi_telemetry::{CausalRecorder, CausalSummary, FlightRecorder, Phase, Probe, TelemetrySummary};
+use vi_telemetry::{
+    CausalRecorder, CausalSummary, FlightRecorder, Monitor, Phase, Probe, TelemetrySummary,
+};
 use vi_traffic::{AppKind, DevicePlan, TrafficSpec, TrafficSummary, TrafficWorld};
 
 /// Salt separating the placement RNG stream from the engine's seed
@@ -63,6 +65,15 @@ pub struct EngineTuning {
     /// the run ends in a checker violation, a liveness stall, or a
     /// panic. `0` (the default) disables the recorder.
     pub flight_rounds: usize,
+    /// Live-monitoring sample period in rounds: emit a
+    /// `TelemetrySnapshot` to every installed monitor sink each
+    /// `monitor_every` rounds. `0` (the default) defers to the
+    /// environment (`VI_MONITOR_LOG` / `VI_MONITOR_ADDR` /
+    /// `VI_MONITOR_EVERY`); a run only samples when at least one sink
+    /// is installed. Monitoring rides the wall-clock side: a monitored
+    /// run's [`ScenarioOutcome`] is byte-identical to an unmonitored
+    /// run's.
+    pub monitor_every: u64,
 }
 
 impl EngineTuning {
@@ -74,6 +85,7 @@ impl EngineTuning {
         telemetry: false,
         tracing: false,
         flight_rounds: 0,
+        monitor_every: 0,
     };
 
     /// Current engine path with `workers` intra-round workers.
@@ -102,13 +114,32 @@ impl EngineTuning {
         self
     }
 
-    /// A live probe when telemetry is requested, else the null probe.
-    fn probe(&self) -> Probe {
-        if self.telemetry {
+    /// This tuning with live monitoring sampling every `every` rounds
+    /// (snapshots still require at least one installed sink).
+    pub fn with_monitor(mut self, every: u64) -> Self {
+        self.monitor_every = every;
+        self
+    }
+
+    /// The probe and monitor pair for one run: the probe is live when
+    /// telemetry is requested *or* the monitor is (snapshots sample
+    /// the probe); the monitor is live when a sampling period is in
+    /// effect and at least one sink is installed.
+    fn instruments(&self, name: &str, seed: u64) -> (Probe, Monitor) {
+        let every = vi_telemetry::monitor::effective_every(self.monitor_every);
+        let sinks = vi_telemetry::monitor::installed_sinks();
+        let live = every > 0 && !sinks.is_empty();
+        let probe = if self.telemetry || live {
             Probe::enabled()
         } else {
             Probe::disabled()
-        }
+        };
+        let monitor = if live {
+            Monitor::enabled(name, seed, every, probe.clone(), sinks)
+        } else {
+            Monitor::disabled()
+        };
+        (probe, monitor)
     }
 
     /// A live causal recorder when tracing is requested, else null.
@@ -233,9 +264,10 @@ impl ScenarioSpec {
     pub fn run_with(&self, seed: u64, tuning: EngineTuning) -> ScenarioOutcome {
         let causal = tuning.causal(seed);
         let flight = tuning.flight();
+        let (probe, monitor) = tuning.instruments(&self.name, seed);
         let mut out = if flight.is_enabled() {
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.dispatch(seed, tuning, &causal, &flight)
+                self.dispatch(seed, tuning, &causal, &flight, &probe, &monitor)
             }));
             match run {
                 Ok(out) => out,
@@ -263,8 +295,12 @@ impl ScenarioSpec {
                 }
             }
         } else {
-            self.dispatch(seed, tuning, &causal, &flight)
+            self.dispatch(seed, tuning, &causal, &flight, &probe, &monitor)
         };
+        // The final snapshot (marked `last`) lands after the checker
+        // phase and the workload-level counters, so it reconciles with
+        // the run's telemetry summary exactly.
+        monitor.finish();
         out.causal = causal.summary();
         if flight.is_enabled() {
             let reason = if out.audit.as_ref().is_some_and(|r| !r.ok()) {
@@ -293,27 +329,41 @@ impl ScenarioSpec {
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         seed: u64,
         tuning: EngineTuning,
         causal: &CausalRecorder,
         flight: &FlightRecorder,
+        probe: &Probe,
+        monitor: &Monitor,
     ) -> ScenarioOutcome {
         match &self.workload {
             WorkloadSpec::ChaClique { instances } => {
-                self.run_cha(seed, *instances, tuning, causal, flight)
+                self.run_cha(seed, *instances, tuning, causal, flight, probe, monitor)
             }
             WorkloadSpec::ViCounter {
                 layout,
                 virtual_rounds,
-            } => self.run_vi(seed, layout, *virtual_rounds, tuning, causal, flight),
+            } => self.run_vi(
+                seed,
+                layout,
+                *virtual_rounds,
+                tuning,
+                causal,
+                flight,
+                probe,
+                monitor,
+            ),
             WorkloadSpec::Traffic {
                 app,
                 layout,
                 traffic,
                 audit,
-            } => self.run_traffic(seed, *app, layout, traffic, *audit, tuning, causal, flight),
+            } => self.run_traffic(
+                seed, *app, layout, traffic, *audit, tuning, causal, flight, probe, monitor,
+            ),
             WorkloadSpec::MajorityRegister {
                 writes,
                 rounds,
@@ -326,10 +376,13 @@ impl ScenarioSpec {
                 tuning,
                 causal,
                 flight,
+                probe,
+                monitor,
             ),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_cha(
         &self,
         seed: u64,
@@ -337,6 +390,8 @@ impl ScenarioSpec {
         tuning: EngineTuning,
         causal: &CausalRecorder,
         flight: &FlightRecorder,
+        probe: &Probe,
+        monitor: &Monitor,
     ) -> ScenarioOutcome {
         let rounds = instances * 3;
         let mut engine: Engine<ChaMessage<u64>> = Engine::new(EngineConfig {
@@ -348,10 +403,10 @@ impl ScenarioSpec {
         if tuning.workers >= 2 {
             engine.set_workers(tuning.workers);
         }
-        let probe = tuning.probe();
         engine.set_probe(probe.clone());
         engine.set_causal(causal.clone());
         engine.set_flight(flight.clone());
+        engine.set_monitor(monitor.clone());
         engine.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let cm = self.cm.build(seed);
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
@@ -460,10 +515,13 @@ impl ScenarioSpec {
             None,
         );
         probe.phase_since(Phase::Checker, t_check);
-        out.telemetry = probe.summary();
+        if tuning.telemetry {
+            out.telemetry = probe.summary();
+        }
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_vi(
         &self,
         seed: u64,
@@ -472,6 +530,8 @@ impl ScenarioSpec {
         tuning: EngineTuning,
         causal: &CausalRecorder,
         flight: &FlightRecorder,
+        probe: &Probe,
+        monitor: &Monitor,
     ) -> ScenarioOutcome {
         let layout = layout.build();
         let vns = layout.len();
@@ -486,10 +546,10 @@ impl ScenarioSpec {
         if tuning.workers >= 2 {
             world.set_workers(tuning.workers);
         }
-        let probe = tuning.probe();
         world.set_probe(probe.clone());
         world.set_causal(causal.clone());
         world.set_flight(flight.clone());
+        world.set_monitor(monitor.clone());
         world.set_adversary(self.nemesis.compile_adversary(&self.adversary).build());
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
         let nemesis_crashes: std::collections::BTreeMap<usize, u64> = self
@@ -547,7 +607,9 @@ impl ScenarioSpec {
             None,
         );
         probe.phase_since(Phase::Checker, t_check);
-        out.telemetry = probe.summary();
+        if tuning.telemetry {
+            out.telemetry = probe.summary();
+        }
         out
     }
 
@@ -567,6 +629,8 @@ impl ScenarioSpec {
         tuning: EngineTuning,
         causal: &CausalRecorder,
         flight: &FlightRecorder,
+        probe: &Probe,
+        monitor: &Monitor,
     ) -> ScenarioOutcome {
         let mut place_rng = StdRng::seed_from_u64(seed ^ PLACEMENT_SALT);
         let mut devices = Vec::with_capacity(self.node_count());
@@ -597,17 +661,28 @@ impl ScenarioSpec {
         // records the workload-level counters only (timeouts, audit
         // ops, delivery totals); per-round resolver-mode counters stay
         // zero for traffic runs.
-        let probe = tuning.probe();
         let (out, report) = if audited {
-            let (out, history) =
-                HistoryRecorder::record_traced(app, tw, traffic, causal.clone(), flight.clone());
+            let (out, history) = HistoryRecorder::record_observed(
+                app,
+                tw,
+                traffic,
+                causal.clone(),
+                flight.clone(),
+                monitor,
+            );
             let t_check = probe.timer();
             let report = audit(&history);
             probe.phase_since(Phase::Checker, t_check);
             (out, Some(report))
-        } else if causal.is_enabled() || flight.is_enabled() {
-            let (out, _) =
-                vi_traffic::run_traffic_traced(app, tw, traffic, causal.clone(), flight.clone());
+        } else if monitor.is_enabled() || causal.is_enabled() || flight.is_enabled() {
+            let (out, _) = vi_traffic::run_traffic_observed(
+                app,
+                tw,
+                traffic,
+                causal.clone(),
+                flight.clone(),
+                monitor,
+            );
             (out, None)
         } else {
             (vi_traffic::run_traffic(app, tw, traffic), None)
@@ -635,7 +710,9 @@ impl ScenarioSpec {
             Some(out.summary),
         );
         outcome.audit = report;
-        outcome.telemetry = probe.summary();
+        if tuning.telemetry {
+            outcome.telemetry = probe.summary();
+        }
         outcome
     }
 
@@ -654,6 +731,8 @@ impl ScenarioSpec {
         tuning: EngineTuning,
         causal: &CausalRecorder,
         flight: &FlightRecorder,
+        probe: &Probe,
+        monitor: &Monitor,
     ) -> ScenarioOutcome {
         let n = self.node_count();
         let mut engine: Engine<MajRegMessage> = Engine::new(EngineConfig {
@@ -665,10 +744,10 @@ impl ScenarioSpec {
         if tuning.workers >= 2 {
             engine.set_workers(tuning.workers);
         }
-        let probe = tuning.probe();
         engine.set_probe(probe.clone());
         engine.set_causal(causal.clone());
         engine.set_flight(flight.clone());
+        engine.set_monitor(monitor.clone());
         if let Some(from) = partition_from {
             // The partition is part of the workload, not the spec's
             // adversary: everything addressed to the last-ranked
@@ -743,7 +822,9 @@ impl ScenarioSpec {
             None,
         );
         out.audit = Some(report);
-        out.telemetry = probe.summary();
+        if tuning.telemetry {
+            out.telemetry = probe.summary();
+        }
         out
     }
 

@@ -18,6 +18,7 @@ use crate::spec::ScenarioSpec;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use vi_telemetry::monitor::{self, JobEvent, JobState, MonitorEvent};
 use vi_telemetry::trace_export;
 
 /// Parses a `VI_WORKERS`-style override: a positive integer (after
@@ -33,6 +34,19 @@ fn worker_budget_from(var: Option<&str>) -> (Option<usize>, bool) {
         Ok(n) if n > 0 => (Some(n), false),
         _ => (None, true),
     }
+}
+
+/// Splits a runner's worker budget between across-job threads and
+/// intra-round workers: `jobs` concurrent jobs on a budget of
+/// `workers` threads get `(job_threads, per_job)` where `job_threads
+/// <= workers` and `per_job >= 1` **always** — even when jobs ≫
+/// workers, a job never receives a zero intra-round worker count (0
+/// means "sequential" at the engine layer, but handing it out here
+/// would silently re-trigger the budget split downstream).
+fn split_worker_budget(workers: usize, jobs: usize) -> (usize, usize) {
+    let job_threads = workers.min(jobs.max(1));
+    let per_job = (workers / job_threads).max(1);
+    (job_threads, per_job)
 }
 
 /// Fans `scenario × seed` jobs across a fixed-size worker pool.
@@ -166,11 +180,11 @@ impl SweepRunner {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
             jobs.iter().map(|_| Mutex::new(None)).collect();
-        let job_threads = self.workers.min(jobs.len().max(1));
+        let (job_threads, split) = split_worker_budget(self.workers, jobs.len());
         // Budget sharing: with no explicit intra-round worker count,
         // divide this runner's budget across the concurrent jobs.
         let per_job = match tuning.workers {
-            0 => (self.workers / job_threads).max(1),
+            0 => split,
             w => w,
         };
         let job_tuning = EngineTuning {
@@ -181,6 +195,22 @@ impl SweepRunner {
         // off this is one cached atomic load per sweep, and nothing
         // below touches deterministic state either way.
         let tracing = trace_export::tracing_enabled();
+        // Sweep progress events (also wall-clock-side): every queued
+        // job is announced up front in job order, workers report
+        // started/finished as they go. Events carry the deterministic
+        // job index and the outcome digest, so a consumer ordering by
+        // `(job, state)` sees the same sequence at any worker count.
+        let monitored = monitor::have_sinks();
+        if monitored {
+            for (i, (spec, seed)) in jobs.iter().enumerate() {
+                monitor::emit_global(&MonitorEvent::Job(JobEvent {
+                    job: i as u64,
+                    scenario: spec.name.clone(),
+                    seed: *seed,
+                    state: JobState::Queued,
+                }));
+            }
+        }
         std::thread::scope(|scope| {
             let next = &next;
             let slots = &slots;
@@ -193,7 +223,26 @@ impl SweepRunner {
                             break;
                         };
                         let job_start = tracing.then(trace_export::now_us);
+                        if monitored {
+                            monitor::emit_global(&MonitorEvent::Job(JobEvent {
+                                job: i as u64,
+                                scenario: spec.name.clone(),
+                                seed: *seed,
+                                state: JobState::Started,
+                            }));
+                        }
                         let outcome = spec.run_with(*seed, job_tuning);
+                        if monitored {
+                            let digest = serde_json::to_string(&outcome)
+                                .map(|json| monitor::outcome_digest(json.as_bytes()))
+                                .unwrap_or(0);
+                            monitor::emit_global(&MonitorEvent::Job(JobEvent {
+                                job: i as u64,
+                                scenario: spec.name.clone(),
+                                seed: *seed,
+                                state: JobState::Finished { digest },
+                            }));
+                        }
                         if let Some(start) = job_start {
                             trace_export::record_span(
                                 &format!("{}#{seed}", spec.name),
@@ -225,6 +274,9 @@ impl SweepRunner {
         // bench/CI usage this serves).
         if trace_export::env_trace_path().is_some() {
             trace_export::flush_env();
+        }
+        if monitored {
+            monitor::flush_global();
         }
         slots
             .into_iter()
@@ -330,6 +382,49 @@ mod tests {
         assert_eq!(worker_budget_from(Some("four")), (None, true));
         assert_eq!(worker_budget_from(Some("")), (None, true));
         assert_eq!(worker_budget_from(None), (None, false), "unset is not junk");
+    }
+
+    /// Satellite requirement: the worker-budget split hands every job
+    /// at least one intra-round worker, even when jobs ≫ workers (a
+    /// naive `workers / jobs` computes 0 there, which the engine layer
+    /// would reinterpret as "split the budget" instead of
+    /// "sequential").
+    #[test]
+    fn worker_budget_split_clamps_to_one_when_jobs_exceed_workers() {
+        assert_eq!(split_worker_budget(4, 100), (4, 1), "jobs ≫ workers");
+        assert_eq!(split_worker_budget(1, 64), (1, 1));
+        assert_eq!(split_worker_budget(8, 2), (2, 4), "budget splits");
+        assert_eq!(split_worker_budget(8, 3), (3, 2));
+        assert_eq!(split_worker_budget(16, 0), (1, 16), "empty job list");
+        for workers in 1..=32usize {
+            for jobs in 0..=64usize {
+                let (job_threads, per_job) = split_worker_budget(workers, jobs);
+                assert!(job_threads >= 1, "{workers}w/{jobs}j");
+                assert!(job_threads <= workers, "{workers}w/{jobs}j");
+                assert!(per_job >= 1, "{workers}w/{jobs}j: zero per-job");
+                assert!(
+                    job_threads * per_job <= workers,
+                    "{workers}w/{jobs}j oversubscribes"
+                );
+            }
+        }
+    }
+
+    /// A jobs ≫ workers sweep end-to-end: every job still runs (and
+    /// deterministically), with each receiving a clamped ≥1 worker.
+    #[test]
+    fn jobs_exceeding_workers_sweep_cleanly() {
+        let scenarios = small_matrix();
+        let seeds: Vec<u64> = (1..=6).collect();
+        // 2 scenarios × 6 seeds = 12 jobs on 2 workers.
+        let narrow = SweepRunner::new(2).run_matrix(&scenarios, &seeds);
+        let wide = SweepRunner::new(8).run_matrix(&scenarios, &seeds);
+        assert_eq!(narrow.len(), 12);
+        assert_eq!(
+            serde_json::to_string(&narrow).unwrap(),
+            serde_json::to_string(&wide).unwrap(),
+            "jobs ≫ workers changed the table"
+        );
     }
 
     /// Tentpole requirement: telemetry counters are part of the

@@ -77,6 +77,21 @@ impl Counters {
         }
     }
 
+    /// The field-wise difference `self - earlier`, saturating at zero.
+    /// This is the snapshot-delta operation: counters only ever grow,
+    /// so for any two snapshots of the same run `later.delta(&earlier)`
+    /// is the exact activity between them, and merging consecutive
+    /// deltas in order reconstructs the totals
+    /// (`delta`/[`Counters::merge`] are inverse by construction).
+    pub fn delta(&self, earlier: &Counters) -> Counters {
+        let mut d = *self;
+        let rhs = earlier.rows();
+        for (slot, (_, v)) in d.rows_mut().into_iter().zip(rhs) {
+            *slot = slot.saturating_sub(v);
+        }
+        d
+    }
+
     /// The counters as `(name, value)` rows in declaration order —
     /// the single source of truth for table/demo output so a new
     /// field can't be silently dropped from reports.
@@ -216,6 +231,66 @@ mod tests {
         assert_eq!(a.rounds_scatter, 2);
         assert_eq!(a.grid_queries, 101);
         assert_eq!(a.audit_ops, 9);
+    }
+
+    #[test]
+    fn delta_inverts_merge() {
+        let a = Counters {
+            rounds_total: 10,
+            rounds_steady: 7,
+            grid_queries: 100,
+            ..Counters::default()
+        };
+        let b = Counters {
+            rounds_total: 5,
+            rounds_scatter: 2,
+            grid_queries: 1,
+            audit_ops: 9,
+            ..Counters::default()
+        };
+        let mut total = a;
+        total.merge(&b);
+        assert_eq!(total.delta(&a), b, "(a ⊕ b) ⊖ a == b");
+        assert_eq!(total.delta(&b), a, "(a ⊕ b) ⊖ b == a");
+        assert_eq!(a.delta(&a), Counters::default(), "a ⊖ a == 0");
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_panicking() {
+        let small = Counters {
+            rounds_total: 1,
+            ..Counters::default()
+        };
+        let big = Counters {
+            rounds_total: 5,
+            receptions: 3,
+            ..Counters::default()
+        };
+        let d = small.delta(&big);
+        assert_eq!(d, Counters::default());
+    }
+
+    #[test]
+    fn merge_is_associative_over_deltas() {
+        // Merging consecutive snapshot deltas in any grouping yields
+        // the same totals — the property the monitor's reconciliation
+        // check leans on.
+        let mk = |seed: u64| {
+            let mut c = Counters::default();
+            for (i, slot) in c.rows_mut().into_iter().enumerate() {
+                *slot = seed.wrapping_mul(31).wrapping_add(i as u64) % 97;
+            }
+            c
+        };
+        let (a, b, c) = (mk(3), mk(11), mk(29));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right, "(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)");
     }
 
     #[test]

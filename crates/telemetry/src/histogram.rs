@@ -107,6 +107,32 @@ impl LatencyHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// The bucket-wise difference `self - earlier`, for snapshot
+    /// deltas: `earlier` must be a previous snapshot of the same
+    /// growing histogram, so every bucket of `self` dominates. Bucket
+    /// counts, total count, and sum subtract exactly; the maximum is
+    /// not recoverable from buckets alone, so the delta's `max` is 0
+    /// when the delta is empty and otherwise `self.max` — an upper
+    /// bound, exact whenever the overall maximum landed inside the
+    /// window. Subtraction saturates rather than panicking so a
+    /// mismatched pair cannot poison the monitoring path.
+    pub fn subtracting(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut d = self.clone();
+        for (a, b) in d.counts.iter_mut().zip(&earlier.counts) {
+            *a = a.saturating_sub(*b);
+        }
+        d.count = d.count.saturating_sub(earlier.count);
+        d.sum = d.sum.saturating_sub(earlier.sum);
+        d.max = if d.count == 0 { 0 } else { self.max };
+        d
+    }
+
+    /// The raw per-bucket sample counts (always [`BUCKETS`] long) —
+    /// for bucket-exact assertions on delta round-trips.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Total observations.
     pub fn count(&self) -> u64 {
         self.count
@@ -257,6 +283,51 @@ mod tests {
         h.record(4);
         assert_eq!(h.p50(), 4);
         assert_eq!(h.p99(), 4);
+    }
+
+    #[test]
+    fn subtract_round_trips_merge_bucket_exactly() {
+        // (a ⊕ b) ⊖ a == b, bucket-exact: every bucket count, the
+        // total count, and the sum must match; max is an upper bound
+        // by contract, exact here because b holds the global max.
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..400u64 {
+            // v = 399 (the global max) lands in b, so the delta's
+            // upper-bound max is exact here.
+            if v % 3 == 0 {
+                b.record(v * 5);
+            } else {
+                a.record(v * 5);
+            }
+        }
+        let mut total = a.clone();
+        total.merge(&b);
+        let d = total.subtracting(&a);
+        assert_eq!(d.bucket_counts(), b.bucket_counts(), "bucket counts");
+        assert_eq!(d.count(), b.count());
+        assert_eq!(d.sum(), b.sum());
+        assert_eq!(d.max(), b.max(), "b holds the global max: exact");
+        // Subtracting the whole thing leaves the empty histogram.
+        let z = total.subtracting(&total);
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.sum(), 0);
+        assert_eq!(z.max(), 0, "empty delta pins max to 0");
+        assert!(z.bucket_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn subtract_reports_upper_bound_max_for_windows() {
+        let mut earlier = LatencyHistogram::new();
+        earlier.record(1_000);
+        let mut later = earlier.clone();
+        later.record(3);
+        let d = later.subtracting(&earlier);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.sum(), 3);
+        // The window's true max (3) is unrecoverable; the documented
+        // contract is the run max as an upper bound.
+        assert_eq!(d.max(), 1_000);
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //!   bounded ring of the last K rounds of structured events
 //!   (receptions, adversary verdicts, churn, nemesis crashes), the
 //!   raw material for replayable incident bundles.
+//! * **Live monitoring** ([`Monitor`], module [`monitor`]) — periodic
+//!   [`TelemetrySnapshot`]s every K rounds (counter deltas, phase
+//!   histogram deltas, in-flight traffic) streamed through pluggable
+//!   [`MonitorSink`]s: a JSONL event log (`VI_MONITOR_LOG`), a bounded
+//!   in-memory ring, and a Prometheus-text `/metrics` exporter
+//!   (`VI_MONITOR_ADDR`).
 //!
 //! The whole layer is threaded through the engine as a [`Probe`]: a
 //! cloneable handle that is null by default, so the disabled path
@@ -42,6 +48,7 @@ pub mod causal;
 pub mod counters;
 pub mod flight;
 pub mod histogram;
+pub mod monitor;
 pub mod phases;
 pub mod probe;
 pub mod trace_export;
@@ -50,6 +57,10 @@ pub use causal::{CausalEdge, CausalRecorder, CausalSpan, CausalSummary, Decision
 pub use counters::Counters;
 pub use flight::{FlightEvent, FlightRecorder, RoundWindow};
 pub use histogram::{LatencyHistogram, BUCKETS, EMPTY_QUANTILE};
+pub use monitor::{
+    JobEvent, JobState, JsonlSink, Monitor, MonitorEvent, MonitorSink, PrometheusExporter,
+    RingSink, SinkSet, TelemetrySnapshot, TrafficProgress,
+};
 pub use phases::{Phase, PhaseStats, PhaseSummary, PhaseTimers};
 pub use probe::Probe;
 

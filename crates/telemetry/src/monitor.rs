@@ -1,0 +1,933 @@
+//! Live monitoring: periodic telemetry snapshots streamed to sinks.
+//!
+//! PRs 7–8 made runs explainable *after the fact*; this module adds
+//! the streaming half. A [`Monitor`] handle rides the engine's
+//! sequential control path and every K rounds packages the activity
+//! since the previous sample into a [`TelemetrySnapshot`] — counter
+//! deltas ([`Counters::delta`]), phase-histogram deltas
+//! ([`crate::PhaseTimers::subtracting`]), and the in-flight traffic
+//! picture ([`TrafficProgress`]) — then fans it out through every
+//! installed [`MonitorSink`]:
+//!
+//! * [`JsonlSink`] — one JSON event per line, line-buffered so each
+//!   snapshot is durable the moment it is sampled
+//!   (`VI_MONITOR_LOG=out.jsonl`).
+//! * [`RingSink`] — a bounded in-memory ring for programmatic
+//!   inspection (tests, embedders).
+//! * [`PrometheusExporter`] — a background `std::net::TcpListener`
+//!   serving the text exposition format on `GET /metrics`
+//!   (`VI_MONITOR_ADDR=127.0.0.1:9464`). The metric set is generated
+//!   from [`Counters::rows`], so it can never drift from the counter
+//!   registry.
+//!
+//! The PR 7 contract holds throughout: snapshots live on the
+//! wall-clock side (sampling never feeds back into simulation state),
+//! the counters *inside* them are byte-identical at any worker count
+//! (they are read on the sequential path at deterministic round
+//! boundaries), and a disabled monitor costs one branch per round and
+//! zero allocations.
+
+use crate::counters::Counters;
+use crate::phases::{PhaseSummary, PhaseTimers};
+use crate::probe::Probe;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, LineWriter, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default sampling period (rounds between snapshots) when monitoring
+/// is requested without an explicit `VI_MONITOR_EVERY`.
+pub const DEFAULT_EVERY: u64 = 64;
+
+/// The in-flight traffic picture at a snapshot: cumulative totals plus
+/// the live latency quantiles of every request completed so far.
+/// Quantiles are 0 until the first completion (the histogram's empty
+/// sentinel never leaks into exported snapshots).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficProgress {
+    /// Requests issued so far.
+    pub issued: u64,
+    /// Requests completed so far.
+    pub completed: u64,
+    /// Requests that exceeded their deadline so far.
+    pub timed_out: u64,
+    /// Requests currently outstanding.
+    pub in_flight: u64,
+    /// Live median completion latency (virtual rounds).
+    pub p50: u64,
+    /// Live 95th-percentile completion latency (virtual rounds).
+    pub p95: u64,
+}
+
+/// One periodic sample of a running scenario.
+///
+/// `counters_delta` is the deterministic activity since the previous
+/// snapshot and `counters_total` the running total; merging the deltas
+/// of a run in `seq` order reconstructs the final totals exactly (the
+/// E21 experiment and the reconciliation proptest assert this).
+/// `phases_delta` is wall-clock and therefore noise; everything else
+/// is deterministic at any worker count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Scenario name.
+    pub scenario: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Snapshot sequence number within the run (1-based).
+    pub seq: u64,
+    /// The round at which the sample was taken.
+    pub round: u64,
+    /// Whether this is the run's final snapshot (emitted by
+    /// [`Monitor::finish`] after the checker phase).
+    pub last: bool,
+    /// Deterministic counter activity since the previous snapshot.
+    pub counters_delta: Counters,
+    /// Deterministic running totals at `round`.
+    pub counters_total: Counters,
+    /// Wall-clock phase activity since the previous snapshot.
+    pub phases_delta: PhaseSummary,
+    /// In-flight traffic summary (traffic workloads only).
+    pub traffic: Option<TrafficProgress>,
+}
+
+/// Sweep job lifecycle states, in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// The job is in the sweep's work list.
+    Queued,
+    /// A worker picked the job up.
+    Started,
+    /// The job produced its outcome.
+    Finished {
+        /// FNV-1a digest of the outcome's JSON serialization —
+        /// deterministic for a fixed `(spec, seed)`, so digests can be
+        /// compared across worker counts and across runs.
+        digest: u64,
+    },
+}
+
+/// One sweep-progress event. Workers interleave in wall-clock order,
+/// but every event carries its deterministic `job` index (position in
+/// the sweep's job list), so consumers that order by `(job, state)`
+/// see the same sequence at any worker count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Index of the job in the sweep's job list.
+    pub job: u64,
+    /// Scenario name of the job.
+    pub scenario: String,
+    /// Seed of the job.
+    pub seed: u64,
+    /// Lifecycle state reached.
+    pub state: JobState,
+}
+
+/// Anything a sink can receive.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MonitorEvent {
+    /// A periodic scenario sample (boxed: snapshots dwarf job
+    /// events, and events are moved through sinks by reference).
+    Snapshot(Box<TelemetrySnapshot>),
+    /// A sweep job lifecycle transition.
+    Job(JobEvent),
+}
+
+/// A streaming consumer of [`MonitorEvent`]s. Sinks are shared across
+/// sweep workers, so they must be `Send + Sync`; `emit` must never
+/// block the simulation for long (buffer, don't wait).
+pub trait MonitorSink: Send + Sync {
+    /// Receives one event.
+    fn emit(&self, event: &MonitorEvent);
+    /// Flushes buffered output (end of run / sweep).
+    fn flush(&self) {}
+}
+
+/// An immutable, cheaply clonable set of sinks — the fan-out target a
+/// [`Monitor`] holds for the duration of one run.
+#[derive(Clone, Default)]
+pub struct SinkSet {
+    sinks: Arc<Vec<Arc<dyn MonitorSink>>>,
+}
+
+impl SinkSet {
+    /// The empty set (every emit is a no-op).
+    pub fn empty() -> Self {
+        SinkSet::default()
+    }
+
+    /// A set over the given sinks.
+    pub fn new(sinks: Vec<Arc<dyn MonitorSink>>) -> Self {
+        SinkSet {
+            sinks: Arc::new(sinks),
+        }
+    }
+
+    /// Whether the set has no sinks.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Fans `event` out to every sink.
+    pub fn emit(&self, event: &MonitorEvent) {
+        for sink in self.sinks.iter() {
+            sink.emit(event);
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        for sink in self.sinks.iter() {
+            sink.flush();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// JSONL event log: one [`MonitorEvent`] as one JSON object per line.
+/// The writer is line-buffered ([`LineWriter`]), so every line reaches
+/// the OS as soon as it is complete — a crash loses at most the event
+/// being written, never the log.
+pub struct JsonlSink {
+    out: Mutex<LineWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) the log file at `path`.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(LineWriter::new(file)),
+        })
+    }
+}
+
+impl MonitorSink for JsonlSink {
+    fn emit(&self, event: &MonitorEvent) {
+        if let Ok(json) = serde_json::to_string(event) {
+            let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = writeln!(out, "{json}");
+        }
+    }
+
+    fn flush(&self) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.flush();
+    }
+}
+
+/// Bounded in-memory ring of the most recent events, for programmatic
+/// inspection. Past `cap`, the oldest events are evicted.
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<MonitorEvent>>,
+}
+
+impl RingSink {
+    /// A ring retaining at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<MonitorEvent> {
+        let buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        buf.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl MonitorSink for RingSink {
+    fn emit(&self, event: &MonitorEvent) {
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() >= self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// The live state a [`PrometheusExporter`] renders: the latest sample
+/// per `(scenario, seed)` plus sweep job tallies.
+#[derive(Default)]
+struct ExportState {
+    /// Latest `(round, totals, traffic)` per scenario run.
+    scenarios: BTreeMap<(String, u64), (u64, Counters, Option<TrafficProgress>)>,
+    jobs_queued: u64,
+    jobs_started: u64,
+    jobs_finished: u64,
+}
+
+/// Prometheus text-format `/metrics` exporter on a background thread,
+/// built on `std::net::TcpListener` only (no new dependencies). The
+/// exporter is itself a [`MonitorSink`]: snapshots update its state,
+/// and every `GET` renders the current state in the text exposition
+/// format (version 0.0.4). Counter metric names are generated from
+/// [`Counters::rows`], so the exposition can never drift from the
+/// counter registry.
+pub struct PrometheusExporter {
+    state: Arc<Mutex<ExportState>>,
+    addr: std::net::SocketAddr,
+}
+
+impl PrometheusExporter {
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`, or port 0 for an
+    /// ephemeral port — see [`PrometheusExporter::addr`]) and starts
+    /// the accept loop on a detached background thread. The thread
+    /// serves for the rest of the process; scrapes are cheap reads of
+    /// shared state.
+    pub fn bind(addr: &str) -> std::io::Result<Arc<Self>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let exporter = Arc::new(PrometheusExporter {
+            state: Arc::new(Mutex::new(ExportState::default())),
+            addr,
+        });
+        let state = Arc::clone(&exporter.state);
+        std::thread::Builder::new()
+            .name("vi-monitor-exporter".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let _ = serve_one(stream, &state);
+                }
+            })?;
+        Ok(exporter)
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Renders the current state as Prometheus text exposition.
+    fn render(state: &ExportState) -> String {
+        let mut out = String::new();
+        // Counter metrics, one family per Counters row. Families are
+        // emitted even when no scenario reported yet, so a scrape
+        // right after startup is still well-formed.
+        let names: Vec<&'static str> = Counters::default()
+            .rows()
+            .iter()
+            .map(|&(name, _)| name)
+            .collect();
+        for (i, name) in names.iter().enumerate() {
+            out.push_str(&format!("# TYPE vi_{name} counter\n"));
+            for ((scenario, seed), (_, counters, _)) in &state.scenarios {
+                let value = counters.rows()[i].1;
+                out.push_str(&format!(
+                    "vi_{name}{{scenario=\"{scenario}\",seed=\"{seed}\"}} {value}\n"
+                ));
+            }
+        }
+        // Per-run gauges: current round and the traffic picture.
+        out.push_str("# TYPE vi_round gauge\n");
+        for ((scenario, seed), (round, _, _)) in &state.scenarios {
+            out.push_str(&format!(
+                "vi_round{{scenario=\"{scenario}\",seed=\"{seed}\"}} {round}\n"
+            ));
+        }
+        for (metric, pick) in [
+            ("vi_traffic_issued", 0usize),
+            ("vi_traffic_completed", 1),
+            ("vi_traffic_timed_out", 2),
+            ("vi_traffic_in_flight", 3),
+            ("vi_traffic_p50_rounds", 4),
+            ("vi_traffic_p95_rounds", 5),
+        ] {
+            out.push_str(&format!("# TYPE {metric} gauge\n"));
+            for ((scenario, seed), (_, _, traffic)) in &state.scenarios {
+                let Some(t) = traffic else { continue };
+                let value = [
+                    t.issued,
+                    t.completed,
+                    t.timed_out,
+                    t.in_flight,
+                    t.p50,
+                    t.p95,
+                ][pick];
+                out.push_str(&format!(
+                    "{metric}{{scenario=\"{scenario}\",seed=\"{seed}\"}} {value}\n"
+                ));
+            }
+        }
+        // Sweep progress gauges.
+        out.push_str(&format!(
+            "# TYPE vi_sweep_jobs_queued gauge\nvi_sweep_jobs_queued {}\n",
+            state.jobs_queued
+        ));
+        out.push_str(&format!(
+            "# TYPE vi_sweep_jobs_started gauge\nvi_sweep_jobs_started {}\n",
+            state.jobs_started
+        ));
+        out.push_str(&format!(
+            "# TYPE vi_sweep_jobs_finished gauge\nvi_sweep_jobs_finished {}\n",
+            state.jobs_finished
+        ));
+        out
+    }
+}
+
+impl MonitorSink for PrometheusExporter {
+    fn emit(&self, event: &MonitorEvent) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match event {
+            MonitorEvent::Snapshot(s) => {
+                state.scenarios.insert(
+                    (s.scenario.clone(), s.seed),
+                    (s.round, s.counters_total, s.traffic),
+                );
+            }
+            MonitorEvent::Job(j) => match j.state {
+                JobState::Queued => state.jobs_queued += 1,
+                JobState::Started => state.jobs_started += 1,
+                JobState::Finished { .. } => state.jobs_finished += 1,
+            },
+        }
+    }
+}
+
+/// Serves one HTTP exchange: reads the request line (any path is
+/// answered with the metrics — the exporter serves nothing else),
+/// writes an HTTP/1.0 response, closes.
+fn serve_one(stream: TcpStream, state: &Mutex<ExportState>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the remaining headers so the peer sees a clean exchange.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = {
+        let state = state.lock().unwrap_or_else(|e| e.into_inner());
+        PrometheusExporter::render(&state)
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+/// Scrapes `GET /metrics` from an exporter at `addr` and returns the
+/// response body — the client half used by `repro monitor` and the CI
+/// smoke, built on `std::net::TcpStream` only.
+pub fn scrape_metrics(addr: &str) -> std::io::Result<String> {
+    let target = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&target, std::time::Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed HTTP response",
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-global sink registry (trace_export-style)
+// ---------------------------------------------------------------------------
+
+static SINKS: Mutex<Vec<Arc<dyn MonitorSink>>> = Mutex::new(Vec::new());
+static HAVE_SINKS: AtomicBool = AtomicBool::new(false);
+static FORCED: AtomicBool = AtomicBool::new(false);
+static ENV: OnceLock<EnvMonitor> = OnceLock::new();
+
+struct EnvMonitor {
+    requested: bool,
+    every: u64,
+}
+
+/// Reads the monitoring environment once: `VI_MONITOR_LOG=out.jsonl`
+/// installs a [`JsonlSink`], `VI_MONITOR_ADDR=host:port` binds a
+/// [`PrometheusExporter`], `VI_MONITOR_EVERY=K` overrides the
+/// sampling period (default [`DEFAULT_EVERY`]). Failures warn on
+/// stderr and leave monitoring off rather than failing the run.
+fn env_monitor() -> &'static EnvMonitor {
+    ENV.get_or_init(|| {
+        let mut requested = false;
+        if let Ok(path) = std::env::var("VI_MONITOR_LOG") {
+            if !path.is_empty() {
+                match JsonlSink::create(&path) {
+                    Ok(sink) => {
+                        install_sink(Arc::new(sink));
+                        requested = true;
+                    }
+                    Err(e) => eprintln!("vi-monitor: cannot open {path}: {e}"),
+                }
+            }
+        }
+        if let Ok(addr) = std::env::var("VI_MONITOR_ADDR") {
+            if !addr.is_empty() {
+                match PrometheusExporter::bind(&addr) {
+                    Ok(exporter) => {
+                        eprintln!("vi-monitor: serving /metrics on {}", exporter.addr());
+                        install_sink(exporter);
+                        requested = true;
+                    }
+                    Err(e) => eprintln!("vi-monitor: cannot bind {addr}: {e}"),
+                }
+            }
+        }
+        let every = std::env::var("VI_MONITOR_EVERY")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(DEFAULT_EVERY);
+        EnvMonitor { requested, every }
+    })
+}
+
+/// Adds a sink to the process-global registry. Every monitored run
+/// and sweep started afterwards fans out to it.
+pub fn install_sink(sink: Arc<dyn MonitorSink>) {
+    let mut sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
+    sinks.push(sink);
+    HAVE_SINKS.store(true, Ordering::Relaxed);
+}
+
+/// Removes every installed sink (tests).
+pub fn clear_sinks() {
+    let mut sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
+    sinks.clear();
+    HAVE_SINKS.store(false, Ordering::Relaxed);
+}
+
+/// Removes one specific sink (by identity), leaving the others —
+/// environment-installed sinks included — in place. Used by callers
+/// that install a temporary sink around one sweep.
+pub fn uninstall_sink(sink: &Arc<dyn MonitorSink>) {
+    let mut sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
+    sinks.retain(|s| !Arc::ptr_eq(s, sink));
+    if sinks.is_empty() {
+        HAVE_SINKS.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Whether any sink is installed or configured. The first call reads
+/// the `VI_MONITOR_*` environment (installing its sinks), so sweeps
+/// and explicitly-tuned runs see environment sinks no matter which
+/// entry point touches monitoring first; afterwards this is one
+/// `OnceLock` probe plus a relaxed load — the disabled path stays
+/// effectively free.
+pub fn have_sinks() -> bool {
+    env_monitor();
+    HAVE_SINKS.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the installed sinks.
+pub fn installed_sinks() -> SinkSet {
+    if !have_sinks() {
+        return SinkSet::empty();
+    }
+    let sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
+    SinkSet::new(sinks.clone())
+}
+
+/// Turns monitoring on for the rest of the process regardless of the
+/// environment (the `repro --monitor` flag and embedders).
+pub fn force_enable() {
+    FORCED.store(true, Ordering::Relaxed);
+}
+
+/// The effective sampling period for a run whose tuning asks for
+/// `explicit` (0 = "not set on the tuning"): an explicit period wins;
+/// otherwise monitoring runs at the environment period when requested
+/// via `VI_MONITOR_LOG` / `VI_MONITOR_ADDR` / [`force_enable`]; else
+/// 0 (off). Reading the environment happens once, lazily.
+pub fn effective_every(explicit: u64) -> u64 {
+    if explicit > 0 {
+        return explicit;
+    }
+    if FORCED.load(Ordering::Relaxed) {
+        return env_monitor().every;
+    }
+    // Plain runs only pay an env read on the first call.
+    let env = env_monitor();
+    if env.requested {
+        env.every
+    } else {
+        0
+    }
+}
+
+/// Emits one event to every installed sink (sweep workers).
+pub fn emit_global(event: &MonitorEvent) {
+    installed_sinks().emit(event);
+}
+
+/// Flushes every installed sink (end of sweep).
+pub fn flush_global() {
+    installed_sinks().flush();
+}
+
+/// FNV-1a digest of `bytes` — the deterministic outcome digest carried
+/// by [`JobState::Finished`].
+pub fn outcome_digest(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// The per-run Monitor handle
+// ---------------------------------------------------------------------------
+
+struct MonitorInner {
+    scenario: String,
+    seed: u64,
+    every: u64,
+    probe: Probe,
+    sinks: SinkSet,
+    last_counters: Counters,
+    last_phases: PhaseTimers,
+    traffic: Option<TrafficProgress>,
+    seq: u64,
+    last_round: u64,
+}
+
+impl MonitorInner {
+    /// Samples the probe, packages the delta since the previous
+    /// sample, and emits it.
+    fn snap(&mut self, round: u64, last: bool) {
+        let total = self.probe.counters().unwrap_or_default();
+        let phases = self.probe.phase_timers().unwrap_or_default();
+        self.seq += 1;
+        let snapshot = TelemetrySnapshot {
+            scenario: self.scenario.clone(),
+            seed: self.seed,
+            seq: self.seq,
+            round,
+            last,
+            counters_delta: total.delta(&self.last_counters),
+            counters_total: total,
+            phases_delta: phases.subtracting(&self.last_phases).summary(),
+            traffic: self.traffic,
+        };
+        self.last_counters = total;
+        self.last_phases = phases;
+        self.last_round = round;
+        self.sinks.emit(&MonitorEvent::Snapshot(Box::new(snapshot)));
+    }
+}
+
+/// Cloneable per-run monitoring handle; null by default, mirroring
+/// [`Probe`]. Like the probe it is deliberately `!Send`
+/// (`Rc<RefCell<_>>`): a run is stepped on one thread, and the handle
+/// samples that thread's probe — only the *sinks* cross threads.
+#[derive(Clone, Default)]
+pub struct Monitor {
+    state: Option<Rc<RefCell<MonitorInner>>>,
+}
+
+impl Monitor {
+    /// The null monitor: every hook is a single branch, no
+    /// allocation (the hot-path default).
+    pub fn disabled() -> Self {
+        Monitor { state: None }
+    }
+
+    /// A live monitor sampling `probe` every `every` rounds into
+    /// `sinks`.
+    pub fn enabled(scenario: &str, seed: u64, every: u64, probe: Probe, sinks: SinkSet) -> Self {
+        Monitor {
+            state: Some(Rc::new(RefCell::new(MonitorInner {
+                scenario: scenario.to_string(),
+                seed,
+                every: every.max(1),
+                probe,
+                sinks,
+                last_counters: Counters::default(),
+                last_phases: PhaseTimers::default(),
+                traffic: None,
+                seq: 0,
+                last_round: 0,
+            }))),
+        }
+    }
+
+    /// Whether this monitor samples anything.
+    pub fn is_enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Round hook, called by the engine after round `round` resolves
+    /// (sequential control path). Samples every `every`-th round; one
+    /// branch and an immediate return when disabled.
+    #[inline]
+    pub fn on_round(&self, round: u64) {
+        let Some(state) = &self.state else { return };
+        let mut inner = state.borrow_mut();
+        inner.last_round = round;
+        if round.is_multiple_of(inner.every) {
+            inner.snap(round, false);
+        }
+    }
+
+    /// Traffic-round hook, called by the traffic driver after virtual
+    /// round `vr`. `progress` is only evaluated on a live monitor, so
+    /// the disabled path never builds the summary.
+    #[inline]
+    pub fn traffic_round(&self, vr: u64, progress: impl FnOnce() -> TrafficProgress) {
+        let Some(state) = &self.state else { return };
+        let mut inner = state.borrow_mut();
+        inner.traffic = Some(progress());
+        inner.last_round = vr;
+        if vr.is_multiple_of(inner.every) {
+            inner.snap(vr, false);
+        }
+    }
+
+    /// Emits the run's final snapshot (marked `last: true`, at the
+    /// last observed round) and flushes the sinks. Call after the
+    /// checker phase so the final sample covers the whole run.
+    pub fn finish(&self) {
+        let Some(state) = &self.state else { return };
+        let mut inner = state.borrow_mut();
+        let round = inner.last_round;
+        inner.snap(round, true);
+        inner.sinks.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::Phase;
+
+    fn probe_with(rounds: u64) -> Probe {
+        let p = Probe::enabled();
+        p.count(|c| {
+            c.rounds_total = rounds;
+            c.rounds_steady = rounds;
+        });
+        p
+    }
+
+    #[test]
+    fn null_monitor_is_inert() {
+        let m = Monitor::disabled();
+        assert!(!m.is_enabled());
+        m.on_round(64);
+        m.traffic_round(64, || panic!("must not evaluate progress"));
+        m.finish();
+    }
+
+    #[test]
+    fn snapshots_sample_on_the_period_and_deltas_reconcile() {
+        let ring = Arc::new(RingSink::with_capacity(64));
+        let sinks = SinkSet::new(vec![ring.clone()]);
+        let probe = Probe::enabled();
+        let m = Monitor::enabled("t", 7, 4, probe.clone(), sinks);
+        for round in 1..=10u64 {
+            probe.count(|c| {
+                c.rounds_total += 1;
+                c.grid_queries += round;
+            });
+            probe.phase_since(Phase::Advance, probe.timer());
+            m.on_round(round);
+        }
+        m.finish();
+        let events = ring.events();
+        // Rounds 4 and 8 sample, finish adds the last snapshot at 10.
+        let snaps: Vec<&TelemetrySnapshot> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Snapshot(s) => Some(s.as_ref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(
+            snaps.iter().map(|s| s.round).collect::<Vec<_>>(),
+            vec![4, 8, 10]
+        );
+        assert_eq!(
+            snaps.iter().map(|s| s.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(snaps[2].last && !snaps[0].last && !snaps[1].last);
+        // Deltas merge back into the final totals, exactly.
+        let mut merged = Counters::default();
+        for s in &snaps {
+            merged.merge(&s.counters_delta);
+        }
+        assert_eq!(merged, snaps[2].counters_total);
+        assert_eq!(merged, probe.counters().unwrap());
+        assert_eq!(merged.rounds_total, 10);
+        assert_eq!(merged.grid_queries, 55);
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest_past_capacity() {
+        let ring = RingSink::with_capacity(2);
+        for job in 0..4u64 {
+            ring.emit(&MonitorEvent::Job(JobEvent {
+                job,
+                scenario: "s".to_string(),
+                seed: 0,
+                state: JobState::Queued,
+            }));
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 2);
+        let jobs: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                MonitorEvent::Job(j) => j.job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(jobs, vec![2, 3], "oldest evicted first");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_valid_json_object_per_line() {
+        let dir = std::env::temp_dir().join("vi_monitor_jsonl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let sink = JsonlSink::create(&path_str).unwrap();
+        sink.emit(&MonitorEvent::Job(JobEvent {
+            job: 0,
+            scenario: "a".to_string(),
+            seed: 1,
+            state: JobState::Queued,
+        }));
+        sink.emit(&MonitorEvent::Job(JobEvent {
+            job: 0,
+            scenario: "a".to_string(),
+            seed: 1,
+            state: JobState::Finished { digest: 42 },
+        }));
+        sink.flush();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = raw.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let back: MonitorEvent = serde_json::from_str(line).expect("line is valid JSON");
+            match back {
+                MonitorEvent::Job(j) => assert_eq!(j.scenario, "a"),
+                _ => panic!("unexpected event"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exporter_serves_prometheus_text_from_counters_rows() {
+        let exporter = PrometheusExporter::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = exporter.addr().to_string();
+        let probe = probe_with(128);
+        let m = Monitor::enabled("metro", 3, 64, probe, SinkSet::new(vec![exporter.clone()]));
+        m.on_round(128);
+        exporter.emit(&MonitorEvent::Job(JobEvent {
+            job: 0,
+            scenario: "metro".to_string(),
+            seed: 3,
+            state: JobState::Queued,
+        }));
+        let body = scrape_metrics(&addr).expect("scrape");
+        assert!(
+            body.contains("# TYPE vi_rounds_total counter"),
+            "{body:.200}"
+        );
+        assert!(body.contains("vi_rounds_total{scenario=\"metro\",seed=\"3\"} 128"));
+        assert!(body.contains("vi_round{scenario=\"metro\",seed=\"3\"} 128"));
+        assert!(body.contains("vi_sweep_jobs_queued 1"));
+        // Every Counters row has a metric family — generated, so a new
+        // counter field is exported automatically.
+        for (name, _) in Counters::default().rows() {
+            assert!(
+                body.contains(&format!("# TYPE vi_{name} counter")),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_digest_is_stable_fnv1a() {
+        assert_eq!(outcome_digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(outcome_digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(outcome_digest(b"a"), outcome_digest(b"b"));
+    }
+
+    #[test]
+    fn monitor_events_round_trip_through_json() {
+        let ev = MonitorEvent::Snapshot(Box::new(TelemetrySnapshot {
+            scenario: "s".to_string(),
+            seed: 9,
+            seq: 2,
+            round: 128,
+            last: true,
+            counters_delta: Counters {
+                rounds_total: 64,
+                ..Counters::default()
+            },
+            counters_total: Counters {
+                rounds_total: 128,
+                ..Counters::default()
+            },
+            phases_delta: PhaseTimers::default().summary(),
+            traffic: Some(TrafficProgress {
+                issued: 10,
+                completed: 8,
+                timed_out: 1,
+                in_flight: 1,
+                p50: 3,
+                p95: 7,
+            }),
+        }));
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: MonitorEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+        let job = MonitorEvent::Job(JobEvent {
+            job: 4,
+            scenario: "s".to_string(),
+            seed: 9,
+            state: JobState::Finished { digest: 77 },
+        });
+        let json = serde_json::to_string(&job).unwrap();
+        let back: MonitorEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, job);
+    }
+}

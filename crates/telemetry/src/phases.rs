@@ -83,6 +83,17 @@ impl PhaseTimers {
         }
     }
 
+    /// The phase-wise delta `self - earlier` (see
+    /// [`LatencyHistogram::subtracting`]): `earlier` must be a prior
+    /// snapshot of the same growing timers.
+    pub fn subtracting(&self, earlier: &PhaseTimers) -> PhaseTimers {
+        let mut d = self.clone();
+        for (a, b) in d.hists.iter_mut().zip(&earlier.hists) {
+            *a = a.subtracting(b);
+        }
+        d
+    }
+
     /// Condenses the histograms into serializable per-phase rows.
     pub fn summary(&self) -> PhaseSummary {
         PhaseSummary {
@@ -192,6 +203,28 @@ mod tests {
         assert_eq!(a.hist(Phase::Advance).count(), 2);
         assert_eq!(a.hist(Phase::Advance).sum(), 30);
         assert_eq!(a.hist(Phase::Finalize).count(), 1);
+    }
+
+    #[test]
+    fn subtract_inverts_merge_per_phase() {
+        let mut a = PhaseTimers::default();
+        let mut b = PhaseTimers::default();
+        a.record(Phase::Advance, 10);
+        a.record(Phase::Geometry, 55);
+        b.record(Phase::Advance, 20);
+        b.record(Phase::Finalize, 30);
+        let mut total = a.clone();
+        total.merge(&b);
+        let d = total.subtracting(&a);
+        for p in Phase::ALL {
+            assert_eq!(
+                d.hist(p).bucket_counts(),
+                b.hist(p).bucket_counts(),
+                "phase {} buckets",
+                p.name()
+            );
+            assert_eq!(d.hist(p).sum(), b.hist(p).sum());
+        }
     }
 
     #[test]

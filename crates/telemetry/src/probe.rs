@@ -91,6 +91,14 @@ impl Probe {
         self.state.as_ref().map(|s| s.borrow().counters)
     }
 
+    /// A copy of the raw phase timers, if live — the monitor snapshots
+    /// these to compute per-window histogram deltas (the condensed
+    /// [`crate::PhaseSummary`] loses the buckets, so deltas need the
+    /// timers themselves).
+    pub fn phase_timers(&self) -> Option<PhaseTimers> {
+        self.state.as_ref().map(|s| s.borrow().phases.clone())
+    }
+
     /// The full summary (counters + phase digest), if live.
     pub fn summary(&self) -> Option<TelemetrySummary> {
         self.state.as_ref().map(|s| {

@@ -61,17 +61,23 @@ pub struct TraceEvent {
     pub id: u64,
 }
 
-/// Top-level JSON object; field name fixed by the trace format.
+/// Top-level JSON object; `traceEvents` is fixed by the trace format,
+/// `truncated_events` is this collector's metadata (viewers ignore
+/// unknown top-level fields): how many spans the bounded collector
+/// dropped past [`MAX_EVENTS`] before this flush. 0 means the trace
+/// is complete.
 #[derive(Serialize, Deserialize)]
 #[allow(non_snake_case)]
 struct TraceFile {
     traceEvents: Vec<TraceEvent>,
+    truncated_events: u64,
 }
 
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
+static DROP_WARNED: AtomicBool = AtomicBool::new(false);
 static ENV_PATH: OnceLock<Option<String>> = OnceLock::new();
 
 /// Microseconds since the first telemetry event of the process —
@@ -125,10 +131,17 @@ fn push_bounded(events: &mut Vec<TraceEvent>, ev: TraceEvent, cap: usize) -> boo
 }
 
 /// Records one event into the global collector, bumping the drop
-/// counter past the cap.
+/// counter past the cap. The first drop of the process warns once on
+/// stderr — a truncated trace should never be a silent surprise.
 fn record_event(ev: TraceEvent) {
     if !push_bounded(&mut recover(&EVENTS), ev, MAX_EVENTS) {
         DROPPED.fetch_add(1, Ordering::Relaxed);
+        if !DROP_WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "vi-telemetry: trace collector full ({MAX_EVENTS} spans) — \
+                 further spans are dropped and counted as truncated_events"
+            );
+        }
     }
 }
 
@@ -176,12 +189,16 @@ pub fn take_events() -> Vec<TraceEvent> {
 }
 
 /// Writes all collected spans to `path` as Chrome trace JSON and
-/// clears the collector. Returns the number of spans written.
+/// clears the collector (including the drop counter, which is emitted
+/// in the file's `truncated_events` metadata — each flush accounts
+/// for its own truncation). Returns the number of spans written.
 pub fn flush_to_path(path: &str) -> std::io::Result<usize> {
     let events = take_events();
+    let truncated = DROPPED.swap(0, Ordering::Relaxed);
     let n = events.len();
     let json = serde_json::to_string(&TraceFile {
         traceEvents: events,
+        truncated_events: truncated,
     })
     .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     std::fs::write(path, json)?;
@@ -235,6 +252,10 @@ mod tests {
         let raw = std::fs::read_to_string(&path).unwrap();
         let back: TraceFile = serde_json::from_str(&raw).unwrap();
         assert_eq!(back.traceEvents.len(), 4);
+        assert_eq!(
+            back.truncated_events, 0,
+            "nothing was dropped, so the metadata says so"
+        );
         let job = &back.traceEvents[0];
         assert_eq!(job.name, "job");
         assert_eq!(job.ph, "X");

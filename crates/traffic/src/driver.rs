@@ -22,7 +22,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vi_radio::trace::ChannelStats;
-use vi_telemetry::{CausalRecorder, FlightRecorder};
+use vi_telemetry::{CausalRecorder, FlightRecorder, Monitor, TrafficProgress};
 
 /// Salt separating the traffic RNG stream from the engine's seed
 /// stream (request mix never perturbs channel resolution).
@@ -144,12 +144,36 @@ pub fn run_traffic_traced(
     causal: CausalRecorder,
     flight: FlightRecorder,
 ) -> (TrafficOutcome, Vec<TrafficEvent>) {
+    run_traffic_observed(app, tw, spec, causal, flight, &Monitor::disabled())
+}
+
+/// Like [`run_traffic_traced`], with a live monitor sampling the
+/// driver's in-flight picture (issued/completed/timed-out totals and
+/// live latency quantiles) every K virtual rounds. The monitor rides
+/// the wall-clock side: a monitored run's summary, history, and stats
+/// are byte-identical to an unmonitored one's. A disabled monitor
+/// makes this identical to [`run_traffic_traced`].
+pub fn run_traffic_observed(
+    app: AppKind,
+    tw: TrafficWorld,
+    spec: &TrafficSpec,
+    causal: CausalRecorder,
+    flight: FlightRecorder,
+    monitor: &Monitor,
+) -> (TrafficOutcome, Vec<TrafficEvent>) {
     spec.validate().expect("invalid traffic spec");
     let seed = tw.seed;
     let mut service = build_service(app, tw, spec.clients);
     service.set_telemetry(causal.clone(), flight);
     let mut events = Vec::new();
-    let summary = drive_inner(service.as_mut(), spec, seed, Some(&mut events), &causal);
+    let summary = drive_inner(
+        service.as_mut(),
+        spec,
+        seed,
+        Some(&mut events),
+        &causal,
+        monitor,
+    );
     let totals = service.world_totals();
     (
         TrafficOutcome {
@@ -168,7 +192,14 @@ pub fn run_traffic_traced(
 /// tests and benches can drive hand-built services. Records nothing:
 /// the unaudited hot path stays free of per-request event pushes.
 pub fn drive(service: &mut dyn Service, spec: &TrafficSpec, seed: u64) -> TrafficSummary {
-    drive_inner(service, spec, seed, None, &CausalRecorder::disabled())
+    drive_inner(
+        service,
+        spec,
+        seed,
+        None,
+        &CausalRecorder::disabled(),
+        &Monitor::disabled(),
+    )
 }
 
 /// [`drive`], additionally recording the complete operation history.
@@ -184,6 +215,7 @@ pub fn drive_recorded(
         seed,
         Some(&mut events),
         &CausalRecorder::disabled(),
+        &Monitor::disabled(),
     );
     (summary, events)
 }
@@ -194,6 +226,7 @@ fn drive_inner(
     seed: u64,
     mut events: Option<&mut Vec<TrafficEvent>>,
     causal: &CausalRecorder,
+    monitor: &Monitor,
 ) -> TrafficSummary {
     let mut rng = StdRng::seed_from_u64(seed ^ TRAFFIC_SALT);
     let clients = spec.clients;
@@ -327,6 +360,21 @@ fn drive_inner(
             service.forget(id);
             free_slot(&mut slots, client, id, vr, &spec.mode);
         }
+
+        // Live-monitoring sample point: the progress closure is only
+        // evaluated on a live monitor, so the unmonitored hot path
+        // pays one branch here and computes no quantiles.
+        monitor.traffic_round(vr, || {
+            let q = |v: u64| if hist.count() == 0 { 0 } else { v };
+            TrafficProgress {
+                issued: gen.next_id,
+                completed,
+                timed_out,
+                in_flight: outstanding.len() as u64,
+                p50: q(hist.p50()),
+                p95: q(hist.p95()),
+            }
+        });
     }
 
     // Quantiles of an empty histogram are the EMPTY_QUANTILE sentinel;

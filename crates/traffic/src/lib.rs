@@ -43,8 +43,8 @@ pub mod service;
 pub mod workload;
 
 pub use driver::{
-    drive, drive_recorded, run_traffic, run_traffic_recorded, run_traffic_traced, TrafficEvent,
-    TrafficOutcome,
+    drive, drive_recorded, run_traffic, run_traffic_observed, run_traffic_recorded,
+    run_traffic_traced, TrafficEvent, TrafficOutcome,
 };
 pub use metrics::{LatencyHistogram, TrafficSummary};
 pub use service::{

@@ -7,9 +7,14 @@
 //! 2. **Telemetry observes, never perturbs** — enabling the probe
 //!    changes no reception, no trace byte, no channel statistic, and
 //!    no RNG draw of the run it measures.
+//! 3. **Snapshots are an exact decomposition** — the counter deltas a
+//!    live monitor streams, concatenated in sequence order, reconcile
+//!    exactly with the end-of-run telemetry totals at any sampling
+//!    period.
 
 use proptest::prelude::*;
 use std::any::Any;
+use std::sync::Arc;
 use virtual_infra::radio::adversary::RandomLoss;
 use virtual_infra::radio::geometry::{Point, Rect};
 use virtual_infra::radio::mobility::{Billiard, MobilityModel, Static, Waypoint};
@@ -17,7 +22,9 @@ use virtual_infra::radio::{
     ChannelStats, Engine, EngineConfig, NodeId, NodeSpec, Process, RadioConfig, RoundCtx,
     RoundReception,
 };
-use virtual_infra::telemetry::{Counters, Probe};
+use virtual_infra::telemetry::{
+    Counters, Monitor, MonitorEvent, Probe, RingSink, SinkSet, TelemetrySnapshot,
+};
 
 fn arb_point() -> impl Strategy<Value = Point> {
     (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
@@ -173,5 +180,86 @@ proptest! {
         prop_assert_eq!(
             counters.collisions, plain.2.collision_reports,
             "collision counter must mirror channel stats");
+    }
+
+    /// Live-monitoring acceptance: the counter deltas a monitor
+    /// streams, concatenated in sequence order, reconcile exactly with
+    /// the end-of-run totals — for any sampling period, worker count,
+    /// and topology — and the final snapshot's running total IS the
+    /// end-of-run counter set.
+    #[test]
+    fn snapshot_deltas_reconcile_with_final_summary(
+        specs in proptest::collection::vec(
+            (arb_point(), 0u8..4, any::<bool>(), 0u64..6, proptest::option::of(2u64..20)),
+            1..10),
+        seed in any::<u64>(),
+        rounds in 5u64..40,
+        every in 1u64..12,
+        workers in 1usize..5,
+    ) {
+        let bounds = Rect::square(200.0);
+        let mut engine: Engine<u64> = Engine::new(EngineConfig {
+            radio: RadioConfig::reliable(10.0, 20.0),
+            seed,
+            record_trace: false,
+        });
+        engine.set_workers(workers);
+        engine.set_shard_min_slots(1);
+        let probe = Probe::enabled();
+        engine.set_probe(probe.clone());
+        let ring = Arc::new(RingSink::with_capacity(4096));
+        let monitor = Monitor::enabled(
+            "prop", seed, every, probe.clone(), SinkSet::new(vec![ring.clone()]));
+        engine.set_monitor(monitor.clone());
+        for &(start, mobility, chatty, spawn, crash) in &specs {
+            let start = Point::new(start.x.min(190.0), start.y.min(190.0));
+            let model: Box<dyn MobilityModel> = match mobility {
+                0 => Box::new(Static::new(start)),
+                1 => Box::new(Waypoint::new(start, 0.7, bounds)),
+                2 => Box::new(Waypoint::new(start, 0.0, bounds)),
+                _ => Box::new(Billiard::new(start, (0.5, -0.3), bounds)),
+            };
+            let mut spec = NodeSpec::new(
+                model,
+                Box::new(Recorder { chatty, heard: Vec::new(), collisions: 0 }),
+            );
+            if spawn > 0 {
+                spec = spec.spawn_at(spawn);
+            }
+            if let Some(c) = crash {
+                spec = spec.crash_at(c);
+            }
+            engine.add_node(spec);
+        }
+        engine.run(rounds);
+        monitor.finish();
+
+        let snaps: Vec<TelemetrySnapshot> = ring
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Snapshot(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        prop_assert!(!snaps.is_empty(), "a finished monitor always snapshots");
+        for (i, s) in snaps.iter().enumerate() {
+            prop_assert_eq!(s.seq, i as u64 + 1, "sequence numbers are gapless");
+            if !s.last {
+                prop_assert_eq!(s.round % every, 0,
+                    "periodic snapshots land on the period");
+            }
+        }
+        let last = snaps.last().expect("non-empty");
+        prop_assert!(last.last, "the final snapshot is marked last");
+        let mut merged = Counters::default();
+        for s in &snaps {
+            merged.merge(&s.counters_delta);
+        }
+        let finals = probe.counters().expect("probe installed");
+        prop_assert_eq!(merged, finals,
+            "concatenated deltas must reconcile with the final totals");
+        prop_assert_eq!(last.counters_total, finals,
+            "the last snapshot's running total is the end-of-run counter set");
     }
 }

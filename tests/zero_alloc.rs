@@ -1,7 +1,7 @@
 //! The zero-allocation guarantee of the overhauled round path: once
 //! buffers have warmed up, a steady-state engine round over a static
-//! topology (tracing off, non-allocating processes) performs **zero**
-//! heap allocations.
+//! topology (tracing off, live monitoring disabled, non-allocating
+//! processes) performs **zero** heap allocations.
 //!
 //! Measured with a counting global allocator, so this file must hold
 //! exactly one `#[test]` — a sibling test running on another thread
@@ -15,6 +15,7 @@ use virtual_infra::radio::mobility::Static;
 use virtual_infra::radio::{
     Engine, EngineConfig, NodeSpec, Process, RadioConfig, RoundCtx, RoundReception,
 };
+use virtual_infra::telemetry::Monitor;
 
 /// Counts every allocation and reallocation routed through the global
 /// allocator.
@@ -93,6 +94,11 @@ fn steady_state_rounds_allocate_nothing() {
             }),
         ));
     }
+
+    // A disabled live monitor is part of the steady-state contract:
+    // its per-round hook must stay one branch with zero allocations,
+    // so the silent windows below measure it alongside the round path.
+    engine.set_monitor(Monitor::disabled());
 
     // Warm-up: buffers grow to the working-set size (round 0 churns
     // the live set, round 1 anchors the topology cache, and the
