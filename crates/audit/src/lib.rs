@@ -44,7 +44,7 @@ pub use check::{
 };
 pub use history::{Event, History, HistoryRecorder};
 pub use linearizability::{check_register, synthetic_history, LinResult, RegOp, RegOpKind};
-pub use mutate::{drop_response, mutate, Mutation};
+pub use mutate::{drop_response, mutate, pick, Mutation};
 pub use nemesis::{NemesisFault, NemesisSpec};
 
 #[cfg(test)]

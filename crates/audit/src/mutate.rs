@@ -41,8 +41,12 @@ impl Mutation {
     }
 }
 
-/// Picks a seeded element of `candidates`.
-fn pick(rng: &mut StdRng, n: usize) -> Option<usize> {
+/// Picks a seeded index into a collection of `n` candidates, `None`
+/// when there is nothing to pick. The shared "choose a target"
+/// primitive of both the history mutators below and the `vi-fuzz`
+/// spec mutators — one idiom for every seeded choice keeps mutation
+/// schedules reproducible from the seed alone.
+pub fn pick(rng: &mut StdRng, n: usize) -> Option<usize> {
     (n > 0).then(|| rng.random_range(0..n))
 }
 

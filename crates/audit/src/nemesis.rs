@@ -120,6 +120,25 @@ impl NemesisSpec {
         Ok(())
     }
 
+    /// The start round of the first fault that begins at or after
+    /// `rounds` — a fault window entirely outside a run of that
+    /// length, i.e. a schedule entry that can never fire. `None` when
+    /// every fault starts inside the run. Spec validation rejects
+    /// such dead windows for workloads whose length is statically
+    /// known (fuzz-mutated schedules produce them constantly).
+    pub fn earliest_dead_start(&self, rounds: u64) -> Option<u64> {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                NemesisFault::CrashBurst { at_round, .. } => *at_round,
+                NemesisFault::Jam { window } | NemesisFault::DetectorChaos { window, .. } => {
+                    window.start
+                }
+            })
+            .filter(|&start| start >= rounds)
+            .min()
+    }
+
     /// Total crash victims across all bursts.
     pub fn total_victims(&self) -> usize {
         self.faults

@@ -8,6 +8,8 @@
 //! cargo run -p vi-bench --bin repro -- --replay dump.json  # replay an incident
 //! cargo run -p vi-bench --bin repro -- --monitor safety    # stream snapshots
 //! cargo run -p vi-bench --bin repro -- monitor 127.0.0.1:9464   # tail /metrics
+//! cargo run -p vi-bench --bin repro -- fuzz --iters 400 --seed 7 --corpus-dir corpus/
+//! cargo run -p vi-bench --bin repro -- fuzz --minimize failing_spec.json
 //! cargo run -p vi-bench --bin repro -- bench-diff old.json new.json
 //! cargo run -p vi-bench --bin repro -- bench-diff --check BENCH_radio.json 1000000
 //! ```
@@ -52,6 +54,7 @@ fn artifact_name(id: &str) -> String {
         "consistency_audit" => "BENCH_audit.json".to_string(),
         "protocol_trace" => "BENCH_protocol.json".to_string(),
         "live_monitor" => "BENCH_monitor.json".to_string(),
+        "fuzz_hunt" => "BENCH_fuzz.json".to_string(),
         _ => format!("BENCH_{id}.json"),
     }
 }
@@ -185,6 +188,138 @@ fn bench_diff(args: &[String]) -> ! {
     std::process::exit(if report_only { 0 } else { 1 });
 }
 
+/// `repro fuzz`: run a coverage-guided fuzz campaign, or (with
+/// `--minimize <spec.json>`) shrink one failing spec.
+///
+/// Exit codes: 0 — campaign ran (findings are *results*, not
+/// failures) or minimization reproduced and shrank; 1 — the spec
+/// passed to `--minimize` does not fail; 2 — usage or I/O error.
+fn fuzz_cmd(args: &[String]) -> ! {
+    let mut config = vi_fuzz::FuzzConfig::default();
+    let mut minimize_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut want = |flag: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("fuzz: {flag} needs a value");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match a.as_str() {
+            "--iters" => match want("--iters").parse() {
+                Ok(n) => config.iters = n,
+                Err(e) => {
+                    eprintln!("fuzz: --iters: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "--seed" => match want("--seed").parse() {
+                Ok(n) => config.seed = n,
+                Err(e) => {
+                    eprintln!("fuzz: --seed: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "--workers" => match want("--workers").parse() {
+                Ok(n) => config.workers = n,
+                Err(e) => {
+                    eprintln!("fuzz: --workers: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "--corpus-dir" => config.corpus_dir = Some(want("--corpus-dir").into()),
+            "--minimize" => minimize_path = Some(want("--minimize")),
+            other => {
+                eprintln!(
+                    "usage: repro fuzz [--iters N] [--seed S] [--workers W] \
+                     [--corpus-dir DIR] [--minimize spec.json]   (got '{other}')"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = minimize_path {
+        // Minimize-only mode: the failure must already reproduce.
+        let json = match std::fs::read_to_string(&path) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("fuzz: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let spec: vi_scenario::ScenarioSpec = match serde_json::from_str(&json) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("fuzz: {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let Some(class) = vi_fuzz::campaign::classify_run(&spec, config.seed) else {
+            eprintln!(
+                "fuzz: '{}' does not fail under seed {} — nothing to minimize",
+                spec.name, config.seed
+            );
+            std::process::exit(1);
+        };
+        let min = vi_fuzz::minimize(&spec, config.seed, class, config.minimize_budget);
+        let out_path = format!("{path}.min.json");
+        match serde_json::to_string(&min.spec) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&out_path, json) {
+                    eprintln!("fuzz: {out_path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("fuzz: serialize: {e}");
+                std::process::exit(2);
+            }
+        }
+        println!(
+            "minimized '{}' ({}) in {} runs / {} accepted shrinks -> {out_path}",
+            spec.name,
+            class.label(),
+            min.runs,
+            min.accepted,
+        );
+        std::process::exit(0);
+    }
+
+    match vi_fuzz::run_campaign(&config) {
+        Ok(report) => {
+            println!(
+                "fuzz: {} iters -> {} executed, {} rejected, {} buckets ({} new), {} finding(s)",
+                report.iters,
+                report.executed,
+                report.rejected,
+                report.corpus.len(),
+                report.new_buckets,
+                report.findings.len(),
+            );
+            for f in &report.findings {
+                println!(
+                    "  [{}] {} (discovered as '{}' at iter {}, seed {}, minimized in {} runs)",
+                    f.class.label(),
+                    f.spec.name,
+                    f.discovered_as,
+                    f.iteration,
+                    f.seed,
+                    f.minimize_runs,
+                );
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// `repro monitor <addr>`: polls an exporter's `/metrics` once a
 /// second and prints a one-line-per-run progress view. Exits 0 when a
 /// previously reachable exporter goes away (the run ended), 1 when the
@@ -279,6 +414,10 @@ fn main() {
 
     if args.first().map(String::as_str) == Some("bench-diff") {
         bench_diff(&args[1..]);
+    }
+
+    if args.first().map(String::as_str) == Some("fuzz") {
+        fuzz_cmd(&args[1..]);
     }
 
     if args.first().map(String::as_str) == Some("--replay") {

@@ -1,0 +1,256 @@
+//! Experiment E22 (`fuzz_hunt`): the coverage-guided fuzz campaign as
+//! a reproducible experiment.
+//!
+//! Three claims, the first two asserted inline before anything is
+//! reported:
+//!
+//! 1. **Campaigns are deterministic and worker-invariant.** The same
+//!    [`FuzzConfig`] runs under 1 sweep worker and under 4; the two
+//!    campaigns must agree on every count, every coverage bucket, and
+//!    every minimized finding. The candidate batch size is a constant,
+//!    so the mutation schedule never observes the parallelism.
+//! 2. **The fuzzer rediscovers the planted violation.** The seed
+//!    corpus's `fuzz_majority` ancestor is *clean* (no partition); the
+//!    campaign must mutate its way back to the same disconnected-
+//!    majority linearizability violation that the `broken_majority`
+//!    catalog scenario plants deliberately — an audit-class finding in
+//!    the `fuzz_majority` family — within the fixed iteration budget.
+//!    Its delta-debugged repro spec must still fail the same way, and
+//!    its incident bundle must replay byte-identically at 1 and 4
+//!    workers. With `VI_INCIDENT_DIR` set, the minimized spec and
+//!    bundle are written to disk (CI uploads both and replays the
+//!    bundle via `repro --replay`).
+//! 3. **Coverage feedback earns its keep.** The table reports the
+//!    corpus (buckets per workload family), the findings (class,
+//!    discovery iteration, minimization effort), and campaign
+//!    throughput (executed / rejected / new-bucket counts), so corpus
+//!    growth can be tracked across PRs.
+//!
+//! The artifact is `BENCH_fuzz.json`.
+
+use crate::table::Table;
+use std::collections::BTreeMap;
+use vi_fuzz::{run_campaign, FailureClass, Finding, FuzzConfig, FuzzReport};
+
+/// The pinned campaign: seed 5 at 200 iterations rediscovers the
+/// planted majority violation (and, as a bonus, a CHA safety
+/// violation and a traffic stall) — empirically verified, then frozen
+/// so CI is deterministic.
+pub const CAMPAIGN_SEED: u64 = 5;
+/// Iteration budget of the pinned campaign.
+pub const CAMPAIGN_ITERS: u64 = 200;
+
+/// The E22 campaign config at `workers` sweep workers.
+pub fn campaign_config(workers: usize) -> FuzzConfig {
+    FuzzConfig {
+        iters: CAMPAIGN_ITERS,
+        seed: CAMPAIGN_SEED,
+        workers,
+        corpus_dir: None,
+        minimize_budget: 96,
+    }
+}
+
+/// Runs the pinned campaign at 1 and 4 workers and asserts the two
+/// reports are identical (counts, corpus, and findings).
+///
+/// # Panics
+///
+/// Panics if the campaigns disagree — that would mean a mutation or
+/// corpus decision observed the worker count.
+pub fn paired_campaign() -> FuzzReport {
+    let sequential = run_campaign(&campaign_config(1)).expect("in-memory campaign");
+    let parallel = run_campaign(&campaign_config(4)).expect("in-memory campaign");
+    assert_eq!(sequential.executed, parallel.executed);
+    assert_eq!(sequential.rejected, parallel.rejected);
+    assert_eq!(sequential.new_buckets, parallel.new_buckets);
+    assert_eq!(
+        sequential.corpus, parallel.corpus,
+        "coverage maps must not depend on the worker count"
+    );
+    assert_eq!(sequential.findings.len(), parallel.findings.len());
+    for (a, b) in sequential.findings.iter().zip(&parallel.findings) {
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.spec, b.spec, "minimized specs must be worker-invariant");
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.bundle, b.bundle, "bundles must be worker-invariant");
+    }
+    parallel
+}
+
+/// Extracts the rediscovered planted violation — the audit-class
+/// finding in the `fuzz_majority` family — and asserts its repro
+/// contract: the minimized spec still fails as an audit violation,
+/// and its bundle replays byte-identically at 1 and 4 workers.
+///
+/// # Panics
+///
+/// Panics if the campaign missed the planted violation or a replay
+/// diverges.
+pub fn rediscovered_violation(report: &FuzzReport) -> &Finding {
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| {
+            f.class == FailureClass::AuditViolation && f.spec.name.starts_with("fuzz_majority")
+        })
+        .expect("campaign must rediscover the planted majority violation");
+    assert_eq!(
+        vi_fuzz::campaign::classify_run(&finding.spec, finding.seed),
+        Some(FailureClass::AuditViolation),
+        "the minimized repro spec must still fail the same way"
+    );
+    let bundle = finding
+        .bundle
+        .as_ref()
+        .expect("audit findings package a replayable bundle");
+    for workers in [1usize, 4] {
+        let replay = bundle.replay(workers);
+        assert_eq!(
+            replay.audit.as_ref(),
+            bundle.audit.as_ref(),
+            "replay({workers}) must reproduce the audit verdict"
+        );
+        assert_eq!(
+            replay.incident.as_ref(),
+            Some(bundle),
+            "replay({workers}) must reproduce the bundle byte-identically"
+        );
+    }
+    finding
+}
+
+/// E22 — the fuzz-hunt table: campaign throughput, coverage per
+/// family, and every minimized finding.
+pub fn fuzz_hunt() -> Table {
+    let report = paired_campaign();
+    let planted = rediscovered_violation(&report);
+
+    let mut t = Table::new(
+        "E22 fuzz hunt: coverage-guided campaign, minimized findings, repro bundles",
+        &[
+            "row", "family", "class", "buckets", "iter", "runs", "detail",
+        ],
+    );
+    t.row(&[
+        "campaign".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        report.corpus.len().to_string(),
+        report.iters.to_string(),
+        report.executed.to_string(),
+        format!(
+            "seed {CAMPAIGN_SEED}: {} executed + {} rejected, {} new buckets",
+            report.executed, report.rejected, report.new_buckets
+        ),
+    ]);
+    let mut per_family: BTreeMap<&str, u64> = BTreeMap::new();
+    for entry in report.corpus.entries() {
+        *per_family.entry(&entry.signature.family).or_default() += 1;
+    }
+    for (family, buckets) in &per_family {
+        t.row(&[
+            "coverage".to_string(),
+            (*family).to_string(),
+            "-".to_string(),
+            buckets.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "coverage buckets owned by this workload family".to_string(),
+        ]);
+    }
+    for f in &report.findings {
+        t.row(&[
+            "finding".to_string(),
+            f.spec
+                .name
+                .split('~')
+                .next()
+                .unwrap_or(&f.spec.name)
+                .to_string(),
+            f.class.label().to_string(),
+            "-".to_string(),
+            f.iteration.to_string(),
+            f.minimize_runs.to_string(),
+            format!(
+                "discovered as '{}', seed {}, minimized to '{}'{}",
+                f.discovered_as,
+                f.seed,
+                f.spec.name,
+                if f.bundle.is_some() {
+                    ", bundle replays at 1 and 4 workers"
+                } else {
+                    ""
+                },
+            ),
+        ]);
+    }
+
+    if let Ok(dir) = std::env::var("VI_INCIDENT_DIR") {
+        let dir = std::path::Path::new(&dir);
+        let spec_path = dir.join("fuzz_min_majority.spec.json");
+        match serde_json::to_string(&planted.spec) {
+            Ok(json) => match std::fs::write(&spec_path, json) {
+                Ok(()) => eprintln!("wrote {}", spec_path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", spec_path.display()),
+            },
+            Err(e) => eprintln!("warning: could not serialize minimized spec: {e}"),
+        }
+        if let Some(bundle) = &planted.bundle {
+            let bundle_path = dir.join("fuzz_min_majority.bundle.json");
+            match bundle.save(&bundle_path) {
+                Ok(()) => eprintln!("wrote {}", bundle_path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", bundle_path.display()),
+            }
+        }
+    }
+
+    t.note("1-worker vs 4-worker campaigns asserted identical: counts, coverage map, findings, bundles");
+    t.note("planted-violation rediscovery asserted: audit-class finding in the fuzz_majority family, minimized spec re-verified, bundle replayed byte-identically at 1 and 4 workers");
+    t.note("set VI_INCIDENT_DIR=. to write fuzz_min_majority.spec.json (+ .bundle.json); replay via `repro --replay`, re-shrink via `repro fuzz --minimize`");
+    t.note("run your own campaign via `repro fuzz --iters N --seed S --corpus-dir DIR`");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Acceptance: the pinned campaign is worker-invariant and
+    /// rediscovers the planted majority violation, whose minimized
+    /// bundle replays byte-identically at 1 and 4 workers (all
+    /// asserted inside the helpers).
+    #[test]
+    fn pinned_campaign_rediscovers_the_planted_violation() {
+        let report = paired_campaign();
+        let planted = rediscovered_violation(&report);
+        assert!(planted.iteration > 0, "found by mutation, not an ancestor");
+        assert!(
+            planted.minimize_runs > 0,
+            "the minimizer spent runs shrinking it"
+        );
+        assert!(planted.spec.name.ends_with("~min"));
+    }
+
+    /// The campaign's coverage map spans every seed-corpus family and
+    /// grows well past the 4 ancestor buckets.
+    #[test]
+    fn coverage_spans_every_family_and_grows() {
+        let report = run_campaign(&campaign_config(4)).expect("in-memory campaign");
+        for family in ["fuzz_cha", "fuzz_counter", "fuzz_register", "fuzz_majority"] {
+            assert!(
+                report
+                    .corpus
+                    .entries()
+                    .any(|e| e.signature.family == family),
+                "{family} must own coverage"
+            );
+        }
+        assert!(
+            report.corpus.len() >= 16,
+            "mutation earned new buckets: {}",
+            report.corpus.len()
+        );
+        assert_eq!(report.executed + report.rejected, CAMPAIGN_ITERS + 4);
+    }
+}

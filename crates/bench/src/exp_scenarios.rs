@@ -97,7 +97,7 @@ fn matrix_table(title: &str, scenarios: &[ScenarioSpec], seeds: &[u64]) -> Table
         sweep.multi_secs,
         scenarios.len() * seeds.len(),
     ));
-    t.note("only broken_detector (a deliberate model violation) may show safety violations");
+    t.note("only broken_detector and the promoted fuzz_* findings (deliberate model violations) may show safety violations");
     t
 }
 

@@ -14,6 +14,7 @@ pub mod exp_ablation;
 pub mod exp_audit;
 pub mod exp_cha;
 pub mod exp_emulation;
+pub mod exp_fuzz;
 pub mod exp_metropolis;
 pub mod exp_monitor;
 pub mod exp_protocol;
@@ -112,6 +113,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "live_monitor",
             "Live monitoring: snapshot pipeline, sinks, /metrics, sweep progress",
             exp_monitor::live_monitor,
+        ),
+        (
+            "fuzz_hunt",
+            "Robustness: coverage-guided fuzz campaign + violation minimization",
+            exp_fuzz::fuzz_hunt,
         ),
     ]
 }

@@ -1,0 +1,103 @@
+//! Seed corpus: tiny, fast, *valid* specs covering every workload
+//! family. These are the mutation ancestors of everything the
+//! campaign ever runs, so they are deliberately small — a few nodes,
+//! a few rounds — and deliberately bland: interesting behaviour is
+//! the mutators' job, reaching it fast is ours.
+
+use vi_radio::geometry::{Point, Rect};
+use vi_radio::{AdversaryKind, RadioConfig};
+use vi_scenario::{
+    CmSpec, LayoutSpec, NemesisSpec, PlacementSpec, PopulationSpec, ScenarioSpec, TrafficSpec,
+    WorkloadSpec,
+};
+use vi_traffic::AppKind;
+
+/// A line of `n` nodes spaced well inside one region.
+fn line(n: usize) -> PopulationSpec {
+    PopulationSpec::fixed(
+        n,
+        PlacementSpec::Line {
+            start: Point::new(1.0, 1.0),
+            step_x: 0.2,
+            step_y: 0.0,
+        },
+    )
+}
+
+fn base(name: &str, n: usize, workload: WorkloadSpec) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.into(),
+        arena: Rect::square(20.0),
+        radio: RadioConfig::reliable(10.0, 20.0),
+        populations: vec![line(n)],
+        adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
+        cm: CmSpec::perfect(),
+        workload,
+    }
+}
+
+/// One virtual node centred in the arena.
+fn one_vn() -> LayoutSpec {
+    LayoutSpec::Explicit {
+        locations: vec![Point::new(2.0, 1.0)],
+        region_radius: 2.5,
+    }
+}
+
+/// The ancestral population: one tiny spec per workload family. Every
+/// entry validates and runs in well under a second; the
+/// majority-register ancestor is deliberately *clean* (no partition) —
+/// rediscovering the planted `broken_majority` violation from it is
+/// the campaign's acceptance test.
+pub fn seed_corpus() -> Vec<ScenarioSpec> {
+    vec![
+        base("fuzz_cha", 3, WorkloadSpec::ChaClique { instances: 4 }),
+        base(
+            "fuzz_counter",
+            4,
+            WorkloadSpec::ViCounter {
+                layout: one_vn(),
+                virtual_rounds: 6,
+            },
+        ),
+        base(
+            "fuzz_register",
+            4,
+            WorkloadSpec::Traffic {
+                app: AppKind::Register,
+                layout: one_vn(),
+                traffic: TrafficSpec::open(2, 0.5, 10),
+                audit: true,
+            },
+        ),
+        base(
+            "fuzz_majority",
+            4,
+            WorkloadSpec::MajorityRegister {
+                writes: 6,
+                rounds: 24,
+                partition_from: None,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ancestor_validates_and_runs_clean() {
+        let corpus = seed_corpus();
+        assert_eq!(corpus.len(), 4, "one ancestor per workload family");
+        for spec in &corpus {
+            spec.validate().expect("ancestors validate");
+            let out = spec.run(1);
+            assert_eq!(out.safety_violations(), 0, "{}", spec.name);
+            if let Some(report) = &out.audit {
+                assert!(report.ok(), "{} must start clean", spec.name);
+            }
+        }
+    }
+}

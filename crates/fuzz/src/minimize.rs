@@ -1,0 +1,242 @@
+//! Delta-debugging minimizer: shrinks a failing spec while the
+//! failure still reproduces.
+//!
+//! Classic ddmin adapted to structured specs: instead of bisecting a
+//! flat input, each *pass* proposes structurally smaller variants —
+//! drop a population, halve a count, simplify mobility to static,
+//! clear churn, drop or narrow nemesis faults, simplify the
+//! adversary, truncate rounds, halve writes — and the first variant
+//! that (a) validates and (b) reproduces the same [`FailureClass`]
+//! under the same seed is accepted. Passes repeat to fixpoint or
+//! until the run budget is spent.
+//!
+//! Minimization never changes the seed: the guarantee is "this
+//! *smaller spec*, under the *same seed*, fails the *same way*" —
+//! which is what makes the emitted repro spec and its
+//! [`vi_scenario::IncidentBundle`] byte-identical replays rather than
+//! merely similar bugs.
+
+use crate::campaign::{classify_run, FailureClass};
+use vi_audit::NemesisFault;
+use vi_radio::AdversaryKind;
+use vi_scenario::{MobilitySpec, ScenarioSpec, WorkloadSpec};
+
+/// The result of a minimization: the smallest reproducing spec found
+/// and the effort spent getting there.
+#[derive(Clone, Debug)]
+pub struct MinimizeOutcome {
+    /// The minimized spec (named `<stem>~min`). Reproduces the
+    /// original failure class under the original seed.
+    pub spec: ScenarioSpec,
+    /// Executions spent probing candidates.
+    pub runs: u64,
+    /// Accepted shrink steps.
+    pub accepted: u64,
+}
+
+/// Whether `candidate` still fails the same way under `seed`.
+fn reproduces(candidate: &ScenarioSpec, seed: u64, class: FailureClass) -> bool {
+    candidate.validate().is_ok() && classify_run(candidate, seed) == Some(class)
+}
+
+/// One round of candidate proposals, most aggressive first. Every
+/// candidate is strictly smaller than `spec` along some axis; the
+/// caller filters through validation + reproduction.
+fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut ScenarioSpec)| {
+        let mut c = spec.clone();
+        f(&mut c);
+        if c != *spec {
+            out.push(c);
+        }
+    };
+    // Drop whole populations (keep at least one).
+    if spec.populations.len() > 1 {
+        for i in 0..spec.populations.len() {
+            push(&|s| {
+                s.populations.remove(i);
+            });
+        }
+    }
+    // Halve population counts.
+    for i in 0..spec.populations.len() {
+        if spec.populations[i].count > 1 {
+            push(&|s| s.populations[i].count /= 2);
+        }
+    }
+    // Simplify mobility and churn.
+    for i in 0..spec.populations.len() {
+        if spec.populations[i].mobility != MobilitySpec::Static {
+            push(&|s| s.populations[i].mobility = MobilitySpec::Static);
+        }
+        let p = &spec.populations[i];
+        if p.spawn_at != 0 || p.spawn_stride != 0 || p.crash_at.is_some() {
+            push(&|s| {
+                s.populations[i].spawn_at = 0;
+                s.populations[i].spawn_stride = 0;
+                s.populations[i].crash_at = None;
+            });
+        }
+    }
+    // Drop nemesis faults one at a time, then narrow windows.
+    for i in 0..spec.nemesis.faults.len() {
+        push(&|s| {
+            s.nemesis.faults.remove(i);
+        });
+        push(&|s| match &mut s.nemesis.faults[i] {
+            NemesisFault::Jam { window } | NemesisFault::DetectorChaos { window, .. } => {
+                let len = window.end - window.start;
+                if len > 1 {
+                    window.end = window.start + len / 2;
+                }
+            }
+            NemesisFault::CrashBurst { victims, .. } => {
+                *victims = (*victims / 2).max(1);
+            }
+        });
+    }
+    // Simplify the adversary timeline.
+    if spec.adversary != AdversaryKind::None {
+        push(&|s| s.adversary = AdversaryKind::None);
+        if let AdversaryKind::Compose(members) = &spec.adversary {
+            for m in members {
+                push(&|s| s.adversary = m.clone());
+            }
+        }
+    }
+    // Truncate the run and thin the workload.
+    match &spec.workload {
+        WorkloadSpec::ChaClique { instances } if *instances > 1 => {
+            push(&|s| {
+                if let WorkloadSpec::ChaClique { instances } = &mut s.workload {
+                    *instances /= 2;
+                }
+            });
+        }
+        WorkloadSpec::ViCounter { virtual_rounds, .. } if *virtual_rounds > 1 => {
+            push(&|s| {
+                if let WorkloadSpec::ViCounter { virtual_rounds, .. } = &mut s.workload {
+                    *virtual_rounds /= 2;
+                }
+            });
+        }
+        WorkloadSpec::Traffic { traffic, .. } => {
+            if traffic.virtual_rounds > 2 {
+                push(&|s| {
+                    if let WorkloadSpec::Traffic { traffic, .. } = &mut s.workload {
+                        traffic.virtual_rounds /= 2;
+                    }
+                });
+            }
+            if traffic.clients > 1 {
+                push(&|s| {
+                    if let WorkloadSpec::Traffic { traffic, .. } = &mut s.workload {
+                        traffic.clients /= 2;
+                    }
+                });
+            }
+        }
+        WorkloadSpec::MajorityRegister {
+            writes,
+            rounds,
+            partition_from,
+        } => {
+            if *writes > 1 {
+                push(&|s| {
+                    if let WorkloadSpec::MajorityRegister { writes, .. } = &mut s.workload {
+                        *writes /= 2;
+                    }
+                });
+            }
+            // Truncate rounds, keeping any partition inside the run.
+            let floor = partition_from.map_or(1, |p| p + 1);
+            if *rounds / 2 >= floor {
+                push(&|s| {
+                    if let WorkloadSpec::MajorityRegister { rounds, .. } = &mut s.workload {
+                        *rounds /= 2;
+                    }
+                });
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Shrinks `spec` to a (locally) minimal spec that still fails as
+/// `class` under `seed`, spending at most `budget` candidate runs.
+/// The input is assumed to reproduce; the output is renamed
+/// `<stem>~min`.
+pub fn minimize(
+    spec: &ScenarioSpec,
+    seed: u64,
+    class: FailureClass,
+    budget: u64,
+) -> MinimizeOutcome {
+    let mut current = spec.clone();
+    let mut runs = 0u64;
+    let mut accepted = 0u64;
+    let mut progress = true;
+    while progress && runs < budget {
+        progress = false;
+        for candidate in candidates(&current) {
+            if runs >= budget {
+                break;
+            }
+            if candidate.validate().is_err() {
+                continue; // shrink collided with a validity rule: skip, don't spend a run
+            }
+            runs += 1;
+            if reproduces(&candidate, seed, class) {
+                current = candidate;
+                accepted += 1;
+                progress = true;
+                break; // restart the pass ladder from the smaller spec
+            }
+        }
+    }
+    let stem = current.name.split('~').next().unwrap_or("fuzz").to_string();
+    current.name = format!("{stem}~min");
+    MinimizeOutcome {
+        spec: current,
+        runs,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vi_scenario::catalog;
+
+    /// The planted violation minimizes: fewer writes and/or rounds,
+    /// same deterministic audit failure, byte-identical replays.
+    #[test]
+    fn broken_majority_minimizes_and_still_violates() {
+        let spec = catalog::scenario("broken_majority").expect("catalog");
+        let seed = 1;
+        assert_eq!(
+            classify_run(&spec, seed),
+            Some(FailureClass::AuditViolation)
+        );
+        let min = minimize(&spec, seed, FailureClass::AuditViolation, 64);
+        assert!(min.accepted > 0, "something must shrink");
+        assert!(min.spec.name.ends_with("~min"));
+        assert_eq!(
+            classify_run(&min.spec, seed),
+            Some(FailureClass::AuditViolation),
+            "the minimized spec still fails the same way"
+        );
+        // Strictly no bigger along the axes the passes touch.
+        let (w0, r0) = match spec.workload {
+            WorkloadSpec::MajorityRegister { writes, rounds, .. } => (writes, rounds),
+            _ => unreachable!(),
+        };
+        let (w1, r1) = match min.spec.workload {
+            WorkloadSpec::MajorityRegister { writes, rounds, .. } => (writes, rounds),
+            _ => panic!("family preserved"),
+        };
+        assert!(w1 <= w0 && r1 <= r0 && (w1 < w0 || r1 < r0));
+    }
+}

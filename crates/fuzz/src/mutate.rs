@@ -1,0 +1,360 @@
+//! Typed spec mutators: each perturbs exactly one dimension of a
+//! [`ScenarioSpec`], with every choice drawn from the seeded campaign
+//! RNG through [`vi_audit::pick`] — the same "choose a target"
+//! primitive the audit history mutators use, so a mutation schedule
+//! is reproducible from the seed alone.
+//!
+//! Mutators are *allowed* to produce invalid specs (empty
+//! deployments, dead windows, inverted ranges): the campaign
+//! validates every candidate and counts rejections. What they must
+//! never do is produce a spec that validates and then panics the
+//! compiler — that contract is [`ScenarioSpec::validate`]'s, and the
+//! fuzzer is its regression test.
+
+use rand::rngs::StdRng;
+use vi_audit::{pick, NemesisFault, NemesisSpec};
+use vi_radio::geometry::Point;
+use vi_radio::AdversaryKind;
+use vi_scenario::{MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, WorkloadSpec};
+
+/// One dimension of the spec space a mutation can move along.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutator {
+    /// Grow/shrink a population or change its placement.
+    Population,
+    /// Swap or retune a population's mobility model.
+    Mobility,
+    /// Open, move, or close spawn/crash churn windows.
+    Churn,
+    /// Rewrite the channel-adversary timeline.
+    Adversary,
+    /// Add, drop, or shift nemesis faults.
+    Nemesis,
+    /// Retune the traffic mix (rate, clients, timeout, mix).
+    TrafficMix,
+    /// Turn the workload's own knobs (instances, rounds, writes,
+    /// partitions).
+    Workload,
+}
+
+/// Every mutator, in the order the campaign cycles them.
+pub const MUTATORS: [Mutator; 7] = [
+    Mutator::Population,
+    Mutator::Mobility,
+    Mutator::Churn,
+    Mutator::Adversary,
+    Mutator::Nemesis,
+    Mutator::TrafficMix,
+    Mutator::Workload,
+];
+
+/// The run length mutations scale their windows to.
+fn horizon(spec: &ScenarioSpec) -> u64 {
+    spec.planned_rounds().unwrap_or(60).max(4)
+}
+
+/// Renames a mutated child: the ancestral stem plus a short lineage
+/// tag, so corpus entries stay readable after many generations.
+fn child_name(spec: &ScenarioSpec, tag: &str) -> String {
+    let stem = spec.name.split('~').next().unwrap_or(&spec.name);
+    format!("{stem}~{tag}")
+}
+
+/// Applies `mutator` to a copy of `spec`, drawing every choice from
+/// `rng`. The result may be invalid — the campaign validates.
+// Single-element window vectors are the *intended* mutation shape
+// here (one fresh jam/chaos window), not a misspelled range collect.
+#[allow(clippy::single_range_in_vec_init)]
+pub fn apply(spec: &ScenarioSpec, mutator: Mutator, rng: &mut StdRng) -> ScenarioSpec {
+    let mut out = spec.clone();
+    let h = horizon(spec);
+    match mutator {
+        Mutator::Population => {
+            out.name = child_name(spec, "p");
+            match rng.random_range(0..3u32) {
+                0 => {
+                    // Grow or shrink one population (shrinking to zero
+                    // is allowed: validation owns the rejection).
+                    if let Some(i) = pick(rng, out.populations.len()) {
+                        let p = &mut out.populations[i];
+                        if rng.random_bool(0.5) {
+                            p.count += rng.random_range(1..=2usize);
+                        } else {
+                            p.count = p.count.saturating_sub(rng.random_range(1..=2usize));
+                        }
+                    }
+                }
+                1 => {
+                    // Re-place one population.
+                    if let Some(i) = pick(rng, out.populations.len()) {
+                        out.populations[i].placement = if rng.random_bool(0.5) {
+                            PlacementSpec::Cluster {
+                                center: Point::new(
+                                    rng.random_range(1.0..8.0),
+                                    rng.random_range(1.0..8.0),
+                                ),
+                                radius: rng.random_range(0.5..3.0),
+                            }
+                        } else {
+                            PlacementSpec::Uniform
+                        };
+                    }
+                }
+                _ => {
+                    // Add a fresh late-arriving wave.
+                    out.populations.push(PopulationSpec::fixed(
+                        rng.random_range(1..=2usize),
+                        PlacementSpec::Cluster {
+                            center: Point::new(2.0, 2.0),
+                            radius: 1.5,
+                        },
+                    ));
+                }
+            }
+        }
+        Mutator::Mobility => {
+            out.name = child_name(spec, "m");
+            if let Some(i) = pick(rng, out.populations.len()) {
+                out.populations[i].mobility = match rng.random_range(0..4u32) {
+                    0 => MobilitySpec::Static,
+                    1 => MobilitySpec::Waypoint {
+                        speed: rng.random_range(0.05..1.0),
+                    },
+                    2 => MobilitySpec::Billiard {
+                        vel_x: rng.random_range(-0.5..0.5),
+                        vel_y: rng.random_range(-0.5..0.5),
+                    },
+                    _ => MobilitySpec::DepartAt {
+                        dir_x: 1.0,
+                        dir_y: 0.0,
+                        speed: rng.random_range(0.1..0.8),
+                        depart_at: rng.random_range(0..h),
+                    },
+                };
+            }
+        }
+        Mutator::Churn => {
+            out.name = child_name(spec, "c");
+            if let Some(i) = pick(rng, out.populations.len()) {
+                let p = &mut out.populations[i];
+                match rng.random_range(0..3u32) {
+                    0 => {
+                        p.spawn_at = rng.random_range(0..h.saturating_mul(2));
+                        p.spawn_stride = rng.random_range(0..4);
+                    }
+                    1 => p.crash_at = Some(rng.random_range(1..h.saturating_mul(2))),
+                    _ => {
+                        p.spawn_at = 0;
+                        p.spawn_stride = 0;
+                        p.crash_at = None;
+                    }
+                }
+            }
+        }
+        Mutator::Adversary => {
+            out.name = child_name(spec, "a");
+            out.adversary = match rng.random_range(0..5u32) {
+                0 => AdversaryKind::None,
+                1 => AdversaryKind::Random(rng.random_range(0.0..0.6), rng.random_range(0.0..0.2)),
+                2 => {
+                    let start = rng.random_range(0..h);
+                    let len = rng.random_range(1..=h.max(2) / 2);
+                    AdversaryKind::Burst(vec![start..start + len])
+                }
+                3 => {
+                    let start = rng.random_range(0..h);
+                    let len = rng.random_range(1..=h.max(2) / 2);
+                    AdversaryKind::WindowedRandom {
+                        windows: vec![start..start + len],
+                        drop_p: rng.random_range(0.1..0.9),
+                        spurious_p: rng.random_range(0.0..0.3),
+                    }
+                }
+                _ => AdversaryKind::Compose(vec![
+                    spec.adversary.clone(),
+                    AdversaryKind::Random(rng.random_range(0.0..0.3), 0.0),
+                ]),
+            };
+        }
+        Mutator::Nemesis => {
+            out.name = child_name(spec, "n");
+            let mut faults = out.nemesis.faults.clone();
+            let drop_one = !faults.is_empty() && rng.random_bool(0.4);
+            if drop_one {
+                if let Some(i) = pick(rng, faults.len()) {
+                    faults.remove(i);
+                }
+            } else {
+                let start = rng.random_range(0..h);
+                let len = rng.random_range(1..=h.max(2) / 2);
+                faults.push(match rng.random_range(0..3u32) {
+                    0 => NemesisFault::Jam {
+                        window: start..start + len,
+                    },
+                    1 => NemesisFault::DetectorChaos {
+                        window: start..start + len,
+                        spurious_p: rng.random_range(0.05..0.5),
+                    },
+                    _ => NemesisFault::CrashBurst {
+                        at_round: start,
+                        victims: rng.random_range(1..=2usize),
+                    },
+                });
+            }
+            out.nemesis = NemesisSpec { faults };
+        }
+        Mutator::TrafficMix => {
+            out.name = child_name(spec, "t");
+            if let WorkloadSpec::Traffic { traffic, .. } = &mut out.workload {
+                match rng.random_range(0..4u32) {
+                    0 => {
+                        if let vi_scenario::LoadMode::Open { rate_per_round, .. } =
+                            &mut traffic.mode
+                        {
+                            *rate_per_round = rng.random_range(0.1..3.0);
+                        } else {
+                            traffic.mode = vi_scenario::LoadMode::Open {
+                                rate_per_round: rng.random_range(0.1..2.0),
+                                phases: Vec::new(),
+                            };
+                        }
+                    }
+                    1 => {
+                        traffic.clients = rng.random_range(1..=4usize);
+                    }
+                    2 => traffic.timeout_rounds = rng.random_range(2..40),
+                    _ => traffic.query_fraction = rng.random_range(0.0..1.0),
+                }
+            } else {
+                // Not a traffic workload: nudge the run length so the
+                // mutation is never a silent no-op.
+                scale_rounds(&mut out.workload, rng);
+            }
+        }
+        Mutator::Workload => {
+            out.name = child_name(spec, "w");
+            match &mut out.workload {
+                WorkloadSpec::ChaClique { instances } => {
+                    *instances = rng.random_range(1..=8u64);
+                }
+                WorkloadSpec::ViCounter { virtual_rounds, .. } => {
+                    *virtual_rounds = rng.random_range(1..=10u64);
+                }
+                WorkloadSpec::Traffic { traffic, audit, .. } => {
+                    traffic.virtual_rounds = rng.random_range(4..=16u64);
+                    *audit = true;
+                }
+                WorkloadSpec::MajorityRegister {
+                    writes,
+                    rounds,
+                    partition_from,
+                } => match rng.random_range(0..3u32) {
+                    0 => *writes = rng.random_range(1..=10u64),
+                    1 => *rounds = rng.random_range(8..=32u64),
+                    _ => {
+                        // The money mutation: open (or heal) a
+                        // partition inside the run.
+                        *partition_from = if partition_from.is_some() && rng.random_bool(0.3) {
+                            None
+                        } else {
+                            Some(rng.random_range(1..(*rounds).max(2)))
+                        };
+                    }
+                },
+            }
+        }
+    }
+    out
+}
+
+/// Scales whatever round knob the workload has, used when a mutator's
+/// primary dimension does not exist on this workload family.
+fn scale_rounds(workload: &mut WorkloadSpec, rng: &mut StdRng) {
+    match workload {
+        WorkloadSpec::ChaClique { instances } => *instances = rng.random_range(1..=8u64),
+        WorkloadSpec::ViCounter { virtual_rounds, .. } => {
+            *virtual_rounds = rng.random_range(1..=10u64);
+        }
+        WorkloadSpec::Traffic { traffic, .. } => {
+            traffic.virtual_rounds = rng.random_range(4..=16u64);
+        }
+        WorkloadSpec::MajorityRegister { rounds, .. } => *rounds = rng.random_range(8..=32u64),
+    }
+}
+
+/// Recombination: grafts one dimension of `b` onto `a` — the corpus
+/// analogue of crossover. The grafted dimension is chosen from the
+/// RNG; workloads are never crossed (they define the family).
+pub fn crossover(a: &ScenarioSpec, b: &ScenarioSpec, rng: &mut StdRng) -> ScenarioSpec {
+    let mut out = a.clone();
+    out.name = child_name(a, "x");
+    match rng.random_range(0..3u32) {
+        0 => out.adversary = b.adversary.clone(),
+        1 => out.nemesis = b.nemesis.clone(),
+        _ => {
+            if let (Some(i), Some(j)) = (
+                pick(rng, out.populations.len()),
+                pick(rng, b.populations.len()),
+            ) {
+                out.populations[i].mobility = b.populations[j].mobility.clone();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::seed_corpus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutation_schedules_are_deterministic() {
+        let corpus = seed_corpus();
+        for spec in &corpus {
+            for &m in &MUTATORS {
+                let a = apply(spec, m, &mut StdRng::seed_from_u64(7));
+                let b = apply(spec, m, &mut StdRng::seed_from_u64(7));
+                assert_eq!(a, b, "{:?} must be a pure function of (spec, seed)", m);
+            }
+        }
+    }
+
+    #[test]
+    fn mutants_are_runnable_or_rejected_never_panicking() {
+        // The satellite-1 contract, exercised the way the campaign
+        // does: every validating mutant must compile and run.
+        let corpus = seed_corpus();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ran = 0u32;
+        let mut rejected = 0u32;
+        for round in 0..6u64 {
+            for spec in &corpus {
+                for &m in &MUTATORS {
+                    let child = apply(spec, m, &mut rng);
+                    match child.validate() {
+                        Ok(()) => {
+                            child.run(round);
+                            ran += 1;
+                        }
+                        Err(_) => rejected += 1,
+                    }
+                }
+            }
+        }
+        assert!(ran > 0, "some mutants must run");
+        // Rejection is allowed but must not dominate: the mutators
+        // would otherwise never explore.
+        assert!(ran >= rejected, "{ran} ran vs {rejected} rejected");
+    }
+
+    #[test]
+    fn crossover_grafts_one_dimension() {
+        let corpus = seed_corpus();
+        let mut rng = StdRng::seed_from_u64(3);
+        let child = crossover(&corpus[0], &corpus[1], &mut rng);
+        assert_eq!(child.workload, corpus[0].workload, "workload never crossed");
+        assert!(child.name.starts_with("fuzz_cha~x"));
+    }
+}

@@ -496,6 +496,58 @@ fn quake_drill() -> ScenarioSpec {
     }
 }
 
+/// `fuzz_scatter_clique` — **promoted from a vi-fuzz finding**: the
+/// E22 campaign (seed 5) mutated the clean `fuzz_cha` ancestor's
+/// placement to `Uniform` (mobility mutator, iteration 121) and the
+/// CHA safety checker fired under run seed 2384762200; delta
+/// debugging shrank it to 3 scattered nodes running a single
+/// instance. The bug it demonstrates: CHA assumes a single-hop clique,
+/// and uniform placement over a 20 m² arena with `r2 = 20` can seat
+/// nodes out of mutual range, splitting the "clique" into
+/// independently-deciding fragments that disagree. Scenario-level
+/// validation cannot catch this (placement is seed-dependent), which
+/// is exactly why the fuzzer owns this regime.
+fn fuzz_scatter_clique() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "fuzz_scatter_clique".into(),
+        arena: Rect::square(20.0),
+        radio: RadioConfig::reliable(R1, R2),
+        populations: vec![PopulationSpec::fixed(3, PlacementSpec::Uniform)],
+        adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::ChaClique { instances: 1 },
+    }
+}
+
+/// `fuzz_split_quorum` — **promoted from a vi-fuzz finding**: the E22
+/// campaign (seed 5) rediscovered the `broken_majority` bug *without*
+/// the scripted partition — a placement mutation (iteration 138, run
+/// seed 199129263) scattered the replicas, and delta debugging shrank
+/// the repro to 2 uniformly-placed nodes, a single write, 6 rounds,
+/// `partition_from: None`. Same root cause as `broken_majority`
+/// (quorum-free local reads go stale on a disconnected replica), but
+/// reached through geometry instead of a nemesis schedule: with 2
+/// replicas out of mutual range, the writer self-acks a "majority" of
+/// its own partition while the other replica's reads serve the stale
+/// initial value.
+fn fuzz_split_quorum() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "fuzz_split_quorum".into(),
+        arena: Rect::square(20.0),
+        radio: RadioConfig::reliable(R1, R2),
+        populations: vec![PopulationSpec::fixed(2, PlacementSpec::Uniform)],
+        adversary: AdversaryKind::None,
+        nemesis: NemesisSpec::none(),
+        cm: CmSpec::perfect(),
+        workload: WorkloadSpec::MajorityRegister {
+            writes: 1,
+            rounds: 6,
+            partition_from: None,
+        },
+    }
+}
+
 /// All named scenarios, in catalog order.
 pub fn catalog() -> Vec<ScenarioSpec> {
     vec![
@@ -512,6 +564,8 @@ pub fn catalog() -> Vec<ScenarioSpec> {
         courier_fleet(),
         blackout_market(),
         quake_drill(),
+        fuzz_scatter_clique(),
+        fuzz_split_quorum(),
     ]
 }
 
@@ -617,6 +671,29 @@ mod tests {
         let bundle = tuned.incident.as_ref().expect("violation dumps a bundle");
         assert_eq!(bundle.flight.len(), 6, "window retains the last 6 rounds");
         assert!(bundle.causal.is_some(), "causal summary rides along");
+    }
+
+    /// The promoted fuzz findings reproduce under their discovery
+    /// seeds: the scattered clique violates CHA safety, the split
+    /// quorum fails the WGL audit — and both are clean little specs
+    /// that scenario validation rightly accepts.
+    #[test]
+    fn promoted_fuzz_findings_reproduce_under_their_discovery_seeds() {
+        let scatter = scenario("fuzz_scatter_clique").unwrap();
+        let out = scatter.run(2384762200);
+        assert!(
+            out.safety_violations() > 0,
+            "fuzz_scatter_clique must reproduce its CHA safety violation"
+        );
+
+        let split = scenario("fuzz_split_quorum").unwrap();
+        let out = split.run(199129263);
+        let report = out.audit.as_ref().expect("majority register is audited");
+        assert!(
+            !report.ok(),
+            "fuzz_split_quorum must reproduce its linearizability violation"
+        );
+        assert_eq!(report.app, "majority_register");
     }
 
     #[test]

@@ -303,17 +303,18 @@ impl ScenarioSpec {
         monitor.finish();
         out.causal = causal.summary();
         if flight.is_enabled() {
-            let reason = if out.audit.as_ref().is_some_and(|r| !r.ok()) {
-                Some(IncidentReason::Violation)
-            } else if out
-                .traffic
-                .as_ref()
-                .is_some_and(|t| t.issued > 0 && t.completed == 0)
-            {
-                Some(IncidentReason::LivenessStall)
-            } else {
-                None
-            };
+            let reason =
+                if out.audit.as_ref().is_some_and(|r| !r.ok()) || out.safety_violations() > 0 {
+                    Some(IncidentReason::Violation)
+                } else if out
+                    .traffic
+                    .as_ref()
+                    .is_some_and(|t| t.issued > 0 && t.completed == 0)
+                {
+                    Some(IncidentReason::LivenessStall)
+                } else {
+                    None
+                };
             if let Some(reason) = reason {
                 out.incident = Some(IncidentBundle::assemble(
                     self,
@@ -1037,5 +1038,28 @@ mod tests {
         assert_eq!(out.outputs_checked, 0);
         assert!(out.rounds > 8, "real rounds exceed virtual rounds");
         assert_eq!(out, spec.run(3), "world runs are deterministic");
+    }
+
+    /// Retransmit backoff draws from no RNG: burning the backoff
+    /// schedule arbitrarily hard between two runs of a non-traffic
+    /// scenario leaves the outcome byte-identical, because the jitter
+    /// is a pure hash of `(key, attempt)` rather than a stream shared
+    /// with placement, channel, or admission randomness.
+    #[test]
+    fn backoff_never_perturbs_non_traffic_rng_streams() {
+        let spec = clique(4, 6);
+        let before = spec.run(11);
+        let mut burned = 0u64;
+        for key in 0..512u64 {
+            for attempt in 0..16u32 {
+                burned = burned.wrapping_add(vi_traffic::backoff_delay(key, attempt));
+            }
+        }
+        assert!(burned > 0, "backoff delays are positive");
+        assert_eq!(
+            before,
+            spec.run(11),
+            "backoff consumed shared RNG state: non-traffic outcome changed"
+        );
     }
 }

@@ -50,7 +50,8 @@ pub use compile::{EngineTuning, ScenarioOutcome};
 pub use incident::{IncidentBundle, IncidentReason, BUNDLE_VERSION};
 pub use runner::SweepRunner;
 pub use spec::{
-    CmSpec, LayoutSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, WorkloadSpec,
+    CmSpec, LayoutSpec, MobilitySpec, PlacementSpec, PopulationSpec, ScenarioSpec, SpecError,
+    SpecErrorKind, WorkloadSpec,
 };
 pub use vi_audit::{AuditReport, NemesisFault, NemesisSpec};
 pub use vi_telemetry::{

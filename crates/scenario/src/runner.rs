@@ -159,9 +159,26 @@ impl SweepRunner {
     ///
     /// Panics if any spec fails [`ScenarioSpec::validate`].
     pub fn run(&self, jobs: &[(ScenarioSpec, u64)]) -> Vec<ScenarioOutcome> {
+        self.run_with(jobs, EngineTuning::DEFAULT)
+    }
+
+    /// [`SweepRunner::run`] with full [`EngineTuning`] (budget-sharing
+    /// semantics as in [`SweepRunner::run_matrix_with`]). The fuzz
+    /// orchestrator drives its candidate batches through this with
+    /// telemetry on, so every outcome carries the counter profile the
+    /// coverage signature buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spec fails [`ScenarioSpec::validate`].
+    pub fn run_with(
+        &self,
+        jobs: &[(ScenarioSpec, u64)],
+        tuning: EngineTuning,
+    ) -> Vec<ScenarioOutcome> {
         let borrowed: Vec<(&ScenarioSpec, u64)> =
             jobs.iter().map(|(spec, seed)| (spec, *seed)).collect();
-        self.run_borrowed(&borrowed, EngineTuning::DEFAULT)
+        self.run_borrowed(&borrowed, tuning)
     }
 
     /// The worker-pool core every public entry point funnels into:

@@ -352,23 +352,136 @@ pub struct ScenarioSpec {
     pub workload: WorkloadSpec,
 }
 
+/// Which part of a [`ScenarioSpec`] a validation failure lives in.
+///
+/// Mutation-based fuzzing (the `vi-fuzz` crate) leans on this being a
+/// *typed error*, never a panic: every mutated spec is either runnable
+/// or rejected here, and the fuzzer uses the kind to steer repair
+/// mutations. Each variant's `Display` is the human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecErrorKind {
+    /// Radio parameters out of range (the `RadioConfig` message).
+    Radio(String),
+    /// Non-finite or inverted arena bounds.
+    Arena,
+    /// No populations, or every population is empty.
+    EmptyDeployment,
+    /// Traffic workload shape: clients, rates, windows.
+    Traffic(String),
+    /// Adversary probabilities or round windows.
+    Adversary(String),
+    /// Nemesis schedule (the `NemesisSpec` message, or a
+    /// nemesis/workload mismatch).
+    Nemesis(String),
+    /// Workload parameters.
+    Workload(String),
+    /// Population `index` has degenerate placement, mobility, or
+    /// churn parameters.
+    Population {
+        /// Index of the offending population.
+        index: usize,
+        /// What is wrong, phrased to follow "population i has".
+        detail: String,
+    },
+    /// Virtual-node layout geometry (no locations, non-finite
+    /// coordinates, bad region radius).
+    Layout(String),
+    /// A churn, partition, or fault window entirely outside the
+    /// statically-known run length.
+    Window(String),
+    /// Contention-manager parameters.
+    Cm(String),
+}
+
+impl std::fmt::Display for SpecErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecErrorKind::Radio(d)
+            | SpecErrorKind::Traffic(d)
+            | SpecErrorKind::Adversary(d)
+            | SpecErrorKind::Workload(d)
+            | SpecErrorKind::Layout(d)
+            | SpecErrorKind::Window(d)
+            | SpecErrorKind::Cm(d) => f.write_str(d),
+            SpecErrorKind::Arena => f.write_str("arena must be finite with min <= max"),
+            SpecErrorKind::EmptyDeployment => f.write_str("scenario deploys no nodes"),
+            SpecErrorKind::Nemesis(d) => write!(f, "nemesis {d}"),
+            SpecErrorKind::Population { index, detail } => {
+                write!(f, "population {index} has {detail}")
+            }
+        }
+    }
+}
+
+/// The first validation failure of a spec: which scenario, and which
+/// part of it. Produced by [`ScenarioSpec::validate_typed`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecError {
+    /// Name of the offending scenario.
+    pub scenario: String,
+    /// What is wrong.
+    pub kind: SpecErrorKind,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.scenario, self.kind)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 impl ScenarioSpec {
     /// Total number of nodes across all populations.
     pub fn node_count(&self) -> usize {
         self.populations.iter().map(|p| p.count).sum()
     }
 
+    /// The engine-round run length, when it is statically known:
+    /// [`WorkloadSpec::ChaClique`] runs `3 · instances` rounds and
+    /// [`WorkloadSpec::MajorityRegister`] exactly its `rounds`.
+    /// Emulation workloads (`ViCounter`, `Traffic`) run until their
+    /// virtual-round window drains, so their real-round count is
+    /// emergent and `None` is returned. Window validation and the
+    /// fuzzer's truncate-rounds minimization pass key off this.
+    pub fn planned_rounds(&self) -> Option<u64> {
+        match &self.workload {
+            WorkloadSpec::ChaClique { instances } => Some(instances.saturating_mul(3)),
+            WorkloadSpec::MajorityRegister { rounds, .. } => Some(*rounds),
+            WorkloadSpec::ViCounter { .. } | WorkloadSpec::Traffic { .. } => None,
+        }
+    }
+
     /// Checks the spec for model violations the builders would panic
     /// on: invalid radio parameters, empty deployments, out-of-range
-    /// probabilities, degenerate mobility.
+    /// probabilities, degenerate mobility or layouts, and churn or
+    /// fault windows that outlive the run.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first problem.
+    /// Returns a human-readable description of the first problem
+    /// (the [`Display`](std::fmt::Display) of [`SpecError`]).
     pub fn validate(&self) -> Result<(), String> {
-        self.radio
-            .validate()
-            .map_err(|e| format!("{}: {e}", self.name))?;
+        self.validate_typed().map_err(|e| e.to_string())
+    }
+
+    /// [`validate`](Self::validate), but returning the typed
+    /// [`SpecError`] so callers can branch on *which* part of the
+    /// spec is broken.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate_typed(&self) -> Result<(), SpecError> {
+        let fail = |kind: SpecErrorKind| {
+            Err(SpecError {
+                scenario: self.name.clone(),
+                kind,
+            })
+        };
+        if let Err(e) = self.radio.validate() {
+            return fail(SpecErrorKind::Radio(e.to_string()));
+        }
         // Deserialized `Rect`s bypass `Rect::new`'s assertion, so a
         // hand-edited JSON arena can be degenerate; check here.
         let finite = |p: Point| p.x.is_finite() && p.y.is_finite();
@@ -377,37 +490,49 @@ impl ScenarioSpec {
             || self.arena.min.x > self.arena.max.x
             || self.arena.min.y > self.arena.max.y
         {
-            return Err(format!(
-                "{}: arena must be finite with min <= max",
-                self.name
-            ));
+            return fail(SpecErrorKind::Arena);
         }
         if self.populations.is_empty() || self.node_count() == 0 {
-            return Err(format!("{}: scenario deploys no nodes", self.name));
+            return fail(SpecErrorKind::EmptyDeployment);
         }
         if let WorkloadSpec::Traffic { traffic, .. } = &self.workload {
-            traffic
-                .validate()
-                .map_err(|e| format!("{}: {e}", self.name))?;
+            if let Err(e) = traffic.validate() {
+                return fail(SpecErrorKind::Traffic(e));
+            }
             if traffic.clients > self.node_count() {
-                return Err(format!(
-                    "{}: traffic needs {} clients but only {} nodes deployed",
-                    self.name,
+                return fail(SpecErrorKind::Traffic(format!(
+                    "traffic needs {} clients but only {} nodes deployed",
                     traffic.clients,
                     self.node_count()
-                ));
+                )));
             }
         }
-        validate_adversary(&self.adversary).map_err(|e| format!("{}: {e}", self.name))?;
-        self.nemesis
-            .validate()
-            .map_err(|e| format!("{}: nemesis {e}", self.name))?;
-        if let WorkloadSpec::MajorityRegister { writes, rounds, .. } = &self.workload {
-            if *writes == 0 || *rounds == 0 {
-                return Err(format!(
-                    "{}: majority-register workload needs writes >= 1 and rounds >= 1",
-                    self.name
+        if let Err(e) = validate_adversary(&self.adversary) {
+            return fail(SpecErrorKind::Adversary(e));
+        }
+        if let Err(e) = self.nemesis.validate() {
+            return fail(SpecErrorKind::Nemesis(e));
+        }
+        match &self.workload {
+            WorkloadSpec::MajorityRegister { writes, rounds, .. }
+                if *writes == 0 || *rounds == 0 =>
+            {
+                return fail(SpecErrorKind::Workload(
+                    "majority-register workload needs writes >= 1 and rounds >= 1".into(),
                 ));
+            }
+            WorkloadSpec::ViCounter { virtual_rounds, .. } if *virtual_rounds == 0 => {
+                return fail(SpecErrorKind::Workload(
+                    "counter workload needs at least one virtual round".into(),
+                ));
+            }
+            _ => {}
+        }
+        if let WorkloadSpec::ViCounter { layout, .. } | WorkloadSpec::Traffic { layout, .. } =
+            &self.workload
+        {
+            if let Err(e) = validate_layout(layout) {
+                return fail(SpecErrorKind::Layout(e));
             }
         }
         if self.nemesis.crashes_devices() {
@@ -415,9 +540,8 @@ impl ScenarioSpec {
                 self.workload,
                 WorkloadSpec::ChaClique { .. } | WorkloadSpec::MajorityRegister { .. }
             ) {
-                return Err(format!(
-                    "{}: nemesis crash bursts need a device workload (ViCounter or Traffic)",
-                    self.name
+                return fail(SpecErrorKind::Nemesis(
+                    "crash bursts need a device workload (ViCounter or Traffic)".into(),
                 ));
             }
             // Victims come from the deployment tail; client ports at
@@ -430,11 +554,10 @@ impl ScenarioSpec {
             let eligible = self.node_count().saturating_sub(protected);
             let victims = self.nemesis.total_victims();
             if victims > eligible {
-                return Err(format!(
-                    "{}: nemesis crash bursts claim {victims} victims but only {eligible} \
-                     devices are eligible (client ports are protected)",
-                    self.name
-                ));
+                return fail(SpecErrorKind::Nemesis(format!(
+                    "crash bursts claim {victims} victims but only {eligible} \
+                     devices are eligible (client ports are protected)"
+                )));
             }
         }
         let prob = |p: f64| (0.0..=1.0).contains(&p);
@@ -444,12 +567,20 @@ impl ScenarioSpec {
         } = self.cm
         {
             if !prob(p) {
-                return Err(format!("{}: CM probability outside [0, 1]", self.name));
+                return fail(SpecErrorKind::Cm("CM probability outside [0, 1]".into()));
             }
         }
         let good_speed = |s: f64| s.is_finite() && s >= 0.0;
         for (i, pop) in self.populations.iter().enumerate() {
-            let bad = |what: &str| Err(format!("{}: population {i} has {what}", self.name));
+            let bad = |what: &str| {
+                Err(SpecError {
+                    scenario: self.name.clone(),
+                    kind: SpecErrorKind::Population {
+                        index: i,
+                        detail: what.into(),
+                    },
+                })
+            };
             if let PlacementSpec::Cluster { radius, .. } = pop.placement {
                 if !good_speed(radius) {
                     return bad("an invalid cluster radius");
@@ -488,15 +619,61 @@ impl ScenarioSpec {
                 _ => {}
             }
         }
+        // Churn, partition, and fault windows must start inside the
+        // run when its length is statically known: a window that only
+        // opens after the last round describes behaviour that can
+        // never happen, which in a fuzzed spec is a silent no-op
+        // masquerading as a fault schedule.
+        if let Some(rounds) = self.planned_rounds() {
+            for (i, pop) in self.populations.iter().enumerate() {
+                if pop.count > 0 && pop.spawn_at >= rounds {
+                    return fail(SpecErrorKind::Window(format!(
+                        "population {i} spawns at round {} but the run ends at round {rounds}",
+                        pop.spawn_at
+                    )));
+                }
+                if let Some(crash) = pop.crash_at {
+                    if crash >= rounds {
+                        return fail(SpecErrorKind::Window(format!(
+                            "population {i} crashes at round {crash} but the run ends at \
+                             round {rounds}"
+                        )));
+                    }
+                }
+            }
+            if let WorkloadSpec::MajorityRegister {
+                partition_from: Some(p),
+                ..
+            } = &self.workload
+            {
+                if *p >= rounds {
+                    return fail(SpecErrorKind::Window(format!(
+                        "partition opens at round {p} but the run ends at round {rounds}"
+                    )));
+                }
+            }
+            if let Some(start) = self.nemesis.earliest_dead_start(rounds) {
+                return fail(SpecErrorKind::Window(format!(
+                    "nemesis fault starts at round {start} but the run ends at round {rounds}"
+                )));
+            }
+        }
         Ok(())
     }
 }
 
-/// Probability sanity over the (possibly composed) adversary
-/// description — deserialized specs bypass the constructors' asserts,
-/// so a hand-edited JSON adversary must be caught here, recursively.
+/// Probability and window sanity over the (possibly composed)
+/// adversary description — deserialized specs bypass the
+/// constructors' asserts, so a hand-edited (or fuzz-mutated) JSON
+/// adversary must be caught here, recursively.
 fn validate_adversary(kind: &AdversaryKind) -> Result<(), String> {
     let prob = |p: f64| (0.0..=1.0).contains(&p);
+    let windows_ok = |ws: &[std::ops::Range<u64>]| {
+        ws.iter()
+            .all(|w| w.start < w.end)
+            .then_some(())
+            .ok_or_else(|| String::from("adversary window inverted or empty (end <= start)"))
+    };
     match kind {
         AdversaryKind::Random(d, s) if !prob(*d) || !prob(*s) => {
             Err("adversary probability outside [0, 1]".into())
@@ -504,13 +681,60 @@ fn validate_adversary(kind: &AdversaryKind) -> Result<(), String> {
         AdversaryKind::BrokenDetector { drop_p, miss_p } if !prob(*drop_p) || !prob(*miss_p) => {
             Err("adversary probability outside [0, 1]".into())
         }
+        AdversaryKind::Burst(windows) => windows_ok(windows),
         AdversaryKind::WindowedRandom {
-            drop_p, spurious_p, ..
-        } if !prob(*drop_p) || !prob(*spurious_p) => {
-            Err("adversary probability outside [0, 1]".into())
+            windows,
+            drop_p,
+            spurious_p,
+        } => {
+            if !prob(*drop_p) || !prob(*spurious_p) {
+                return Err("adversary probability outside [0, 1]".into());
+            }
+            windows_ok(windows)
         }
         AdversaryKind::Compose(members) => members.iter().try_for_each(validate_adversary),
         _ => Ok(()),
+    }
+}
+
+/// Geometry sanity over a virtual-node layout — `VnLayout`'s builders
+/// assert, so zero-location or non-finite layouts must be rejected
+/// before a sweep worker touches them.
+fn validate_layout(layout: &LayoutSpec) -> Result<(), String> {
+    let finite = |p: &Point| p.x.is_finite() && p.y.is_finite();
+    let radius_ok = |r: f64| {
+        (r.is_finite() && r > 0.0)
+            .then_some(())
+            .ok_or_else(|| String::from("layout region radius must be positive and finite"))
+    };
+    match layout {
+        LayoutSpec::Grid {
+            rows,
+            cols,
+            spacing,
+            origin,
+            region_radius,
+        } => {
+            if *rows == 0 || *cols == 0 {
+                return Err("layout grid has no virtual nodes".into());
+            }
+            if !spacing.is_finite() || !finite(origin) {
+                return Err("layout grid has non-finite spacing or origin".into());
+            }
+            radius_ok(*region_radius)
+        }
+        LayoutSpec::Explicit {
+            locations,
+            region_radius,
+        } => {
+            if locations.is_empty() {
+                return Err("layout has no virtual nodes".into());
+            }
+            if !locations.iter().all(finite) {
+                return Err("layout has a non-finite location".into());
+            }
+            radius_ok(*region_radius)
+        }
     }
 }
 
@@ -624,6 +848,119 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn validate_rejects_dead_windows_with_typed_errors() {
+        use vi_audit::NemesisFault;
+        // `spec()` runs ChaClique { instances: 5 } = 15 rounds.
+        let mut s = spec();
+        s.populations[0].spawn_at = 15;
+        let err = s.validate_typed().unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::Window(_)), "{err}");
+        assert!(err.to_string().contains("spawns at round 15"), "{err}");
+        let mut s = spec();
+        s.populations[0].crash_at = Some(99);
+        assert!(matches!(
+            s.validate_typed().unwrap_err().kind,
+            SpecErrorKind::Window(_)
+        ));
+        // Spawn/crash windows inside the run stay valid.
+        let mut s = spec();
+        s.populations[0].spawn_at = 3;
+        s.populations[0].crash_at = Some(12);
+        s.validate().expect("windows inside the run are fine");
+        // A nemesis fault starting after the run ends is dead.
+        let mut s = spec();
+        s.nemesis = NemesisSpec {
+            faults: vec![NemesisFault::Jam { window: 20..30 }],
+        };
+        let err = s.validate_typed().unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::Window(_)), "{err}");
+        // A partition that opens after the register run ends is dead.
+        let mut s = spec();
+        s.workload = WorkloadSpec::MajorityRegister {
+            writes: 4,
+            rounds: 20,
+            partition_from: Some(20),
+        };
+        let err = s.validate_typed().unwrap_err();
+        assert!(err.to_string().contains("partition opens"), "{err}");
+        // Emulation workloads have emergent length: no window check.
+        let mut s = spec();
+        s.populations[0].spawn_at = 10_000;
+        s.workload = WorkloadSpec::ViCounter {
+            layout: LayoutSpec::Explicit {
+                locations: vec![Point::new(5.0, 5.0)],
+                region_radius: 2.5,
+            },
+            virtual_rounds: 4,
+        };
+        s.validate()
+            .expect("emergent-length workloads skip window checks");
+    }
+
+    #[test]
+    // The inverted range is the point of the test: it must come back
+    // as a typed validation error, not yield-nothing behaviour.
+    #[allow(clippy::single_range_in_vec_init, clippy::reversed_empty_ranges)]
+    fn validate_rejects_inverted_adversary_windows_and_bad_layouts() {
+        let mut s = spec();
+        s.adversary = AdversaryKind::Burst(vec![10..5]);
+        let err = s.validate_typed().unwrap_err();
+        assert!(matches!(err.kind, SpecErrorKind::Adversary(_)), "{err}");
+        assert!(err.to_string().contains("inverted"), "{err}");
+        let mut s = spec();
+        s.adversary = AdversaryKind::Compose(vec![AdversaryKind::WindowedRandom {
+            windows: vec![2..5, 9..9],
+            drop_p: 0.1,
+            spurious_p: 0.0,
+        }]);
+        assert!(s.validate().unwrap_err().contains("inverted"));
+        // Zero-location and non-finite layouts are typed errors, not
+        // `VnLayout` builder panics inside a sweep worker.
+        let layouts = [
+            LayoutSpec::Grid {
+                rows: 0,
+                cols: 3,
+                spacing: 10.0,
+                origin: Point::ORIGIN,
+                region_radius: 2.5,
+            },
+            LayoutSpec::Explicit {
+                locations: vec![],
+                region_radius: 2.5,
+            },
+            LayoutSpec::Explicit {
+                locations: vec![Point::new(f64::NAN, 0.0)],
+                region_radius: 2.5,
+            },
+            LayoutSpec::Explicit {
+                locations: vec![Point::new(5.0, 5.0)],
+                region_radius: 0.0,
+            },
+        ];
+        for layout in layouts {
+            let mut s = spec();
+            s.workload = WorkloadSpec::ViCounter {
+                layout,
+                virtual_rounds: 4,
+            };
+            let err = s.validate_typed().unwrap_err();
+            assert!(matches!(err.kind, SpecErrorKind::Layout(_)), "{err}");
+        }
+        let mut s = spec();
+        s.workload = WorkloadSpec::ViCounter {
+            layout: LayoutSpec::Explicit {
+                locations: vec![Point::new(5.0, 5.0)],
+                region_radius: 2.5,
+            },
+            virtual_rounds: 0,
+        };
+        assert!(matches!(
+            s.validate_typed().unwrap_err().kind,
+            SpecErrorKind::Workload(_)
+        ));
     }
 
     type SpecEdit = Box<dyn Fn(&mut ScenarioSpec)>;

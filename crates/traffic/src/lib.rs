@@ -48,7 +48,7 @@ pub use driver::{
 };
 pub use metrics::{LatencyHistogram, TrafficSummary};
 pub use service::{
-    build_service, AuditRecord, Completion, DevicePlan, OpClass, OpDesc, OpOutcome, Request,
-    Service, TrafficWorld,
+    backoff_delay, build_service, AuditRecord, Completion, DevicePlan, OpClass, OpDesc, OpOutcome,
+    Request, Service, TrafficWorld,
 };
 pub use workload::{AppKind, LoadMode, RatePhase, TrafficSpec};

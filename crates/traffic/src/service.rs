@@ -33,10 +33,48 @@ use vi_radio::mobility::MobilityModel;
 use vi_radio::trace::ChannelStats;
 use vi_radio::{AdversaryKind, RadioConfig};
 
-/// Virtual rounds between retransmissions of an unanswered request
-/// (all app messages are idempotent at the virtual node, so retries
-/// only cost bandwidth).
+/// Base retransmit interval in virtual rounds: the first retry of an
+/// unanswered request fires after roughly this long (all app messages
+/// are idempotent at the virtual node, so retries only cost
+/// bandwidth).
 const RETRY_ROUNDS: u64 = 6;
+
+/// Cap on the exponential backoff: no retransmit interval ever
+/// exceeds this many virtual rounds (before jitter), no matter how
+/// many attempts a request has burned.
+const RETRY_CAP_ROUNDS: u64 = 48;
+
+/// Salt folded into the jitter hash so backoff jitter shares no
+/// stream with the placement (`PLACEMENT_SALT`) or admission
+/// (`TRAFFIC_SALT`) RNGs.
+const BACKOFF_SALT: u64 = 0x6a09_e667_f3bc_c908;
+
+/// SplitMix64 finalizer — the stateless hash behind the retry jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Bounded deterministic exponential backoff with seeded jitter: the
+/// virtual rounds to wait before retransmit `attempt + 1` of the
+/// request identified by `key`. The base interval doubles per attempt
+/// ([`RETRY_ROUNDS`] · 2^attempt) up to [`RETRY_CAP_ROUNDS`]; a
+/// hash-derived jitter of up to half the interval spreads concurrent
+/// losers so they stop retransmitting in lockstep.
+///
+/// The jitter is a pure SplitMix64 hash of `(key, attempt)` — it
+/// draws from **no** RNG, so retries can never perturb the placement,
+/// channel, or admission streams (the vi-scenario stream-isolation
+/// test asserts this for non-traffic scenarios).
+pub fn backoff_delay(key: u64, attempt: u32) -> u64 {
+    let base = RETRY_ROUNDS
+        .saturating_mul(1u64 << attempt.min(31))
+        .min(RETRY_CAP_ROUNDS);
+    let span = base / 2;
+    base + splitmix64(key ^ BACKOFF_SALT ^ (u64::from(attempt) << 48)) % (span + 1)
+}
 
 /// Tracking-report quantization (meters per cell).
 const TRACK_CELL_SIZE: f64 = 10.0;
@@ -417,11 +455,17 @@ where
 struct PendingMsg<M> {
     client: usize,
     msg: M,
+    /// Virtual round the op was submitted — receptions drain one round
+    /// late, so an answer stamped before this round is a stale echo of
+    /// an *earlier* request and must not complete this op.
+    issued_vr: u64,
     last_enqueued_vr: u64,
+    /// Retransmits already burned — drives the backoff schedule.
+    attempts: u32,
 }
 
 /// Retransmits every pending message whose last enqueue is older than
-/// [`RETRY_ROUNDS`] (shared retry pass of the register/tracking
+/// its [`backoff_delay`] (shared retry pass of the register/tracking
 /// adapters; idempotent messages only).
 fn retry_pending<VA: VirtualAutomaton>(
     harness: &mut Harness<VA>,
@@ -431,9 +475,10 @@ fn retry_pending<VA: VirtualAutomaton>(
 {
     let vr = harness.vr;
     for (&id, p) in pending.iter_mut() {
-        if vr.saturating_sub(p.last_enqueued_vr) >= RETRY_ROUNDS {
+        if vr.saturating_sub(p.last_enqueued_vr) >= backoff_delay(id, p.attempts) {
             harness.enqueue(p.client, id, p.msg.clone());
             p.last_enqueued_vr = vr;
+            p.attempts = p.attempts.saturating_add(1);
         }
     }
 }
@@ -509,7 +554,9 @@ impl Service for RegisterService {
             PendingMsg {
                 client,
                 msg,
+                issued_vr: req.issued_vr,
                 last_enqueued_vr: req.issued_vr,
+                attempts: 0,
             },
         );
         op
@@ -614,6 +661,13 @@ pub struct MutexService {
     backlog: Vec<VecDeque<u64>>,
     /// Virtual round of each client's last `Request` enqueue.
     last_request_vr: Vec<u64>,
+    /// Virtual round each client's in-flight op was submitted —
+    /// grants heard before it are stale echoes of a *previous* op's
+    /// retried request and must not complete this one.
+    request_issued_vr: Vec<u64>,
+    /// Retransmits burned by each client's in-flight `Request` —
+    /// drives the backoff schedule; reset when a fresh op starts.
+    request_attempts: Vec<u32>,
     /// Port-entry ids of queued releases (`id → releasing client`):
     /// a namespace disjoint from request ids, so release broadcasts
     /// can be recognized in the port send log and survive purges.
@@ -637,6 +691,8 @@ impl MutexService {
             phases: (0..n).map(|_| LockPhase::Idle).collect(),
             backlog: (0..n).map(|_| VecDeque::new()).collect(),
             last_request_vr: vec![0; n],
+            request_issued_vr: vec![0; n],
+            request_attempts: vec![0; n],
             release_ids: BTreeMap::new(),
             next_release_id: RELEASE_ID_BASE,
             audit: Vec::new(),
@@ -656,6 +712,8 @@ impl MutexService {
                 );
                 self.phases[client] = LockPhase::WaitGrant(Some(id));
                 self.last_request_vr[client] = vr;
+                self.request_issued_vr[client] = vr;
+                self.request_attempts[client] = 0;
             }
         }
     }
@@ -699,7 +757,10 @@ impl Service for MutexService {
                         client: me,
                         vr: heard_vr,
                     });
-                    if granted.is_none() {
+                    // A grant heard before the current op was even
+                    // submitted is a stale echo (the server re-grants
+                    // on retried requests); it cannot complete it.
+                    if granted.is_none() && heard_vr >= self.request_issued_vr[i] {
                         granted = Some(heard_vr);
                     }
                 }
@@ -723,15 +784,19 @@ impl Service for MutexService {
                     self.phases[i] = LockPhase::Idle;
                 }
             }
-            // Retry a lost Request (the server dedupes).
+            // Retry a lost Request (the server dedupes). The backoff
+            // key is the client id: it is stable across the retries of
+            // one in-flight request, measured or not.
             if let LockPhase::WaitGrant(id) = self.phases[i] {
-                if vr.saturating_sub(self.last_request_vr[i]) >= RETRY_ROUNDS {
+                let wait = backoff_delay(u64::from(me), self.request_attempts[i]);
+                if vr.saturating_sub(self.last_request_vr[i]) >= wait {
                     self.harness.enqueue(
                         i,
                         id.unwrap_or(u64::MAX),
                         LockMsg::Request { client: me },
                     );
                     self.last_request_vr[i] = vr;
+                    self.request_attempts[i] = self.request_attempts[i].saturating_add(1);
                 }
             }
             self.start_next(i, vr);
@@ -846,7 +911,9 @@ impl Service for TrackingService {
                     PendingMsg {
                         client,
                         msg,
+                        issued_vr: req.issued_vr,
                         last_enqueued_vr: req.issued_vr,
+                        attempts: 0,
                     },
                 );
                 OpDesc::Lookup { object }
@@ -871,15 +938,28 @@ impl Service for TrackingService {
             for (heard_vr, msg) in self.harness.drain_rx(i) {
                 if let TrackMsg::Answer { object, cell } = msg {
                     // The answer is a broadcast: every pending query
-                    // for this object is answered at once.
+                    // for this object is answered at once — except
+                    // queries issued *after* the answer was heard
+                    // (receptions drain one round late, so a stale
+                    // echo of an earlier query can surface here).
+                    // Those stay pending for a fresh broadcast.
+                    let mut waiting = Vec::new();
                     for id in self.query_index.remove(&object).unwrap_or_default() {
-                        if self.pending.remove(&id).is_some() {
-                            done.push(Completion {
-                                id,
-                                completed_vr: heard_vr,
-                                outcome: OpOutcome::Answered { cell },
-                            });
+                        match self.pending.get(&id) {
+                            Some(p) if p.issued_vr > heard_vr => waiting.push(id),
+                            Some(_) => {
+                                self.pending.remove(&id);
+                                done.push(Completion {
+                                    id,
+                                    completed_vr: heard_vr,
+                                    outcome: OpOutcome::Answered { cell },
+                                });
+                            }
+                            None => {}
                         }
+                    }
+                    if !waiting.is_empty() {
+                        self.query_index.insert(object, waiting);
                     }
                 }
             }
@@ -990,7 +1070,9 @@ impl Service for GeoroutingService {
             PendingMsg {
                 client,
                 msg,
+                issued_vr: req.issued_vr,
                 last_enqueued_vr: req.issued_vr,
+                attempts: 0,
             },
         );
         OpDesc::Send { vn: vn.0, payload }
@@ -1368,5 +1450,44 @@ mod tests {
             run(),
             "identical runs must match completion-for-completion"
         );
+    }
+
+    /// The backoff schedule is a pure function: deterministic per
+    /// `(key, attempt)`, never below the base interval, never past the
+    /// cap plus its half-interval jitter, and (de-jittered) monotone
+    /// non-decreasing in the attempt count.
+    #[test]
+    fn backoff_delay_is_deterministic_bounded_and_monotone() {
+        for key in [0u64, 1, 7, u64::MAX] {
+            let mut prev_base = 0u64;
+            for attempt in 0..40u32 {
+                let d = backoff_delay(key, attempt);
+                assert_eq!(d, backoff_delay(key, attempt), "pure function");
+                let base = RETRY_ROUNDS
+                    .saturating_mul(1u64 << attempt.min(31))
+                    .min(RETRY_CAP_ROUNDS);
+                assert!(d >= base, "jitter only ever delays: {d} < {base}");
+                assert!(d <= RETRY_CAP_ROUNDS + RETRY_CAP_ROUNDS / 2, "bounded: {d}");
+                assert!(base >= prev_base, "base never shrinks");
+                prev_base = base;
+            }
+            assert!(
+                backoff_delay(key, 39) >= RETRY_CAP_ROUNDS,
+                "deep attempts saturate at the cap"
+            );
+        }
+    }
+
+    /// Different keys de-synchronize: across many keys the first-retry
+    /// jitter takes more than one value (lockstep retransmits are what
+    /// the jitter exists to break).
+    #[test]
+    fn backoff_jitter_spreads_across_keys() {
+        let spread: std::collections::BTreeSet<u64> =
+            (0..64u64).map(|key| backoff_delay(key, 0)).collect();
+        assert!(spread.len() > 1, "jitter must vary by key: {spread:?}");
+        for &d in &spread {
+            assert!((RETRY_ROUNDS..=RETRY_ROUNDS + RETRY_ROUNDS / 2).contains(&d));
+        }
     }
 }

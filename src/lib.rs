@@ -14,12 +14,14 @@
 //! * [`audit`] — operation-history capture + consistency checkers.
 //! * [`scenario`] — declarative scenario specs + parallel sweep runner.
 //! * [`telemetry`] — deterministic counters, phase timers, Perfetto export.
+//! * [`fuzz`] — coverage-guided scenario fuzzing + violation minimization.
 
 pub use vi_apps as apps;
 pub use vi_audit as audit;
 pub use vi_baselines as baselines;
 pub use vi_contention as contention;
 pub use vi_core as core;
+pub use vi_fuzz as fuzz;
 pub use vi_radio as radio;
 pub use vi_scenario as scenario;
 pub use vi_telemetry as telemetry;
